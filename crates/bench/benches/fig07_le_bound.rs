@@ -1,0 +1,11 @@
+//! Times the Fig. 7 pipeline (Huffman construction + LE bound analysis).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sla_bench::{fig07, SEED};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig07_le_bound", |b| b.iter(|| fig07::run(SEED)));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Times the Fig. 9 pipeline at a reduced workload size (the full run is
+//! the `repro` binary's job; here we time the cost-evaluation machinery).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sla_bench::{fig09, SEED};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig09");
+    g.sample_size(10);
+    g.bench_function("crime_pipeline_5zones", |b| {
+        b.iter(|| fig09::run(SEED, 5, 1_000))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Times one Fig. 10 panel (synthetic sigmoid sweep).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sla_bench::{fig10, SEED};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    for (a, b_param) in [(0.9, 100.0), (0.99, 100.0)] {
+        g.bench_function(format!("panel_a{a}_b{b_param}_5zones"), |bch| {
+            bch.iter(|| fig10::run_panel(a, b_param, SEED, 5, 1_000))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Times one Fig. 11 mixed-workload panel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sla_bench::{fig11, SEED};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    g.bench_function("mixed_panel_40zones", |b| {
+        b.iter(|| fig11::run_panel(0.99, 100.0, SEED, 40, 1_000))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

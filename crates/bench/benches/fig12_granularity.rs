@@ -1,0 +1,16 @@
+//! Times the Fig. 12 granularity sweep at reduced workload size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sla_bench::{fig12, SEED};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    g.bench_function("granularity_3zones", |b| {
+        b.iter(|| fig12::run(SEED, 3, 1_000))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

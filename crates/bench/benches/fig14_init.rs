@@ -1,0 +1,29 @@
+//! Times codebook initialization per grid size and encoder (the Fig. 14
+//! quantity, measured properly under Criterion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sla_bench::common::sigmoid_probs;
+use sla_bench::SEED;
+use sla_encoding::{CellCodebook, EncoderKind};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14_init");
+    for side in [16usize, 32, 64] {
+        let probs = sigmoid_probs(side * side, 0.95, 20.0, SEED);
+        for kind in [
+            EncoderKind::Huffman,
+            EncoderKind::Balanced,
+            EncoderKind::BasicFixed,
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(kind.name(), format!("{side}x{side}")),
+                &side,
+                |b, _| b.iter(|| CellCodebook::build(kind, probs.raw())),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

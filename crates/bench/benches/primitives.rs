@@ -1,0 +1,70 @@
+//! Primitive benchmarks: HVE phases and core encoding operations. These
+//! time the building blocks the figures are made of (the paper's cost
+//! driver is `query`, whose pairing count scales with non-star bits).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sla_encoding::{CellCodebook, EncoderKind};
+use sla_hve::{AttributeVector, HveScheme, SearchPattern};
+use sla_pairing::SimulatedGroup;
+
+fn bench_hve_phases(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let group = SimulatedGroup::generate(64, &mut rng);
+
+    let mut g = c.benchmark_group("hve");
+    for width in [8usize, 16, 32] {
+        let scheme = HveScheme::new(&group, width);
+        let (pk, sk) = scheme.setup(&mut rng);
+        let bits: Vec<bool> = (0..width).map(|i| i % 3 == 0).collect();
+        let index = AttributeVector::from_bits(&bits);
+        let msg = scheme.encode_message(7);
+        let ct = scheme.encrypt(&pk, &index, &msg, &mut rng);
+        // half the positions non-star
+        let symbols: Vec<Option<bool>> = bits
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| if i % 2 == 0 { Some(b) } else { None })
+            .collect();
+        let token = scheme.gen_token(&sk, &SearchPattern::from_symbols(&symbols), &mut rng);
+
+        g.bench_with_input(BenchmarkId::new("encrypt", width), &width, |bch, _| {
+            let mut r = StdRng::seed_from_u64(2);
+            bch.iter(|| scheme.encrypt(&pk, &index, &msg, &mut r));
+        });
+        g.bench_with_input(BenchmarkId::new("gen_token", width), &width, |bch, _| {
+            let mut r = StdRng::seed_from_u64(3);
+            bch.iter(|| {
+                scheme.gen_token(&sk, &SearchPattern::from_symbols(&symbols), &mut r)
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("query", width), &width, |bch, _| {
+            bch.iter(|| scheme.query(&token, &ct));
+        });
+    }
+    g.finish();
+}
+
+fn bench_encoding(c: &mut Criterion) {
+    let mut g = c.benchmark_group("encoding");
+    for n in [256usize, 1024, 4096] {
+        let probs: Vec<f64> = (0..n).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        g.bench_with_input(BenchmarkId::new("huffman_build", n), &n, |bch, _| {
+            bch.iter(|| CellCodebook::build(EncoderKind::Huffman, &probs));
+        });
+        let cb = CellCodebook::build(EncoderKind::Huffman, &probs);
+        let zone: Vec<usize> = (0..16).map(|i| (i * 37) % n).collect();
+        g.bench_with_input(BenchmarkId::new("minimize_alg3", n), &n, |bch, _| {
+            bch.iter(|| cb.tokens_for(&zone));
+        });
+        let fixed = CellCodebook::build(EncoderKind::BasicFixed, &probs);
+        g.bench_with_input(BenchmarkId::new("minimize_qm", n), &n, |bch, _| {
+            bch.iter(|| fixed.tokens_for(&zone));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_hve_phases, bench_encoding);
+criterion_main!(benches);

@@ -1,0 +1,150 @@
+//! `repro` — regenerates every figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run -p sla-bench --bin repro --release             # everything
+//! cargo run -p sla-bench --bin repro --release -- fig9     # one figure
+//! cargo run -p sla-bench --bin repro --release -- fig10 --quick
+//! ```
+//!
+//! Tables are printed to stdout and written as CSV under `results/`.
+
+use sla_bench::{fig07, fig08, fig09, fig10, fig11, fig12, fig13, fig14};
+use sla_bench::{N_CIPHERTEXTS, SEED};
+use std::path::PathBuf;
+
+struct Opts {
+    figures: Vec<String>,
+    zones: usize,
+    out_dir: PathBuf,
+}
+
+fn parse_args() -> Opts {
+    let mut figures = Vec::new();
+    let mut zones = 50usize;
+    let mut out_dir = PathBuf::from("results");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => zones = 10,
+            "--zones" => {
+                zones = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--zones needs a number");
+            }
+            "--out" => {
+                out_dir = PathBuf::from(args.next().expect("--out needs a path"));
+            }
+            "all" => figures.clear(),
+            other => figures.push(other.trim_start_matches("--").to_string()),
+        }
+    }
+    if figures.is_empty() {
+        figures = (7..=14).map(|i| format!("fig{i}")).collect();
+    }
+    Opts {
+        figures,
+        zones,
+        out_dir,
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    println!(
+        "# Reproducing EDBT 2021 'Location-based Alert Protocol using SE and Huffman Codes'"
+    );
+    println!(
+        "# seed={SEED}, ciphertexts per alert={N_CIPHERTEXTS}, zones per point={}\n",
+        opts.zones
+    );
+
+    for fig in &opts.figures {
+        match fig.as_str() {
+            "fig7" | "fig07" => {
+                let rows = fig07::run(SEED);
+                let t = fig07::table(&rows);
+                print!("{}", t.render());
+                report(t.write_csv(&opts.out_dir, "fig07"));
+            }
+            "fig8" | "fig08" => {
+                let out = fig08::run(SEED);
+                let t = fig08::table(&out);
+                print!("{}", t.render());
+                report(t.write_csv(&opts.out_dir, "fig08"));
+            }
+            "fig9" | "fig09" => {
+                let result = fig09::run(SEED, opts.zones, N_CIPHERTEXTS);
+                let a = fig09::table_absolute(
+                    &result,
+                    "Fig 9a: pairings on crime dataset (32x32, 10k users)",
+                );
+                let b = fig09::table_improvement(
+                    &result,
+                    "Fig 9b: improvement (%) vs basic fixed-length [14]",
+                );
+                print!("{}", a.render());
+                print!("{}", b.render());
+                report(a.write_csv(&opts.out_dir, "fig09a"));
+                report(b.write_csv(&opts.out_dir, "fig09b"));
+            }
+            "fig10" => {
+                for panel in fig10::run(SEED, opts.zones, N_CIPHERTEXTS) {
+                    let tag = format!("a{:.2}_b{:.0}", panel.a, panel.b);
+                    let a = fig09::table_absolute(
+                        &panel.result,
+                        &format!("Fig 10 ({tag}): pairings"),
+                    );
+                    let b = fig09::table_improvement(
+                        &panel.result,
+                        &format!("Fig 10 ({tag}): improvement (%) vs [14]"),
+                    );
+                    print!("{}", a.render());
+                    print!("{}", b.render());
+                    report(a.write_csv(&opts.out_dir, &format!("fig10_{tag}_abs")));
+                    report(b.write_csv(&opts.out_dir, &format!("fig10_{tag}_impr")));
+                }
+            }
+            "fig11" => {
+                for panel in fig11::run(SEED, opts.zones.max(100), N_CIPHERTEXTS) {
+                    let t = fig11::table_improvement(&panel);
+                    print!("{}", t.render());
+                    report(t.write_csv(
+                        &opts.out_dir,
+                        &format!("fig11_a{:.2}_b{:.0}", panel.a, panel.b),
+                    ));
+                }
+            }
+            "fig12" => {
+                let points = fig12::run(SEED, opts.zones, N_CIPHERTEXTS);
+                let a = fig12::table_absolute(&points);
+                let b = fig12::table_improvement(&points);
+                print!("{}", a.render());
+                print!("{}", b.render());
+                report(a.write_csv(&opts.out_dir, "fig12a"));
+                report(b.write_csv(&opts.out_dir, "fig12b"));
+            }
+            "fig13" => {
+                let rows = fig13::run(SEED);
+                let t = fig13::table(&rows);
+                print!("{}", t.render());
+                report(t.write_csv(&opts.out_dir, "fig13"));
+            }
+            "fig14" => {
+                let rows = fig14::run(SEED);
+                let t = fig14::table(&rows);
+                print!("{}", t.render());
+                report(t.write_csv(&opts.out_dir, "fig14"));
+            }
+            other => eprintln!("unknown figure '{other}' (expected fig7..fig14)"),
+        }
+        println!();
+    }
+}
+
+fn report(result: std::io::Result<PathBuf>) {
+    match result {
+        Ok(path) => println!("-> wrote {}", path.display()),
+        Err(e) => eprintln!("!! csv write failed: {e}"),
+    }
+}

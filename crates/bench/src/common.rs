@@ -1,0 +1,37 @@
+//! Helpers shared by the figure experiments.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sla_datasets::Workload;
+use sla_grid::{ProbabilityMap, SigmoidParams};
+
+/// Synthetic sigmoid probability map, seeded per (n, a, b) so every
+/// experiment touching the same configuration sees the same surface.
+pub fn sigmoid_probs(n: usize, a: f64, b: f64, seed: u64) -> ProbabilityMap {
+    let mut rng = StdRng::seed_from_u64(
+        seed ^ (n as u64)
+            .wrapping_mul(0x9e37_79b9)
+            .wrapping_add((a * 1000.0) as u64)
+            .wrapping_add((b * 7.0) as u64),
+    );
+    ProbabilityMap::sigmoid_synthetic(n, SigmoidParams { a, b }, &mut rng)
+}
+
+/// Extracts the cell-index lists of a workload's zones.
+pub fn zones_to_cells(workload: &Workload) -> Vec<Vec<usize>> {
+    workload.zones.iter().map(|z| z.cell_indices()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_probs_deterministic() {
+        let a = sigmoid_probs(64, 0.9, 100.0, 1);
+        let b = sigmoid_probs(64, 0.9, 100.0, 1);
+        assert_eq!(a, b);
+        let c = sigmoid_probs(64, 0.99, 100.0, 1);
+        assert_ne!(a, c);
+    }
+}

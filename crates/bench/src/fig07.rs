@@ -1,0 +1,90 @@
+//! **Figure 7** — upper bound of `LE` (length excess of variable-length
+//! over fixed-length encoding) for binary Huffman codes: numeric values vs
+//! the analytic golden-ratio bound (Eq. 13). Grid probabilities use the
+//! paper's footnote-1 parameters: sigmoid `a = 0.95`, `b = 20`.
+
+use crate::common::sigmoid_probs;
+use crate::table::Table;
+use sla_encoding::huffman::build_huffman_tree;
+use sla_encoding::theory::{fixed_rl, le_upper_bound_binary, length_excess};
+
+/// One data point of the figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig07Row {
+    /// Number of grid cells.
+    pub n: usize,
+    /// Huffman reference length.
+    pub rl_huffman: usize,
+    /// Fixed-length reference length `⌈log2 n⌉`.
+    pub rl_fixed: usize,
+    /// Numeric `LE = RL_huffman − RL_fixed`.
+    pub le_numeric: i64,
+    /// Analytic bound `log_φ(1/p_min) − ⌈log2 n⌉` (Eq. 13).
+    pub le_bound: f64,
+}
+
+/// Computes the figure's series.
+pub fn run(seed: u64) -> Vec<Fig07Row> {
+    [16usize, 32, 64, 128, 256, 512, 1024, 2048, 4096]
+        .iter()
+        .map(|&n| {
+            let probs = sigmoid_probs(n, 0.95, 20.0, seed);
+            let norm = probs.normalized();
+            let tree = build_huffman_tree(norm.as_slice());
+            let rl = tree.reference_length();
+            let p_min = norm.iter().cloned().fold(f64::INFINITY, f64::min);
+            Fig07Row {
+                n,
+                rl_huffman: rl,
+                rl_fixed: fixed_rl(n, 2),
+                le_numeric: length_excess(rl, n, 2),
+                le_bound: le_upper_bound_binary(p_min, n),
+            }
+        })
+        .collect()
+}
+
+/// Renders the series as a table.
+pub fn table(rows: &[Fig07Row]) -> Table {
+    let mut t = Table::new(
+        "Fig 7: LE upper bound, binary Huffman (sigmoid a=0.95, b=20)",
+        &["n", "RL_huffman", "RL_fixed", "LE_numeric", "LE_bound"],
+    );
+    for r in rows {
+        t.push_row(vec![
+            r.n.to_string(),
+            r.rl_huffman.to_string(),
+            r.rl_fixed.to_string(),
+            r.le_numeric.to_string(),
+            format!("{:.2}", r.le_bound),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_le_within_bound() {
+        for row in run(7) {
+            assert!(
+                row.le_numeric as f64 <= row.le_bound + 1e-9,
+                "n={}: numeric {} exceeds bound {:.2}",
+                row.n,
+                row.le_numeric,
+                row.le_bound
+            );
+            assert!(row.le_numeric >= 0, "Huffman RL below fixed RL at n={}", row.n);
+        }
+    }
+
+    #[test]
+    fn table_shape() {
+        let rows = run(7);
+        let t = table(&rows);
+        assert_eq!(t.rows.len(), 9);
+        assert_eq!(t.headers.len(), 5);
+    }
+}

@@ -1,0 +1,85 @@
+//! **Figure 13** — ratio of average to maximum Huffman code length for
+//! various grid sizes (`a = 0.95`, `b = 20`), the paper's explanation for
+//! why the small-zone improvement shrinks at high granularity.
+
+use crate::common::sigmoid_probs;
+use crate::table::Table;
+use sla_encoding::huffman::build_huffman_tree;
+use sla_encoding::theory::{code_length_stats, CodeLengthStats};
+
+/// One grid-size measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig13Row {
+    /// Grid side (side×side cells).
+    pub side: usize,
+    /// Code-length statistics of the Huffman tree.
+    pub stats: CodeLengthStats,
+}
+
+/// Grid sides evaluated (8×8 … 128×128).
+pub const SIDES: [usize; 5] = [8, 16, 32, 64, 128];
+
+/// Runs the sweep.
+pub fn run(seed: u64) -> Vec<Fig13Row> {
+    SIDES
+        .iter()
+        .map(|&side| {
+            let probs = sigmoid_probs(side * side, 0.95, 20.0, seed);
+            let tree = build_huffman_tree(&probs.normalized());
+            Fig13Row {
+                side,
+                stats: code_length_stats(&tree),
+            }
+        })
+        .collect()
+}
+
+/// Renders the table.
+pub fn table(rows: &[Fig13Row]) -> Table {
+    let mut t = Table::new(
+        "Fig 13: average-to-maximum code length ratio (sigmoid a=0.95, b=20)",
+        &["grid", "n", "mean_len", "max_len(RL)", "avg_to_max", "weighted_avg"],
+    );
+    for r in rows {
+        t.push_row(vec![
+            format!("{0}x{0}", r.side),
+            (r.side * r.side).to_string(),
+            format!("{:.2}", r.stats.mean),
+            r.stats.max.to_string(),
+            format!("{:.3}", r.stats.avg_to_max_ratio),
+            format!("{:.2}", r.stats.weighted_average),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_grows_with_grid_size() {
+        let rows = run(13);
+        for w in rows.windows(2) {
+            assert!(
+                w[1].stats.max >= w[0].stats.max,
+                "RL should grow: {}x{} -> {}x{}",
+                w[0].side,
+                w[0].side,
+                w[1].side,
+                w[1].side
+            );
+        }
+        // Ratio stays strictly inside (0, 1): trees are skewed at every
+        // size (the paper's premise for deterministic minimization).
+        for r in &rows {
+            assert!(r.stats.avg_to_max_ratio > 0.0 && r.stats.avg_to_max_ratio < 1.0);
+        }
+    }
+
+    #[test]
+    fn table_shape() {
+        let rows = run(13);
+        assert_eq!(table(&rows).rows.len(), SIDES.len());
+    }
+}

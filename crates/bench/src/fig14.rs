@@ -1,0 +1,89 @@
+//! **Figure 14** — system initialization time: building the codebook
+//! (prefix tree + Algorithm 1 indexes + coding tree) for growing grid
+//! sizes. A one-time setup cost ("the process is only run when
+//! initializing the system", §7.2).
+
+use crate::common::sigmoid_probs;
+use crate::table::Table;
+use sla_encoding::{CellCodebook, EncoderKind};
+use std::time::Instant;
+
+/// One measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig14Row {
+    /// Grid side.
+    pub side: usize,
+    /// Init time per encoder, milliseconds, in [`ENCODERS`] order.
+    pub millis: Vec<f64>,
+}
+
+/// Encoders timed.
+pub const ENCODERS: [EncoderKind; 3] = [
+    EncoderKind::Huffman,
+    EncoderKind::Balanced,
+    EncoderKind::BasicFixed,
+];
+
+/// Grid sides evaluated.
+pub const SIDES: [usize; 5] = [8, 16, 32, 64, 128];
+
+/// Runs the initialization-time sweep.
+pub fn run(seed: u64) -> Vec<Fig14Row> {
+    SIDES
+        .iter()
+        .map(|&side| {
+            let probs = sigmoid_probs(side * side, 0.95, 20.0, seed);
+            let millis = ENCODERS
+                .iter()
+                .map(|&kind| {
+                    let start = Instant::now();
+                    let cb = CellCodebook::build(kind, probs.raw());
+                    let elapsed = start.elapsed().as_secs_f64() * 1_000.0;
+                    std::hint::black_box(&cb);
+                    elapsed
+                })
+                .collect();
+            Fig14Row { side, millis }
+        })
+        .collect()
+}
+
+/// Renders the table.
+pub fn table(rows: &[Fig14Row]) -> Table {
+    let mut headers = vec!["grid".to_string(), "n".to_string()];
+    headers.extend(ENCODERS.iter().map(|k| format!("{}_ms", k.name())));
+    let mut t = Table::new(
+        "Fig 14: system initialization time (codebook construction)",
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for r in rows {
+        let mut row = vec![format!("{0}x{0}", r.side), (r.side * r.side).to_string()];
+        row.extend(r.millis.iter().map(|m| format!("{m:.2}")));
+        t.push_row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_completes_quickly_at_all_sizes() {
+        let rows = run(14);
+        assert_eq!(rows.len(), SIDES.len());
+        // One-time setup stays far below the paper's "minutes" worst case
+        // on modern hardware — generous bound to avoid CI flakiness.
+        for r in &rows {
+            for (&ms, kind) in r.millis.iter().zip(ENCODERS.iter()) {
+                assert!(
+                    ms < 60_000.0,
+                    "{} init for {}x{} took {ms:.0} ms",
+                    kind.name(),
+                    r.side,
+                    r.side
+                );
+            }
+        }
+    }
+}

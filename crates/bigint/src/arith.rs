@@ -1,0 +1,343 @@
+//! Addition, subtraction, multiplication (schoolbook + Karatsuba) and bit
+//! shifts for [`BigUint`].
+
+use crate::BigUint;
+use std::ops::{Add, Mul, Shl, Shr, Sub};
+
+/// Limb count above which multiplication switches to Karatsuba.
+const KARATSUBA_THRESHOLD: usize = 32;
+
+pub(crate) fn add_limbs(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(long.len() + 1);
+    let mut carry = 0u64;
+    for (i, &x) in long.iter().enumerate() {
+        let y = short.get(i).copied().unwrap_or(0);
+        let (s1, c1) = x.overflowing_add(y);
+        let (s2, c2) = s1.overflowing_add(carry);
+        out.push(s2);
+        carry = (c1 as u64) + (c2 as u64);
+    }
+    if carry != 0 {
+        out.push(carry);
+    }
+    out
+}
+
+/// `a - b`; caller must guarantee `a >= b`.
+pub(crate) fn sub_limbs(a: &[u64], b: &[u64]) -> Vec<u64> {
+    debug_assert!(a.len() >= b.len());
+    let mut out = Vec::with_capacity(a.len());
+    let mut borrow = 0u64;
+    for (i, &x) in a.iter().enumerate() {
+        let y = b.get(i).copied().unwrap_or(0);
+        let (d1, b1) = x.overflowing_sub(y);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        out.push(d2);
+        borrow = (b1 as u64) + (b2 as u64);
+    }
+    assert_eq!(borrow, 0, "BigUint subtraction underflow");
+    out
+}
+
+fn mul_schoolbook(a: &[u64], b: &[u64]) -> Vec<u64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0u64; a.len() + b.len()];
+    for (i, &x) in a.iter().enumerate() {
+        if x == 0 {
+            continue;
+        }
+        let mut carry = 0u128;
+        for (j, &y) in b.iter().enumerate() {
+            let t = out[i + j] as u128 + (x as u128) * (y as u128) + carry;
+            out[i + j] = t as u64;
+            carry = t >> 64;
+        }
+        let mut k = i + b.len();
+        while carry != 0 {
+            let t = out[k] as u128 + carry;
+            out[k] = t as u64;
+            carry = t >> 64;
+            k += 1;
+        }
+    }
+    out
+}
+
+fn mul_karatsuba(a: &[u64], b: &[u64]) -> Vec<u64> {
+    if a.len() < KARATSUBA_THRESHOLD || b.len() < KARATSUBA_THRESHOLD {
+        return mul_schoolbook(a, b);
+    }
+    let half = a.len().max(b.len()) / 2;
+    let (a0, a1) = a.split_at(half.min(a.len()));
+    let (b0, b1) = b.split_at(half.min(b.len()));
+
+    let mut z0 = mul_karatsuba(a0, b0);
+    let mut z2 = mul_karatsuba(a1, b1);
+    trim(&mut z0);
+    trim(&mut z2);
+    let a01 = add_limbs(a0, a1);
+    let b01 = add_limbs(b0, b1);
+    let mut z1 = mul_karatsuba(&a01, &b01);
+    // z1 = z1 - z0 - z2; both subtrahends are mathematically <= z1, and
+    // `sub_limbs` accepts a shorter right operand.
+    z1 = sub_limbs(&z1, &z0);
+    trim(&mut z1);
+    z1 = sub_limbs(&z1, &z2);
+    trim(&mut z1);
+
+    // result = z0 + z1 << (64*half) + z2 << (128*half)
+    let mut out = vec![0u64; a.len() + b.len() + 1];
+    accumulate(&mut out, &z0, 0);
+    accumulate(&mut out, &z1, half);
+    accumulate(&mut out, &z2, 2 * half);
+    out
+}
+
+fn trim(v: &mut Vec<u64>) {
+    while v.last() == Some(&0) {
+        v.pop();
+    }
+}
+
+/// `dst += src << (64*offset)`; `dst` must be large enough.
+fn accumulate(dst: &mut [u64], src: &[u64], offset: usize) {
+    let mut carry = 0u128;
+    for (i, &s) in src.iter().enumerate() {
+        let t = dst[offset + i] as u128 + s as u128 + carry;
+        dst[offset + i] = t as u64;
+        carry = t >> 64;
+    }
+    let mut k = offset + src.len();
+    while carry != 0 {
+        let t = dst[k] as u128 + carry;
+        dst[k] = t as u64;
+        carry = t >> 64;
+        k += 1;
+    }
+}
+
+impl BigUint {
+    /// Multiplies by a single `u64`.
+    pub fn mul_u64(&self, rhs: u64) -> BigUint {
+        if rhs == 0 || self.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u128;
+        for &l in &self.limbs {
+            let t = (l as u128) * (rhs as u128) + carry;
+            out.push(t as u64);
+            carry = t >> 64;
+        }
+        if carry != 0 {
+            out.push(carry as u64);
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Checked subtraction; returns `None` when `rhs > self`.
+    pub fn checked_sub(&self, rhs: &BigUint) -> Option<BigUint> {
+        if self < rhs {
+            None
+        } else {
+            Some(BigUint::from_limbs(sub_limbs(&self.limbs, &rhs.limbs)))
+        }
+    }
+
+    /// Left shift by `bits`.
+    pub fn shl_bits(&self, bits: usize) -> BigUint {
+        if self.is_zero() || bits == 0 {
+            let mut c = self.clone();
+            c.normalize();
+            return c;
+        }
+        let limb_shift = bits / 64;
+        let bit_shift = bits % 64;
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Right shift by `bits`.
+    pub fn shr_bits(&self, bits: usize) -> BigUint {
+        let limb_shift = bits / 64;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = bits % 64;
+        let src = &self.limbs[limb_shift..];
+        let mut out = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            out.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let hi = src.get(i + 1).copied().unwrap_or(0);
+                out.push((src[i] >> bit_shift) | (hi << (64 - bit_shift)));
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+}
+
+/// Implements an operator for all four owned/borrowed operand combinations
+/// in terms of the `&T op &T` case.
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait<BigUint> for BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: BigUint) -> BigUint {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&BigUint> for BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: &BigUint) -> BigUint {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<BigUint> for &BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: BigUint) -> BigUint {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+pub(crate) use forward_binop;
+
+impl Add for &BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: &BigUint) -> BigUint {
+        BigUint::from_limbs(add_limbs(&self.limbs, &rhs.limbs))
+    }
+}
+
+impl Sub for &BigUint {
+    type Output = BigUint;
+    /// Panics on underflow; use [`BigUint::checked_sub`] to handle it.
+    fn sub(self, rhs: &BigUint) -> BigUint {
+        assert!(self >= rhs, "BigUint subtraction underflow");
+        BigUint::from_limbs(sub_limbs(&self.limbs, &rhs.limbs))
+    }
+}
+
+impl Mul for &BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        BigUint::from_limbs(mul_karatsuba(&self.limbs, &rhs.limbs))
+    }
+}
+
+forward_binop!(Add, add);
+forward_binop!(Sub, sub);
+forward_binop!(Mul, mul);
+
+impl Shl<usize> for &BigUint {
+    type Output = BigUint;
+    fn shl(self, bits: usize) -> BigUint {
+        self.shl_bits(bits)
+    }
+}
+
+impl Shr<usize> for &BigUint {
+    type Output = BigUint;
+    fn shr(self, bits: usize) -> BigUint {
+        self.shr_bits(bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::BigUint;
+
+    fn b(v: u128) -> BigUint {
+        BigUint::from_u128(v)
+    }
+
+    #[test]
+    fn add_small() {
+        assert_eq!(&b(2) + &b(3), b(5));
+        assert_eq!(&b(0) + &b(7), b(7));
+        assert_eq!(&b(u64::MAX as u128) + &b(1), b(1u128 << 64));
+    }
+
+    #[test]
+    fn add_carry_chain() {
+        let a = BigUint::from_limbs(vec![u64::MAX, u64::MAX]);
+        let one = BigUint::one();
+        let sum = &a + &one;
+        assert_eq!(sum.limbs(), &[0, 0, 1]);
+    }
+
+    #[test]
+    fn sub_small() {
+        assert_eq!(&b(5) - &b(3), b(2));
+        assert_eq!(&b(1u128 << 64) - &b(1), b(u64::MAX as u128));
+        assert!(b(3).checked_sub(&b(5)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = &b(3) - &b(5);
+    }
+
+    #[test]
+    fn mul_small() {
+        assert_eq!(&b(6) * &b(7), b(42));
+        assert_eq!(&b(0) * &b(7), b(0));
+        let big = (u64::MAX as u128) * (u64::MAX as u128);
+        assert_eq!(&b(u64::MAX as u128) * &b(u64::MAX as u128), b(big));
+    }
+
+    #[test]
+    fn mul_u64_matches_mul() {
+        let a = BigUint::from_limbs(vec![0x1234_5678, u64::MAX, 42]);
+        assert_eq!(a.mul_u64(97), &a * &BigUint::from_u64(97));
+        assert_eq!(a.mul_u64(0), BigUint::zero());
+    }
+
+    #[test]
+    fn karatsuba_matches_schoolbook() {
+        // Build operands large enough to trigger the Karatsuba path.
+        let mut limbs_a = Vec::new();
+        let mut limbs_b = Vec::new();
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for i in 0..80u64 {
+            x = x.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(i);
+            limbs_a.push(x);
+            x = x.rotate_left(17) ^ i;
+            limbs_b.push(x);
+        }
+        let a = BigUint::from_limbs(limbs_a.clone());
+        let bb = BigUint::from_limbs(limbs_b.clone());
+        let fast = &a * &bb;
+        let slow = BigUint::from_limbs(super::mul_schoolbook(&limbs_a, &limbs_b));
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(b(1).shl_bits(64).limbs(), &[0, 1]);
+        assert_eq!(b(1u128 << 64).shr_bits(64), b(1));
+        assert_eq!(b(0b1011).shl_bits(3), b(0b1011000));
+        assert_eq!(b(0b1011000).shr_bits(3), b(0b1011));
+        assert_eq!(b(5).shr_bits(400), b(0));
+        let v = b(0xdead_beef_cafe_babe);
+        assert_eq!(v.shl_bits(93).shr_bits(93), v);
+    }
+}

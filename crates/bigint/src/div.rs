@@ -1,0 +1,202 @@
+//! Division and remainder: single-limb fast path and Knuth Algorithm D for
+//! multi-limb divisors.
+
+use crate::BigUint;
+use std::ops::{Div, Rem};
+
+impl BigUint {
+    /// Divides by a single `u64`, returning `(quotient, remainder)`.
+    ///
+    /// # Panics
+    /// Panics if `rhs == 0`.
+    pub fn div_rem_u64(&self, rhs: u64) -> (BigUint, u64) {
+        assert_ne!(rhs, 0, "division by zero");
+        let mut quotient = vec![0u64; self.limbs.len()];
+        let mut rem = 0u128;
+        for (i, &l) in self.limbs.iter().enumerate().rev() {
+            let cur = (rem << 64) | l as u128;
+            quotient[i] = (cur / rhs as u128) as u64;
+            rem = cur % rhs as u128;
+        }
+        (BigUint::from_limbs(quotient), rem as u64)
+    }
+
+    /// Full division, returning `(quotient, remainder)`.
+    ///
+    /// Multi-limb divisors use Knuth's Algorithm D (TAOCP Vol. 2, 4.3.1).
+    ///
+    /// # Panics
+    /// Panics if `rhs` is zero.
+    pub fn div_rem(&self, rhs: &BigUint) -> (BigUint, BigUint) {
+        assert!(!rhs.is_zero(), "division by zero");
+        if self < rhs {
+            return (BigUint::zero(), self.clone());
+        }
+        if rhs.limbs.len() == 1 {
+            let (q, r) = self.div_rem_u64(rhs.limbs[0]);
+            return (q, BigUint::from_u64(r));
+        }
+
+        // D1: normalize so the divisor's top limb has its high bit set.
+        let shift = rhs.limbs.last().unwrap().leading_zeros() as usize;
+        let v = rhs.shl_bits(shift);
+        let u = self.shl_bits(shift);
+        let n = v.limbs.len();
+        let m = u.limbs.len() - n;
+
+        let vn = &v.limbs;
+        let mut un = u.limbs.clone();
+        un.push(0); // room for the virtual high limb u_{m+n}
+
+        let mut q = vec![0u64; m + 1];
+        let v_top = vn[n - 1] as u128;
+        let v_next = vn[n - 2] as u128;
+
+        // D2–D7: main loop over quotient digits, most significant first.
+        for j in (0..=m).rev() {
+            // D3: estimate q̂.
+            let numer = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
+            let mut qhat = numer / v_top;
+            let mut rhat = numer % v_top;
+            while qhat >> 64 != 0
+                || qhat * v_next > ((rhat << 64) | un[j + n - 2] as u128)
+            {
+                qhat -= 1;
+                rhat += v_top;
+                if rhat >> 64 != 0 {
+                    break;
+                }
+            }
+
+            // D4: multiply-subtract un[j..j+n+1] -= qhat * vn.
+            let mut borrow = 0i128;
+            let mut carry = 0u128;
+            for i in 0..n {
+                let p = qhat * vn[i] as u128 + carry;
+                carry = p >> 64;
+                let t = un[j + i] as i128 - (p as u64) as i128 - borrow;
+                un[j + i] = t as u64;
+                borrow = if t < 0 { 1 } else { 0 };
+            }
+            let t = un[j + n] as i128 - carry as i128 - borrow;
+            un[j + n] = t as u64;
+
+            // D5/D6: if we subtracted too much, add the divisor back once.
+            if t < 0 {
+                qhat -= 1;
+                let mut carry = 0u128;
+                for i in 0..n {
+                    let s = un[j + i] as u128 + vn[i] as u128 + carry;
+                    un[j + i] = s as u64;
+                    carry = s >> 64;
+                }
+                un[j + n] = (un[j + n] as u128).wrapping_add(carry) as u64;
+            }
+            q[j] = qhat as u64;
+        }
+
+        // D8: denormalize the remainder.
+        un.truncate(n);
+        let rem = BigUint::from_limbs(un).shr_bits(shift);
+        (BigUint::from_limbs(q), rem)
+    }
+}
+
+impl Div for &BigUint {
+    type Output = BigUint;
+    fn div(self, rhs: &BigUint) -> BigUint {
+        self.div_rem(rhs).0
+    }
+}
+
+impl Rem for &BigUint {
+    type Output = BigUint;
+    fn rem(self, rhs: &BigUint) -> BigUint {
+        self.div_rem(rhs).1
+    }
+}
+
+crate::arith::forward_binop!(Div, div);
+crate::arith::forward_binop!(Rem, rem);
+
+#[cfg(test)]
+mod tests {
+    use crate::BigUint;
+
+    fn b(v: u128) -> BigUint {
+        BigUint::from_u128(v)
+    }
+
+    #[test]
+    fn div_rem_u64_basics() {
+        let (q, r) = b(100).div_rem_u64(7);
+        assert_eq!((q, r), (b(14), 2));
+        let (q, r) = b(u128::MAX).div_rem_u64(u64::MAX);
+        // (2^128-1) / (2^64-1) = 2^64 + 1 exactly.
+        assert_eq!(q, b((1u128 << 64) + 1));
+        assert_eq!(r, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = b(1).div_rem(&BigUint::zero());
+    }
+
+    #[test]
+    fn small_over_large_is_zero() {
+        let (q, r) = b(5).div_rem(&b(1 << 77));
+        assert_eq!(q, BigUint::zero());
+        assert_eq!(r, b(5));
+    }
+
+    #[test]
+    fn u128_oracle() {
+        let samples: &[(u128, u128)] = &[
+            (u128::MAX, 3),
+            (u128::MAX, u64::MAX as u128 + 1),
+            (u128::MAX, u128::MAX - 1),
+            (0x1234_5678_9abc_def0_1111_2222_3333_4444, 0x9999_8888_7777),
+            (1 << 127, (1 << 65) + 12345),
+            ((1 << 100) + 17, (1 << 99) + 3),
+        ];
+        for &(x, y) in samples {
+            let (q, r) = b(x).div_rem(&b(y));
+            assert_eq!(q, b(x / y), "quotient for {x}/{y}");
+            assert_eq!(r, b(x % y), "remainder for {x}%{y}");
+        }
+    }
+
+    #[test]
+    fn reconstruction_identity_multilimb() {
+        // a = q*b + r with r < b, on values exceeding 128 bits.
+        let a = BigUint::from_limbs(vec![
+            0xdead_beef_cafe_babe,
+            0x0123_4567_89ab_cdef,
+            0xfeed_face_dead_c0de,
+            0x1,
+        ]);
+        let d = BigUint::from_limbs(vec![0xffff_ffff_0000_0001, 0xabcdef]);
+        let (q, r) = a.div_rem(&d);
+        assert!(r < d);
+        assert_eq!(&(&q * &d) + &r, a);
+    }
+
+    #[test]
+    fn divisor_requiring_addback() {
+        // Exercises the rare D6 add-back branch: crafted so qhat over-estimates.
+        let u = BigUint::from_limbs(vec![0, 0, 0x8000_0000_0000_0000]);
+        let v = BigUint::from_limbs(vec![1, 0x8000_0000_0000_0000]);
+        let (q, r) = u.div_rem(&v);
+        assert!(r < v);
+        assert_eq!(&(&q * &v) + &r, u);
+    }
+
+    #[test]
+    fn operator_sugar() {
+        assert_eq!(&b(17) / &b(5), b(3));
+        assert_eq!(&b(17) % &b(5), b(2));
+        assert_eq!(b(17) / b(5), b(3));
+        assert_eq!(b(17) % b(5), b(2));
+    }
+}

@@ -1,0 +1,45 @@
+//! # sla-bigint
+//!
+//! Arbitrary-precision **unsigned** integer arithmetic built from scratch for
+//! the secure location-alert stack. The composite-order bilinear group used
+//! by Hidden Vector Encryption (Boneh–Waters 2007) works modulo `N = P · Q`
+//! where `P`, `Q` are large primes; this crate supplies everything that
+//! substrate needs:
+//!
+//! * [`BigUint`] — little-endian 64-bit limb representation with full
+//!   comparison, arithmetic (`+`, `-`, `*`, `/`, `%`, shifts) and radix
+//!   conversion (hex / decimal).
+//! * Modular arithmetic — [`BigUint::mod_add`], [`BigUint::mod_sub`],
+//!   [`BigUint::mod_mul`], [`BigUint::mod_pow`], [`BigUint::mod_inverse`],
+//!   [`BigUint::gcd`].
+//! * Primality — Miller–Rabin testing ([`is_probable_prime`]) and random
+//!   prime generation ([`gen_prime`]).
+//! * Random sampling — [`random_below`], [`random_bits`].
+//!
+//! The crate is `#![forbid(unsafe_code)]` and deterministic given a seeded
+//! RNG, which the experiment harness relies on for reproducibility.
+//!
+//! ## Example
+//!
+//! ```
+//! use sla_bigint::BigUint;
+//!
+//! let a = BigUint::from_u64(1 << 40);
+//! let b = BigUint::from_decimal_str("123456789012345678901234567890").unwrap();
+//! let n = BigUint::from_u64(97);
+//! assert_eq!((&a * &b) % &n, (&b % &n * &(a % &n)) % &n);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arith;
+mod biguint;
+mod div;
+mod modular;
+mod prime;
+mod random;
+
+pub use biguint::{BigUint, ParseBigUintError};
+pub use prime::{gen_prime, is_probable_prime, MillerRabinConfig};
+pub use random::{random_below, random_bits, random_nonzero_below};

@@ -1,0 +1,189 @@
+//! Primality testing (Miller–Rabin) and random prime generation.
+
+use crate::random::{random_below, random_bits};
+use crate::BigUint;
+use rand::Rng;
+
+/// Small primes used for trial division before Miller–Rabin.
+const SMALL_PRIMES: [u64; 46] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199,
+];
+
+/// Tuning knobs for [`is_probable_prime`].
+#[derive(Debug, Clone, Copy)]
+pub struct MillerRabinConfig {
+    /// Number of random witness rounds (error probability <= 4^-rounds).
+    pub rounds: u32,
+}
+
+impl Default for MillerRabinConfig {
+    fn default() -> Self {
+        // 4^-24 < 2^-48: ample for simulation-grade parameters.
+        MillerRabinConfig { rounds: 24 }
+    }
+}
+
+/// Miller–Rabin probabilistic primality test.
+///
+/// Always performs trial division by [`SMALL_PRIMES`] first; values below
+/// 2^64 additionally use the deterministic witness set {2, 3, 5, 7, 11, 13,
+/// 17, 19, 23, 29, 31, 37}, which is exact for that range.
+pub fn is_probable_prime<R: Rng>(n: &BigUint, cfg: MillerRabinConfig, rng: &mut R) -> bool {
+    if n.is_zero() || n.is_one() {
+        return false;
+    }
+    for &p in &SMALL_PRIMES {
+        let p = BigUint::from_u64(p);
+        if *n == p {
+            return true;
+        }
+        if (n % &p).is_zero() {
+            return false;
+        }
+    }
+    if n.is_even() {
+        return false;
+    }
+
+    // n - 1 = d * 2^s with d odd
+    let n_minus_1 = n - &BigUint::one();
+    let s = n_minus_1.trailing_zeros();
+    let d = n_minus_1.shr_bits(s);
+
+    let witness_passes = |a: &BigUint| -> bool {
+        let mut x = a.mod_pow(&d, n);
+        if x.is_one() || x == n_minus_1 {
+            return true;
+        }
+        for _ in 0..s - 1 {
+            x = x.mod_mul(&x, n);
+            if x == n_minus_1 {
+                return true;
+            }
+        }
+        false
+    };
+
+    if n.bit_len() <= 64 {
+        // Deterministic for u64 range.
+        for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+            let a = BigUint::from_u64(a);
+            if a >= *n {
+                continue;
+            }
+            if !witness_passes(&a) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    let two = BigUint::from_u64(2);
+    let upper = n - &BigUint::from_u64(3); // witnesses drawn from [2, n-2]
+    for _ in 0..cfg.rounds {
+        let a = &random_below(&upper, rng) + &two;
+        if !witness_passes(&a) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Generates a random probable prime with exactly `bits` bits.
+///
+/// The top two bits are forced to 1 (so products of two such primes have
+/// exactly `2*bits` bits) and the bottom bit is forced to 1.
+///
+/// # Panics
+/// Panics if `bits < 2`.
+pub fn gen_prime<R: Rng>(bits: usize, rng: &mut R) -> BigUint {
+    assert!(bits >= 2, "primes need at least 2 bits");
+    loop {
+        let mut candidate = random_bits(bits, rng);
+        candidate.set_bit(bits - 1);
+        if bits >= 2 {
+            candidate.set_bit(bits - 2);
+        }
+        candidate.set_bit(0);
+        if is_probable_prime(&candidate, MillerRabinConfig::default(), rng) {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xc0ffee)
+    }
+
+    #[test]
+    fn small_values() {
+        let mut r = rng();
+        let cfg = MillerRabinConfig::default();
+        let primes = [2u64, 3, 5, 7, 11, 13, 97, 101, 1_000_000_007];
+        let composites = [0u64, 1, 4, 6, 9, 15, 21, 25, 100, 1_000_000_006];
+        for p in primes {
+            assert!(
+                is_probable_prime(&BigUint::from_u64(p), cfg, &mut r),
+                "{p} should be prime"
+            );
+        }
+        for c in composites {
+            assert!(
+                !is_probable_prime(&BigUint::from_u64(c), cfg, &mut r),
+                "{c} should be composite"
+            );
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        // 561, 1105, 1729, ... are Fermat pseudoprimes to many bases but
+        // Miller–Rabin must reject them.
+        let mut r = rng();
+        let cfg = MillerRabinConfig::default();
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911] {
+            assert!(
+                !is_probable_prime(&BigUint::from_u64(c), cfg, &mut r),
+                "Carmichael number {c} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn known_large_prime() {
+        // 2^89 - 1 is a Mersenne prime.
+        let mut r = rng();
+        let p = BigUint::from_u128((1u128 << 89) - 1);
+        assert!(is_probable_prime(&p, MillerRabinConfig::default(), &mut r));
+        // 2^101 - 1 is composite (7432339208719 divides it).
+        let c = BigUint::from_u128((1u128 << 101) - 1);
+        assert!(!is_probable_prime(&c, MillerRabinConfig::default(), &mut r));
+    }
+
+    #[test]
+    fn gen_prime_has_requested_size() {
+        let mut r = rng();
+        for bits in [32usize, 64, 96, 128] {
+            let p = gen_prime(bits, &mut r);
+            assert_eq!(p.bit_len(), bits, "bits = {bits}");
+            assert!(p.is_odd());
+            assert!(is_probable_prime(&p, MillerRabinConfig::default(), &mut r));
+        }
+    }
+
+    #[test]
+    fn product_of_two_primes_has_double_size() {
+        let mut r = rng();
+        let p = gen_prime(96, &mut r);
+        let q = gen_prime(96, &mut r);
+        assert_eq!((&p * &q).bit_len(), 192);
+    }
+}

@@ -1,0 +1,89 @@
+//! Uniform random sampling of big integers.
+
+use crate::BigUint;
+use rand::Rng;
+
+/// A uniformly random integer with at most `bits` bits.
+pub fn random_bits<R: Rng>(bits: usize, rng: &mut R) -> BigUint {
+    if bits == 0 {
+        return BigUint::zero();
+    }
+    let limbs = bits.div_ceil(64);
+    let mut out: Vec<u64> = (0..limbs).map(|_| rng.gen()).collect();
+    let top_bits = bits % 64;
+    if top_bits != 0 {
+        let mask = (1u64 << top_bits) - 1;
+        *out.last_mut().expect("limbs >= 1") &= mask;
+    }
+    BigUint::from_limbs(out)
+}
+
+/// A uniformly random integer in `[0, bound)` by rejection sampling.
+///
+/// # Panics
+/// Panics if `bound` is zero.
+pub fn random_below<R: Rng>(bound: &BigUint, rng: &mut R) -> BigUint {
+    assert!(!bound.is_zero(), "bound must be positive");
+    let bits = bound.bit_len();
+    loop {
+        let candidate = random_bits(bits, rng);
+        if &candidate < bound {
+            return candidate;
+        }
+    }
+}
+
+/// A uniformly random integer in `[1, bound)`.
+///
+/// # Panics
+/// Panics if `bound <= 1`.
+pub fn random_nonzero_below<R: Rng>(bound: &BigUint, rng: &mut R) -> BigUint {
+    assert!(!bound.is_one() && !bound.is_zero(), "bound must exceed 1");
+    loop {
+        let candidate = random_below(bound, rng);
+        if !candidate.is_zero() {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_bits_respects_width() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for bits in [1usize, 5, 63, 64, 65, 130] {
+            for _ in 0..50 {
+                let v = random_bits(bits, &mut rng);
+                assert!(v.bit_len() <= bits, "bits = {bits}, got {}", v.bit_len());
+            }
+        }
+        assert!(random_bits(0, &mut rng).is_zero());
+    }
+
+    #[test]
+    fn random_below_in_range_and_varied() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let bound = BigUint::from_u64(1000);
+        let mut seen_distinct = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let v = random_below(&bound, &mut rng);
+            assert!(v < bound);
+            seen_distinct.insert(v.low_u64());
+        }
+        assert!(seen_distinct.len() > 50, "sampling looks degenerate");
+    }
+
+    #[test]
+    fn random_nonzero_never_zero() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let bound = BigUint::from_u64(2);
+        for _ in 0..20 {
+            assert!(random_nonzero_below(&bound, &mut rng).is_one());
+        }
+    }
+}

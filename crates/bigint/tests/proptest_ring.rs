@@ -1,0 +1,111 @@
+//! Property tests: BigUint arithmetic must agree with `u128` reference
+//! arithmetic and satisfy ring axioms on larger operands.
+
+use proptest::prelude::*;
+use sla_bigint::BigUint;
+
+fn big(v: u128) -> BigUint {
+    BigUint::from_u128(v)
+}
+
+proptest! {
+    #[test]
+    fn add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(&big(a as u128) + &big(b as u128), big(a as u128 + b as u128));
+    }
+
+    #[test]
+    fn mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(&big(a as u128) * &big(b as u128), big(a as u128 * b as u128));
+    }
+
+    #[test]
+    fn div_rem_matches_u128(a in any::<u128>(), b in 1u128..) {
+        let (q, r) = big(a).div_rem(&big(b));
+        prop_assert_eq!(q, big(a / b));
+        prop_assert_eq!(r, big(a % b));
+    }
+
+    #[test]
+    fn sub_roundtrip(a in any::<u128>(), b in any::<u128>()) {
+        let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+        prop_assert_eq!(&(&big(hi) - &big(lo)) + &big(lo), big(hi));
+    }
+
+    #[test]
+    fn mul_commutative_multilimb(a in prop::collection::vec(any::<u64>(), 1..8),
+                                 b in prop::collection::vec(any::<u64>(), 1..8)) {
+        let x = BigUint::from_limbs(a);
+        let y = BigUint::from_limbs(b);
+        prop_assert_eq!(&x * &y, &y * &x);
+    }
+
+    #[test]
+    fn mul_distributes_over_add(a in prop::collection::vec(any::<u64>(), 1..6),
+                                b in prop::collection::vec(any::<u64>(), 1..6),
+                                c in prop::collection::vec(any::<u64>(), 1..6)) {
+        let x = BigUint::from_limbs(a);
+        let y = BigUint::from_limbs(b);
+        let z = BigUint::from_limbs(c);
+        prop_assert_eq!(&x * &(&y + &z), &(&x * &y) + &(&x * &z));
+    }
+
+    #[test]
+    fn div_rem_reconstruction(a in prop::collection::vec(any::<u64>(), 1..8),
+                              b in prop::collection::vec(any::<u64>(), 1..5)) {
+        let x = BigUint::from_limbs(a);
+        let y = BigUint::from_limbs(b);
+        prop_assume!(!y.is_zero());
+        let (q, r) = x.div_rem(&y);
+        prop_assert!(r < y.clone());
+        prop_assert_eq!(&(&q * &y) + &r, x);
+    }
+
+    #[test]
+    fn shift_roundtrip(a in prop::collection::vec(any::<u64>(), 1..6), s in 0usize..200) {
+        let x = BigUint::from_limbs(a);
+        prop_assert_eq!(x.shl_bits(s).shr_bits(s), x);
+    }
+
+    #[test]
+    fn decimal_roundtrip(a in prop::collection::vec(any::<u64>(), 1..6)) {
+        let x = BigUint::from_limbs(a);
+        prop_assert_eq!(BigUint::from_decimal_str(&x.to_decimal_str()).unwrap(), x);
+    }
+
+    #[test]
+    fn mod_pow_matches_naive(base in any::<u64>(), exp in 0u32..64, m in 2u64..) {
+        let m = BigUint::from_u64(m);
+        let mut expect = BigUint::one() % &m;
+        let b = BigUint::from_u64(base);
+        for _ in 0..exp {
+            expect = expect.mod_mul(&b, &m);
+        }
+        prop_assert_eq!(b.mod_pow(&BigUint::from_u64(exp as u64), &m), expect);
+    }
+
+    #[test]
+    fn gcd_divides_both(a in 1u128.., b in 1u128..) {
+        let g = big(a).gcd(&big(b));
+        prop_assert!((&big(a) % &g).is_zero());
+        prop_assert!((&big(b) % &g).is_zero());
+        // gcd via u128 Euclid oracle
+        let (mut x, mut y) = (a, b);
+        while y != 0 {
+            let t = x % y;
+            x = y;
+            y = t;
+        }
+        prop_assert_eq!(g, big(x));
+    }
+
+    #[test]
+    fn mod_inverse_correct_when_coprime(a in 1u64.., m in 2u64..) {
+        let am = BigUint::from_u64(a);
+        let mm = BigUint::from_u64(m);
+        match am.mod_inverse(&mm) {
+            Some(inv) => prop_assert_eq!(am.mod_mul(&inv, &mm), BigUint::one() % &mm),
+            None => prop_assert!(!am.gcd(&mm).is_one()),
+        }
+    }
+}

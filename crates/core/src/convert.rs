@@ -1,0 +1,57 @@
+//! Conversions between the encoding crate's code types and the HVE
+//! crate's vector types.
+
+use sla_encoding::{BitString, Codeword, Symbol};
+use sla_hve::{AttributeVector, SearchPattern};
+
+/// A grid index becomes the HVE attribute vector the user encrypts.
+pub fn index_to_attribute(index: &BitString) -> AttributeVector {
+    AttributeVector::from_bits(index.bits())
+}
+
+/// A minimized token codeword becomes the HVE search pattern the TA signs
+/// into a token.
+pub fn codeword_to_pattern(codeword: &Codeword) -> SearchPattern {
+    let symbols: Vec<Option<bool>> = codeword
+        .symbols()
+        .iter()
+        .map(|s| match s {
+            Symbol::Zero => Some(false),
+            Symbol::One => Some(true),
+            Symbol::Star => None,
+        })
+        .collect();
+    SearchPattern::from_symbols(&symbols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribute_roundtrip() {
+        let idx = BitString::parse("10110");
+        let attr = index_to_attribute(&idx);
+        assert_eq!(attr.to_string(), "10110");
+    }
+
+    #[test]
+    fn pattern_preserves_stars() {
+        let cw = Codeword::parse("1*0*");
+        let pat = codeword_to_pattern(&cw);
+        assert_eq!(pat.to_string(), "1*0*");
+        assert_eq!(pat.non_star_count(), 2);
+    }
+
+    #[test]
+    fn matching_semantics_agree() {
+        // encoding-level matching and HVE-pattern matching coincide
+        for (cw, idx) in [("1*0", "100"), ("1*0", "110"), ("*00", "000")] {
+            let codeword = Codeword::parse(cw);
+            let index = BitString::parse(idx);
+            let expected = codeword.matches(&index);
+            let got = codeword_to_pattern(&codeword).matches(&index_to_attribute(&index));
+            assert_eq!(expected, got, "cw {cw} idx {idx}");
+        }
+    }
+}

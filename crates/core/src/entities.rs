@@ -1,0 +1,175 @@
+//! The three parties of the system model (§2.2).
+
+use crate::convert::{codeword_to_pattern, index_to_attribute};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use sla_encoding::CellCodebook;
+use sla_hve::{Ciphertext, HveScheme, PublicKey, SecretKey, Token};
+use sla_pairing::BilinearGroup;
+
+/// The Trusted Authority: holds the HVE secret key and the codebook's
+/// coding tree; issues minimized search tokens for alert zones. "The TA
+/// does not have access to user locations" — it only ever sees cell sets
+/// supplied by the alert source.
+#[derive(Debug)]
+pub struct TrustedAuthority {
+    sk: SecretKey,
+    codebook: CellCodebook,
+}
+
+impl TrustedAuthority {
+    /// Creates the TA from setup artifacts.
+    pub fn new(sk: SecretKey, codebook: CellCodebook) -> Self {
+        assert_eq!(
+            sk.width(),
+            codebook.width_bits(),
+            "secret key width must match the codebook"
+        );
+        TrustedAuthority { sk, codebook }
+    }
+
+    /// The codebook (public: users need the indexes).
+    pub fn codebook(&self) -> &CellCodebook {
+        &self.codebook
+    }
+
+    /// Issues the minimized token set for an alert zone (Fig. 3's
+    /// "minimization algorithm" + token encryption).
+    pub fn issue_tokens<G: BilinearGroup, R: Rng>(
+        &self,
+        scheme: &HveScheme<'_, G>,
+        alert_cells: &[usize],
+        rng: &mut R,
+    ) -> Vec<Token> {
+        self.codebook
+            .tokens_for(alert_cells)
+            .iter()
+            .map(|cw| scheme.gen_token(&self.sk, &codeword_to_pattern(cw), rng))
+            .collect()
+    }
+
+    /// Analytic pairing cost of an alert against `n_ciphertexts`
+    /// ciphertexts — what the SP *will* spend evaluating the tokens.
+    pub fn analytic_pairing_cost(&self, alert_cells: &[usize], n_ciphertexts: u64) -> u64 {
+        self.codebook.pairing_cost(alert_cells, n_ciphertexts)
+    }
+}
+
+/// A mobile user: knows its own cell, encrypts the cell's index under the
+/// public key, and submits the ciphertext.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MobileUser {
+    /// Application-level identifier (also the HVE message payload, so a
+    /// successful match reveals *whom* to notify and nothing else).
+    pub id: u64,
+    /// Current grid cell.
+    pub cell: usize,
+}
+
+impl MobileUser {
+    /// Creates a user at a cell.
+    pub fn new(id: u64, cell: usize) -> Self {
+        MobileUser { id, cell }
+    }
+
+    /// Encrypts the user's location update (Fig. 1: users A and B encrypt
+    /// their indexes with PK).
+    pub fn encrypt_update<G: BilinearGroup, R: Rng>(
+        &self,
+        scheme: &HveScheme<'_, G>,
+        pk: &PublicKey,
+        codebook: &CellCodebook,
+        rng: &mut R,
+    ) -> Ciphertext {
+        let index = codebook.index_of(self.cell);
+        let attr = index_to_attribute(index);
+        let msg = scheme.encode_message(self.id);
+        scheme.encrypt(pk, &attr, &msg, rng)
+    }
+}
+
+/// A stored subscription at the SP: the submitting user's id (routing
+/// metadata) and the opaque ciphertext.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Subscription {
+    /// Routing identifier (who to push the notification to).
+    pub user_id: u64,
+    /// The encrypted location update.
+    pub ciphertext: Ciphertext,
+}
+
+/// The Service Provider: stores encrypted updates, evaluates tokens, and
+/// notifies matched users. Learns only "user u is inside the alert zone" /
+/// "user u is not" — nothing else (§6).
+#[derive(Debug, Default)]
+pub struct ServiceProvider {
+    store: Vec<Subscription>,
+}
+
+impl ServiceProvider {
+    /// An SP with an empty store.
+    pub fn new() -> Self {
+        ServiceProvider { store: Vec::new() }
+    }
+
+    /// Accepts an encrypted location update.
+    pub fn accept_update(&mut self, subscription: Subscription) {
+        self.store.push(subscription);
+    }
+
+    /// Number of stored ciphertexts.
+    pub fn n_subscriptions(&self) -> usize {
+        self.store.len()
+    }
+
+    /// The stored subscriptions.
+    pub fn subscriptions(&self) -> &[Subscription] {
+        &self.store
+    }
+
+    /// Evaluates every token against every stored ciphertext and returns
+    /// the ids of users inside the alert zone (the matching of §2.2: all
+    /// non-star bits must match; the decrypted message is the user id).
+    pub fn match_alert<G: BilinearGroup>(
+        &self,
+        scheme: &HveScheme<'_, G>,
+        tokens: &[Token],
+    ) -> Vec<u64> {
+        let mut notified = Vec::new();
+        for sub in &self.store {
+            for token in tokens {
+                if let Some(id) = scheme.query_decode(token, &sub.ciphertext) {
+                    // Sanity: the recovered payload is the submitting
+                    // user's id.
+                    debug_assert_eq!(id, sub.user_id);
+                    notified.push(sub.user_id);
+                    break; // already matched; skip remaining tokens
+                }
+            }
+        }
+        notified
+    }
+
+    /// Like [`Self::match_alert`] but evaluates *every* (token,
+    /// ciphertext) pair without early exit — the worst-case evaluation the
+    /// paper's cost model counts (`Σ_tokens (1+2·|J|) · n_ciphertexts`).
+    pub fn match_alert_exhaustive<G: BilinearGroup>(
+        &self,
+        scheme: &HveScheme<'_, G>,
+        tokens: &[Token],
+    ) -> Vec<u64> {
+        let mut notified = Vec::new();
+        for sub in &self.store {
+            let mut hit = false;
+            for token in tokens {
+                if scheme.query_decode(token, &sub.ciphertext) == Some(sub.user_id) {
+                    hit = true;
+                }
+            }
+            if hit {
+                notified.push(sub.user_id);
+            }
+        }
+        notified
+    }
+}

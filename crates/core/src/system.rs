@@ -1,0 +1,283 @@
+//! [`AlertSystem`]: owns the bilinear group and wires the three parties
+//! together for end-to-end runs.
+
+use crate::entities::{MobileUser, ServiceProvider, Subscription, TrustedAuthority};
+use rand::Rng;
+use sla_encoding::{CellCodebook, EncoderKind};
+use sla_grid::{Grid, Point, ProbabilityMap};
+use sla_hve::{HveScheme, PublicKey};
+use sla_pairing::{BilinearGroup, SimulatedGroup};
+
+/// System-wide configuration.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// The spatial grid.
+    pub grid: Grid,
+    /// The cell-encoding scheme (the paper's proposal or a baseline).
+    pub encoder: EncoderKind,
+    /// Bit length of each prime factor of the group order (48–64 is ample
+    /// for simulation; see `sla-pairing` docs).
+    pub group_bits: usize,
+}
+
+/// Result of issuing one alert.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlertOutcome {
+    /// Users found inside the alert zone.
+    pub notified: Vec<u64>,
+    /// Number of tokens the TA issued after minimization.
+    pub tokens_issued: usize,
+    /// Total non-star bits across the issued tokens.
+    pub non_star_bits: u64,
+    /// Pairings actually performed by the SP (live engine counter delta).
+    pub pairings_used: u64,
+    /// Pairings predicted by the analytic cost model
+    /// `Σ_tokens (1 + 2·|J|) · n_ciphertexts`; the test-suite asserts this
+    /// equals [`AlertOutcome::pairings_used`].
+    pub analytic_pairings: u64,
+}
+
+/// The assembled system: group engine + TA + SP + codebook.
+#[derive(Debug)]
+pub struct AlertSystem {
+    group: SimulatedGroup,
+    grid: Grid,
+    pk: PublicKey,
+    ta: TrustedAuthority,
+    sp: ServiceProvider,
+}
+
+impl AlertSystem {
+    /// Runs system initialization (Fig. 3): build the codebook from the
+    /// probability map, generate the group and the HVE key pair.
+    ///
+    /// # Panics
+    /// Panics if the probability map does not cover the grid.
+    pub fn setup<R: Rng>(config: SystemConfig, probs: &ProbabilityMap, rng: &mut R) -> Self {
+        assert_eq!(
+            probs.len(),
+            config.grid.n_cells(),
+            "probability map must cover the grid"
+        );
+        let codebook = CellCodebook::build(config.encoder, probs.raw());
+        let group = SimulatedGroup::generate(config.group_bits, rng);
+        let scheme = HveScheme::new(&group, codebook.width_bits());
+        let (pk, sk) = scheme.setup(rng);
+        AlertSystem {
+            group,
+            grid: config.grid,
+            pk,
+            ta: TrustedAuthority::new(sk, codebook),
+            sp: ServiceProvider::new(),
+        }
+    }
+
+    /// The grid.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// The public codebook.
+    pub fn codebook(&self) -> &CellCodebook {
+        self.ta.codebook()
+    }
+
+    /// The HVE public key (what a real deployment would publish).
+    pub fn public_key(&self) -> &PublicKey {
+        &self.pk
+    }
+
+    /// The group's operation counters.
+    pub fn counters(&self) -> &sla_pairing::OpCounters {
+        self.group.counters()
+    }
+
+    /// Number of stored location updates.
+    pub fn n_subscriptions(&self) -> usize {
+        self.sp.n_subscriptions()
+    }
+
+    fn scheme(&self) -> HveScheme<'_, SimulatedGroup> {
+        HveScheme::new(&self.group, self.codebook().width_bits())
+    }
+
+    /// A user at `cell` encrypts and submits a location update.
+    ///
+    /// # Panics
+    /// Panics if `cell` is out of range.
+    pub fn subscribe_cell<R: Rng>(&mut self, user_id: u64, cell: usize, rng: &mut R) {
+        assert!(cell < self.grid.n_cells(), "cell out of range");
+        let user = MobileUser::new(user_id, cell);
+        let scheme = self.scheme();
+        let ct = user.encrypt_update(&scheme, &self.pk, self.ta.codebook(), rng);
+        self.sp.accept_update(Subscription {
+            user_id,
+            ciphertext: ct,
+        });
+    }
+
+    /// A user at a geographic point subscribes; returns `false` (no-op)
+    /// when the point lies outside the grid.
+    pub fn subscribe_point<R: Rng>(&mut self, user_id: u64, point: &Point, rng: &mut R) -> bool {
+        match self.grid.cell_of(point) {
+            Some(cell) => {
+                self.subscribe_cell(user_id, cell.0, rng);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Issues an alert for a set of cells: the TA minimizes and signs
+    /// tokens, the SP evaluates them exhaustively (the cost model's
+    /// regime), and matched users are notified.
+    pub fn issue_alert<R: Rng>(&mut self, alert_cells: &[usize], rng: &mut R) -> AlertOutcome {
+        let scheme = self.scheme();
+        let tokens = self.ta.issue_tokens(&scheme, alert_cells, rng);
+        let non_star_bits: u64 = tokens
+            .iter()
+            .map(|t| t.non_star_count() as u64)
+            .sum();
+        let analytic = self
+            .ta
+            .analytic_pairing_cost(alert_cells, self.sp.n_subscriptions() as u64);
+
+        let before = self.group.counters().snapshot();
+        let mut notified = self.sp.match_alert_exhaustive(&scheme, &tokens);
+        let delta = self.group.counters().snapshot() - before;
+        notified.sort_unstable();
+
+        AlertOutcome {
+            notified,
+            tokens_issued: tokens.len(),
+            non_star_bits,
+            pairings_used: delta.pairings,
+            analytic_pairings: analytic,
+        }
+    }
+
+    /// Analytic pairing cost of an alert against the current store,
+    /// without performing any cryptography.
+    pub fn analytic_cost(&self, alert_cells: &[usize]) -> u64 {
+        self.ta
+            .analytic_pairing_cost(alert_cells, self.sp.n_subscriptions() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sla_grid::BoundingBox;
+
+    fn small_system(encoder: EncoderKind) -> (AlertSystem, StdRng) {
+        let mut rng = StdRng::seed_from_u64(0xa1e47);
+        let grid = Grid::new(BoundingBox::new(0.0, 0.0, 0.1, 0.1), 2, 3);
+        let probs = ProbabilityMap::new(vec![0.3, 0.1, 0.25, 0.05, 0.2, 0.1]);
+        let system = AlertSystem::setup(
+            SystemConfig {
+                grid,
+                encoder,
+                group_bits: 40,
+            },
+            &probs,
+            &mut rng,
+        );
+        (system, rng)
+    }
+
+    #[test]
+    fn end_to_end_notifications_all_encoders() {
+        for encoder in [
+            EncoderKind::Huffman,
+            EncoderKind::Balanced,
+            EncoderKind::BasicFixed,
+            EncoderKind::GraySgo,
+            EncoderKind::BaryHuffman(3),
+        ] {
+            let (mut system, mut rng) = small_system(encoder);
+            // users 0..6, one per cell
+            for cell in 0..6 {
+                system.subscribe_cell(100 + cell as u64, cell, &mut rng);
+            }
+            let outcome = system.issue_alert(&[1, 4], &mut rng);
+            assert_eq!(
+                outcome.notified,
+                vec![101, 104],
+                "{:?}",
+                encoder
+            );
+            assert_eq!(
+                outcome.pairings_used, outcome.analytic_pairings,
+                "{encoder:?}: live counter must equal analytic model"
+            );
+        }
+    }
+
+    #[test]
+    fn alert_on_empty_store_costs_nothing() {
+        let (mut system, mut rng) = small_system(EncoderKind::Huffman);
+        let outcome = system.issue_alert(&[0], &mut rng);
+        assert!(outcome.notified.is_empty());
+        assert_eq!(outcome.pairings_used, 0);
+        assert_eq!(outcome.analytic_pairings, 0);
+        assert!(outcome.tokens_issued > 0);
+    }
+
+    #[test]
+    fn multiple_users_same_cell() {
+        let (mut system, mut rng) = small_system(EncoderKind::Huffman);
+        for id in [1u64, 2, 3] {
+            system.subscribe_cell(id, 2, &mut rng);
+        }
+        system.subscribe_cell(4, 0, &mut rng);
+        let outcome = system.issue_alert(&[2], &mut rng);
+        assert_eq!(outcome.notified, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn subscribe_by_point() {
+        let (mut system, mut rng) = small_system(EncoderKind::Huffman);
+        let inside = system.grid().cell_center(sla_grid::CellId(5));
+        assert!(system.subscribe_point(42, &inside, &mut rng));
+        assert!(!system.subscribe_point(43, &Point::new(50.0, 50.0), &mut rng));
+        assert_eq!(system.n_subscriptions(), 1);
+        let outcome = system.issue_alert(&[5], &mut rng);
+        assert_eq!(outcome.notified, vec![42]);
+    }
+
+    #[test]
+    fn full_zone_alert_notifies_everyone() {
+        let (mut system, mut rng) = small_system(EncoderKind::Huffman);
+        for cell in 0..6 {
+            system.subscribe_cell(cell as u64, cell, &mut rng);
+        }
+        let outcome = system.issue_alert(&[0, 1, 2, 3, 4, 5], &mut rng);
+        assert_eq!(outcome.notified, vec![0, 1, 2, 3, 4, 5]);
+        // whole grid minimizes to very few tokens (root subtree(s))
+        assert!(outcome.tokens_issued <= 2, "{}", outcome.tokens_issued);
+    }
+
+    #[test]
+    fn doc_example_runs() {
+        // mirror of the lib.rs doctest, kept as a unit test for coverage
+        let mut rng = StdRng::seed_from_u64(1);
+        let grid = Grid::new(BoundingBox::new(0.0, 0.0, 0.1, 0.1), 2, 2);
+        let probs = ProbabilityMap::new(vec![0.4, 0.1, 0.3, 0.2]);
+        let mut system = AlertSystem::setup(
+            SystemConfig {
+                grid,
+                encoder: EncoderKind::Huffman,
+                group_bits: 48,
+            },
+            &probs,
+            &mut rng,
+        );
+        system.subscribe_cell(7, 0, &mut rng);
+        system.subscribe_cell(9, 3, &mut rng);
+        let outcome = system.issue_alert(&[0, 1], &mut rng);
+        assert_eq!(outcome.notified, vec![7]);
+        assert_eq!(outcome.pairings_used, outcome.analytic_pairings);
+    }
+}

@@ -1,0 +1,33 @@
+//! # sla-datasets
+//!
+//! Dataset substrate for the paper's evaluation (§7).
+//!
+//! The real-data experiments use the Chicago Police Department CLEAR crime
+//! extract for 2015 (four categories: homicide, sexual assault, sex
+//! offense, kidnapping) overlaid with a 32×32 grid, and a logistic
+//! regression trained on January–November that predicts per-cell alert
+//! likelihoods for December (92.9 % accuracy in the paper).
+//!
+//! The proprietary extract cannot be shipped, so this crate builds the
+//! closest synthetic equivalent (see DESIGN.md §5):
+//!
+//! * [`crime`] — a seeded spatio-temporal point process over the Chicago
+//!   bounding box with per-category hotspot mixtures, realistic annual
+//!   volumes and monthly seasonality; reproduces the Fig. 8 statistics
+//!   table structurally.
+//! * [`logreg`] — from-scratch logistic regression (standardized features,
+//!   batch gradient descent) trained with the same protocol, producing the
+//!   per-cell likelihood surface the encoders consume.
+//! * [`workload`] — the paper's alert workloads: radius sweeps (Fig. 9/10),
+//!   mixed short/long workloads W1–W4 (Fig. 11).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crime;
+pub mod logreg;
+pub mod workload;
+
+pub use crime::{CrimeCategory, CrimeDataset, CrimeGeneratorConfig, CrimeIncident};
+pub use logreg::{CrimeRiskModel, LogisticRegression, TrainConfig};
+pub use workload::{MixedWorkload, RadiusSweep, Workload};

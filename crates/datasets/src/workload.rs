@@ -1,0 +1,170 @@
+//! Alert-zone workloads of §7: radius sweeps (Fig. 9, 10, 12) and the
+//! mixed short/long workloads W1–W4 (Fig. 11).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use sla_grid::{AlertZone, ZoneSampler};
+
+/// A batch of alert zones to evaluate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Label used in result tables (e.g. `"r=300m"` or `"W1"`).
+    pub label: String,
+    /// The zones.
+    pub zones: Vec<AlertZone>,
+}
+
+impl Workload {
+    /// Mean zone size in cells.
+    pub fn mean_zone_cells(&self) -> f64 {
+        if self.zones.is_empty() {
+            return 0.0;
+        }
+        self.zones.iter().map(|z| z.len()).sum::<usize>() as f64 / self.zones.len() as f64
+    }
+}
+
+/// Radius sweep: `zones_per_radius` disk zones at each radius.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RadiusSweep {
+    /// Radii in meters (the paper's x-axis).
+    pub radii_m: Vec<f64>,
+    /// Zones sampled per radius.
+    pub zones_per_radius: usize,
+}
+
+impl Default for RadiusSweep {
+    fn default() -> Self {
+        RadiusSweep {
+            // 20 m contact tracing up to ~2 km public-safety events; with
+            // ~300 m cells this spans 1-cell to ~150-cell zones.
+            radii_m: vec![20.0, 50.0, 100.0, 200.0, 300.0, 500.0, 750.0, 1_000.0, 1_500.0, 2_000.0],
+            zones_per_radius: 50,
+        }
+    }
+}
+
+impl RadiusSweep {
+    /// Generates one workload per radius.
+    pub fn generate<R: Rng>(&self, sampler: &ZoneSampler, rng: &mut R) -> Vec<Workload> {
+        self.radii_m
+            .iter()
+            .map(|&r| Workload {
+                label: format!("r={r:.0}m"),
+                zones: sampler.sample_zones(r, self.zones_per_radius, rng),
+            })
+            .collect()
+    }
+}
+
+/// Mixed workload: a fraction of short-radius (compact, contact-tracing
+/// style) zones and the rest long-radius (§7.2: "W1 (90% short-10% long);
+/// W2 (75%-25%); W3 (25%-75%); W4 (10%-90%)").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MixedWorkload {
+    /// Workload label (`"W1"`…).
+    pub label: String,
+    /// Fraction of short zones in [0, 1].
+    pub short_fraction: f64,
+    /// Short radius in meters (paper: 20 m).
+    pub short_radius_m: f64,
+    /// Long radius in meters (paper: 300 m).
+    pub long_radius_m: f64,
+    /// Total zones.
+    pub count: usize,
+}
+
+impl MixedWorkload {
+    /// The paper's four mixes with 20 m / 300 m radii.
+    pub fn paper_mixes(count: usize) -> Vec<MixedWorkload> {
+        [
+            ("W1", 0.90),
+            ("W2", 0.75),
+            ("W3", 0.25),
+            ("W4", 0.10),
+        ]
+        .iter()
+        .map(|(label, frac)| MixedWorkload {
+            label: label.to_string(),
+            short_fraction: *frac,
+            short_radius_m: 20.0,
+            long_radius_m: 300.0,
+            count,
+        })
+        .collect()
+    }
+
+    /// Generates the workload (short zones first is avoided by sampling
+    /// the mix per zone, matching a random arrival order).
+    pub fn generate<R: Rng>(&self, sampler: &ZoneSampler, rng: &mut R) -> Workload {
+        let zones = (0..self.count)
+            .map(|_| {
+                let radius = if rng.gen::<f64>() < self.short_fraction {
+                    self.short_radius_m
+                } else {
+                    self.long_radius_m
+                };
+                sampler.sample_zone(radius, rng)
+            })
+            .collect();
+        Workload {
+            label: self.label.clone(),
+            zones,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sla_grid::{Grid, ProbabilityMap};
+
+    fn sampler() -> ZoneSampler {
+        let grid = Grid::chicago_downtown_32();
+        let pm = ProbabilityMap::uniform(grid.n_cells());
+        ZoneSampler::new(grid, &pm)
+    }
+
+    #[test]
+    fn sweep_zone_sizes_grow_with_radius() {
+        let s = sampler();
+        let mut rng = StdRng::seed_from_u64(3);
+        let workloads = RadiusSweep::default().generate(&s, &mut rng);
+        assert_eq!(workloads.len(), 10);
+        let sizes: Vec<f64> = workloads.iter().map(|w| w.mean_zone_cells()).collect();
+        // 20 m zones are single-cell; 2 km zones span dozens of cells.
+        assert!(sizes[0] >= 1.0 && sizes[0] < 1.5, "20m mean {}", sizes[0]);
+        assert!(sizes[9] > 20.0, "2km mean {}", sizes[9]);
+        // monotone (with slack for sampling noise)
+        for w in sizes.windows(2) {
+            assert!(w[1] >= w[0] * 0.9, "sizes should grow: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn mixed_workload_fractions() {
+        let s = sampler();
+        let mixes = MixedWorkload::paper_mixes(400);
+        assert_eq!(mixes.len(), 4);
+        let mut rng = StdRng::seed_from_u64(4);
+        let w1 = mixes[0].generate(&s, &mut rng);
+        let w4 = mixes[3].generate(&s, &mut rng);
+        // W1 is mostly small zones; W4 mostly large.
+        assert!(w1.mean_zone_cells() < w4.mean_zone_cells());
+        assert_eq!(w1.zones.len(), 400);
+    }
+
+    #[test]
+    fn workloads_are_seeded_deterministic() {
+        let s = sampler();
+        let sweep = RadiusSweep {
+            radii_m: vec![100.0, 500.0],
+            zones_per_radius: 5,
+        };
+        let a = sweep.generate(&s, &mut StdRng::seed_from_u64(9));
+        let b = sweep.generate(&s, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,123 @@
+//! Balanced-tree baseline (§3.2, last paragraph).
+//!
+//! "The balanced tree is a complete binary tree constructed in `log2(n)`
+//! steps. Given a tuple of probabilities corresponding to grid cells, they
+//! are sorted in ascending order and placed in a priority queue. In the
+//! `j`-th step, nodes `Q[2i]` and `Q[2i+1]` are paired ... and each pair is
+//! replaced with a parent node in the queue."
+//!
+//! The paper uses it to show that *variable-length structure alone* does
+//! not help — the probability-driven depth assignment of Huffman does.
+
+use crate::prefix_tree::{NodeId, PrefixTree};
+
+/// Builds the balanced baseline tree over cell probabilities.
+///
+/// # Panics
+/// Panics if `probs` is empty or contains negative/non-finite values.
+pub fn build_balanced_tree(probs: &[f64]) -> PrefixTree {
+    assert!(!probs.is_empty(), "at least one cell required");
+    for (i, &p) in probs.iter().enumerate() {
+        assert!(
+            p.is_finite() && p >= 0.0,
+            "probability of cell {i} must be finite and non-negative, got {p}"
+        );
+    }
+
+    let mut tree = PrefixTree::new(2);
+
+    // Sort cells ascending by probability (stable: ties keep cell order).
+    let mut order: Vec<usize> = (0..probs.len()).collect();
+    order.sort_by(|&a, &b| probs[a].total_cmp(&probs[b]).then(a.cmp(&b)));
+
+    let mut queue: Vec<NodeId> = order
+        .iter()
+        .map(|&cell| tree.add_leaf(probs[cell], Some(cell)))
+        .collect();
+
+    if queue.len() == 1 {
+        let root = tree.add_internal(&[queue[0]]);
+        tree.finalize(root);
+        return tree;
+    }
+
+    while queue.len() > 1 {
+        let mut next = Vec::with_capacity(queue.len().div_ceil(2));
+        let mut i = 0;
+        while i + 1 < queue.len() {
+            next.push(tree.add_internal(&[queue[i], queue[i + 1]]));
+            i += 2;
+        }
+        if i < queue.len() {
+            // Odd element carries over to the next round unpaired.
+            next.push(queue[i]);
+        }
+        queue = next;
+    }
+
+    tree.finalize(queue[0]);
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_of_two_is_perfectly_balanced() {
+        let probs = [0.4, 0.1, 0.3, 0.2];
+        let tree = build_balanced_tree(&probs);
+        assert_eq!(tree.reference_length(), 2);
+        for leaf in tree.leaves_in_order() {
+            assert_eq!(tree.node(leaf).code.len(), 2);
+        }
+    }
+
+    #[test]
+    fn five_cells_depth_three() {
+        // n = 5: step 1 pairs (4 -> 2 nodes) + 1 carry; step 2 pairs 2;
+        // step 3 pairs the last two. Depth = 3.
+        let probs = [0.1, 0.2, 0.5, 0.4, 0.6];
+        let tree = build_balanced_tree(&probs);
+        assert_eq!(tree.reference_length(), 3);
+        assert_eq!(tree.leaves_in_order().len(), 5);
+    }
+
+    #[test]
+    fn ignores_probability_skew() {
+        // Unlike Huffman, extreme skew does not change the depth profile.
+        let skewed = [0.96, 0.01, 0.01, 0.01, 0.01];
+        let uniform = [0.2, 0.2, 0.2, 0.2, 0.2];
+        let t_skew = build_balanced_tree(&skewed);
+        let t_uni = build_balanced_tree(&uniform);
+        let lens = |t: &PrefixTree| {
+            let mut v: Vec<usize> = t
+                .leaves_in_order()
+                .iter()
+                .map(|&l| t.node(l).code.len())
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(lens(&t_skew), lens(&t_uni));
+    }
+
+    #[test]
+    fn all_cells_present_once() {
+        let probs: Vec<f64> = (0..37).map(|i| (i as f64 + 1.0) / 100.0).collect();
+        let tree = build_balanced_tree(&probs);
+        let mut cells: Vec<usize> = tree
+            .leaves_in_order()
+            .iter()
+            .filter_map(|&l| tree.node(l).cell)
+            .collect();
+        cells.sort_unstable();
+        assert_eq!(cells, (0..37).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_cell() {
+        let tree = build_balanced_tree(&[1.0]);
+        assert_eq!(tree.reference_length(), 1);
+    }
+}

@@ -1,0 +1,314 @@
+//! Unified grid-encoder facade: one entry point for the paper's proposed
+//! scheme and every baseline it is evaluated against (§7).
+
+use crate::balanced::build_balanced_tree;
+use crate::code::{BitString, Codeword};
+use crate::coding_tree::CodingScheme;
+use crate::fixed::{gray_sgo_assignment, natural_assignment, unused_codes};
+use crate::huffman::{build_bary_huffman_tree, build_huffman_tree};
+use crate::minimize::minimize_to_patterns;
+use crate::qm::minimize_boolean;
+use serde::{Deserialize, Serialize};
+
+/// Which encoding scheme to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EncoderKind {
+    /// Fixed-length natural binary codes with boolean minimization —
+    /// the baseline of [14] (all cells equally likely).
+    BasicFixed,
+    /// Fixed-length gray-code assignment ranked by probability with
+    /// boolean minimization — approximates the SGO of [23].
+    GraySgo,
+    /// Variable-length balanced tree (probability-agnostic) with
+    /// deterministic minimization — the paper's sanity baseline.
+    Balanced,
+    /// Binary Huffman coding tree with deterministic minimization —
+    /// **the paper's proposal**.
+    Huffman,
+    /// B-ary Huffman with §4 expansion; `BaryHuffman(3)` is the ternary
+    /// scheme of Fig. 6.
+    BaryHuffman(usize),
+}
+
+impl EncoderKind {
+    /// Human-readable name used in experiment tables.
+    pub fn name(&self) -> String {
+        match self {
+            EncoderKind::BasicFixed => "basic-fixed".to_string(),
+            EncoderKind::GraySgo => "sgo-gray".to_string(),
+            EncoderKind::Balanced => "balanced".to_string(),
+            EncoderKind::Huffman => "huffman".to_string(),
+            EncoderKind::BaryHuffman(b) => format!("huffman-{b}ary"),
+        }
+    }
+
+    /// All encoders compared in the paper's figures (binary alphabet).
+    pub fn paper_lineup() -> Vec<EncoderKind> {
+        vec![
+            EncoderKind::BasicFixed,
+            EncoderKind::GraySgo,
+            EncoderKind::Balanced,
+            EncoderKind::Huffman,
+        ]
+    }
+}
+
+/// How tokens are generated for an alert set.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum TokenStrategy {
+    /// Algorithm 3 over a coding tree (variable-length schemes).
+    Tree(CodingScheme),
+    /// Quine–McCluskey boolean minimization (fixed-length schemes);
+    /// unused codes serve as don't-cares.
+    Boolean {
+        width: usize,
+        codes: Vec<u64>,
+        dont_cares: Vec<u64>,
+    },
+}
+
+/// A complete cell codebook: per-cell indexes plus a token-generation
+/// strategy. This is the artifact the Trusted Authority builds at system
+/// initialization (Fig. 3) and the single API the protocol layer needs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellCodebook {
+    kind: EncoderKind,
+    width_bits: usize,
+    indexes: Vec<BitString>,
+    strategy: TokenStrategy,
+}
+
+impl CellCodebook {
+    /// Builds the codebook for `probs[i]` = likelihood of cell `i` being
+    /// alerted. Probabilities need not be normalized.
+    ///
+    /// # Panics
+    /// Panics if `probs` is empty or invalid for the chosen scheme.
+    pub fn build(kind: EncoderKind, probs: &[f64]) -> Self {
+        assert!(!probs.is_empty(), "at least one cell required");
+        match kind {
+            EncoderKind::BasicFixed | EncoderKind::GraySgo => {
+                let indexes = if kind == EncoderKind::BasicFixed {
+                    natural_assignment(probs.len())
+                } else {
+                    gray_sgo_assignment(probs)
+                };
+                let width = indexes[0].len();
+                let dont_cares = unused_codes(&indexes);
+                let codes = indexes.iter().map(|c| c.to_u64()).collect();
+                CellCodebook {
+                    kind,
+                    width_bits: width,
+                    indexes,
+                    strategy: TokenStrategy::Boolean {
+                        width,
+                        codes,
+                        dont_cares,
+                    },
+                }
+            }
+            EncoderKind::Balanced | EncoderKind::Huffman | EncoderKind::BaryHuffman(_) => {
+                let tree = match kind {
+                    EncoderKind::Balanced => build_balanced_tree(probs),
+                    EncoderKind::Huffman => build_huffman_tree(probs),
+                    EncoderKind::BaryHuffman(b) => build_bary_huffman_tree(probs, b),
+                    _ => unreachable!(),
+                };
+                let scheme = CodingScheme::from_tree(&tree);
+                CellCodebook {
+                    kind,
+                    width_bits: scheme.width_bits(),
+                    indexes: scheme.indexes().to_vec(),
+                    strategy: TokenStrategy::Tree(scheme),
+                }
+            }
+        }
+    }
+
+    /// The scheme that produced this codebook.
+    pub fn kind(&self) -> EncoderKind {
+        self.kind
+    }
+
+    /// HVE width `l` in bits (all indexes and tokens have this length —
+    /// the equal-length requirement of §2).
+    pub fn width_bits(&self) -> usize {
+        self.width_bits
+    }
+
+    /// Number of cells.
+    pub fn n_cells(&self) -> usize {
+        self.indexes.len()
+    }
+
+    /// The index users in `cell` encrypt.
+    pub fn index_of(&self, cell: usize) -> &BitString {
+        &self.indexes[cell]
+    }
+
+    /// All indexes.
+    pub fn indexes(&self) -> &[BitString] {
+        &self.indexes
+    }
+
+    /// The underlying coding scheme, for variable-length codebooks.
+    pub fn coding_scheme(&self) -> Option<&CodingScheme> {
+        match &self.strategy {
+            TokenStrategy::Tree(s) => Some(s),
+            TokenStrategy::Boolean { .. } => None,
+        }
+    }
+
+    /// Generates minimized token patterns for an alert set.
+    pub fn tokens_for(&self, alert_cells: &[usize]) -> Vec<Codeword> {
+        for &c in alert_cells {
+            assert!(c < self.n_cells(), "cell {c} out of range");
+        }
+        match &self.strategy {
+            TokenStrategy::Tree(scheme) => minimize_to_patterns(scheme, alert_cells),
+            TokenStrategy::Boolean {
+                width,
+                codes,
+                dont_cares,
+            } => {
+                let mut minterms: Vec<u64> =
+                    alert_cells.iter().map(|&c| codes[c]).collect();
+                minterms.sort_unstable();
+                minterms.dedup();
+                minimize_boolean(&minterms, dont_cares, *width)
+            }
+        }
+    }
+
+    /// Total pairing operations to evaluate the alert against
+    /// `num_ciphertexts` ciphertexts (the paper's Figure 9–12 metric).
+    pub fn pairing_cost(&self, alert_cells: &[usize], num_ciphertexts: u64) -> u64 {
+        crate::minimize::pairing_cost(&self.tokens_for(alert_cells), num_ciphertexts)
+    }
+
+    /// Verification helper: token set must cover exactly the alert set.
+    pub fn coverage_errors(
+        &self,
+        tokens: &[Codeword],
+        alert_cells: &[usize],
+    ) -> (Vec<usize>, Vec<usize>) {
+        let alerted: std::collections::HashSet<usize> =
+            alert_cells.iter().copied().collect();
+        let mut missed = Vec::new();
+        let mut false_pos = Vec::new();
+        for cell in 0..self.n_cells() {
+            let covered = tokens.iter().any(|t| t.matches(self.index_of(cell)));
+            if alerted.contains(&cell) && !covered {
+                missed.push(cell);
+            }
+            if !alerted.contains(&cell) && covered {
+                false_pos.push(cell);
+            }
+        }
+        (missed, false_pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG4_PROBS: [f64; 5] = [0.1, 0.2, 0.5, 0.4, 0.6];
+
+    fn all_kinds() -> Vec<EncoderKind> {
+        vec![
+            EncoderKind::BasicFixed,
+            EncoderKind::GraySgo,
+            EncoderKind::Balanced,
+            EncoderKind::Huffman,
+            EncoderKind::BaryHuffman(3),
+            EncoderKind::BaryHuffman(4),
+        ]
+    }
+
+    #[test]
+    fn all_encoders_cover_exactly() {
+        for kind in all_kinds() {
+            let cb = CellCodebook::build(kind, &FIG4_PROBS);
+            for mask in 0u32..32 {
+                let alert: Vec<usize> = (0..5).filter(|&c| (mask >> c) & 1 == 1).collect();
+                let tokens = cb.tokens_for(&alert);
+                let (missed, fp) = cb.coverage_errors(&tokens, &alert);
+                assert!(
+                    missed.is_empty() && fp.is_empty(),
+                    "{}: mask {mask:#b} missed={missed:?} fp={fp:?}",
+                    kind.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn indexes_have_uniform_width() {
+        for kind in all_kinds() {
+            let cb = CellCodebook::build(kind, &FIG4_PROBS);
+            for cell in 0..cb.n_cells() {
+                assert_eq!(
+                    cb.index_of(cell).len(),
+                    cb.width_bits(),
+                    "{}",
+                    kind.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tokens_have_codebook_width() {
+        for kind in all_kinds() {
+            let cb = CellCodebook::build(kind, &FIG4_PROBS);
+            for tokens in [cb.tokens_for(&[0]), cb.tokens_for(&[1, 2, 4])] {
+                for t in tokens {
+                    assert_eq!(t.len(), cb.width_bits(), "{}", kind.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn huffman_beats_balanced_on_skewed_single_cell() {
+        // The most likely cell gets the shortest Huffman code, so single-
+        // cell alerts on it are cheaper than under the balanced tree.
+        let probs = [0.01, 0.01, 0.02, 0.9, 0.03, 0.01, 0.01, 0.01];
+        let huff = CellCodebook::build(EncoderKind::Huffman, &probs);
+        let bal = CellCodebook::build(EncoderKind::Balanced, &probs);
+        let hot_cell = 3;
+        assert!(
+            huff.pairing_cost(&[hot_cell], 1) < bal.pairing_cost(&[hot_cell], 1),
+            "huffman {} vs balanced {}",
+            huff.pairing_cost(&[hot_cell], 1),
+            bal.pairing_cost(&[hot_cell], 1)
+        );
+    }
+
+    #[test]
+    fn basic_fixed_ignores_probabilities() {
+        let cb1 = CellCodebook::build(EncoderKind::BasicFixed, &[0.9, 0.05, 0.05]);
+        let cb2 = CellCodebook::build(EncoderKind::BasicFixed, &[0.05, 0.05, 0.9]);
+        assert_eq!(cb1.indexes(), cb2.indexes());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let cb = CellCodebook::build(EncoderKind::Huffman, &FIG4_PROBS);
+        let json = serde_json::to_string(&cb).unwrap();
+        let back: CellCodebook = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.indexes(), cb.indexes());
+        assert_eq!(back.width_bits(), cb.width_bits());
+        let t1 = cb.tokens_for(&[0, 2, 4]);
+        let t2 = back.tokens_for(&[0, 2, 4]);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(EncoderKind::Huffman.name(), "huffman");
+        assert_eq!(EncoderKind::BaryHuffman(3).name(), "huffman-3ary");
+        assert_eq!(EncoderKind::paper_lineup().len(), 4);
+    }
+}

@@ -1,0 +1,131 @@
+//! Fixed-length encodings — the baselines the paper compares against.
+//!
+//! * **Natural** ([14], "basic HVE"): cell `i` gets the `⌈log2 n⌉`-bit
+//!   binary representation of `i`; all cells are implicitly treated as
+//!   equally likely.
+//! * **Gray/SGO** (approximating [23], the "scaled gray optimizer"): cells
+//!   are ranked by alert probability and assigned codes along a Gray-code
+//!   walk, so cells with similar likelihood sit at Hamming distance 1 in
+//!   code space. This realizes the objective of [23]'s hypercube graph
+//!   embedding — probability-similar cells get aggregation-friendly codes —
+//!   with a deterministic, reproducible construction (see DESIGN.md §5).
+//!
+//! Both aggregate alert-zone tokens with Quine–McCluskey
+//! ([`crate::qm::minimize_boolean`]); codes above `n` are unused and can
+//! optionally serve as don't-cares.
+
+use crate::code::BitString;
+
+/// Number of bits for a fixed-length encoding of `n` cells.
+pub fn fixed_width(n: usize) -> usize {
+    assert!(n > 0, "at least one cell required");
+    (usize::BITS - (n - 1).max(1).leading_zeros()) as usize
+}
+
+/// Natural binary assignment: cell `i` ↦ `i` as a `fixed_width(n)`-bit
+/// code.
+pub fn natural_assignment(n: usize) -> Vec<BitString> {
+    let width = fixed_width(n);
+    (0..n)
+        .map(|i| BitString::from_u64(i as u64, width))
+        .collect()
+}
+
+/// The `i`-th Gray code.
+pub fn gray(i: u64) -> u64 {
+    i ^ (i >> 1)
+}
+
+/// Gray/SGO assignment: rank cells by probability (descending,
+/// deterministic tie-break on cell id) and give rank `r` the code
+/// `gray(r)`, so consecutive ranks differ in exactly one bit.
+///
+/// # Panics
+/// Panics if `probs` is empty.
+pub fn gray_sgo_assignment(probs: &[f64]) -> Vec<BitString> {
+    let n = probs.len();
+    let width = fixed_width(n);
+    let mut ranked: Vec<usize> = (0..n).collect();
+    ranked.sort_by(|&a, &b| probs[b].total_cmp(&probs[a]).then(a.cmp(&b)));
+
+    let mut codes = vec![BitString::new(); n];
+    for (rank, &cell) in ranked.iter().enumerate() {
+        codes[cell] = BitString::from_u64(gray(rank as u64), width);
+    }
+    codes
+}
+
+/// Codes not assigned to any cell (usable as QM don't-cares: no honest
+/// user ever encrypts them).
+pub fn unused_codes(assignment: &[BitString]) -> Vec<u64> {
+    let width = assignment.first().map_or(0, |c| c.len());
+    let used: std::collections::HashSet<u64> =
+        assignment.iter().map(|c| c.to_u64()).collect();
+    (0..(1u64 << width)).filter(|c| !used.contains(c)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_formula() {
+        assert_eq!(fixed_width(1), 1);
+        assert_eq!(fixed_width(2), 1);
+        assert_eq!(fixed_width(3), 2);
+        assert_eq!(fixed_width(4), 2);
+        assert_eq!(fixed_width(5), 3);
+        assert_eq!(fixed_width(1024), 10);
+        assert_eq!(fixed_width(1025), 11);
+    }
+
+    #[test]
+    fn natural_codes_are_sequential() {
+        let codes = natural_assignment(5);
+        let strs: Vec<String> = codes.iter().map(|c| c.to_string()).collect();
+        assert_eq!(strs, vec!["000", "001", "010", "011", "100"]);
+    }
+
+    #[test]
+    fn gray_sequence() {
+        let seq: Vec<u64> = (0..8).map(gray).collect();
+        assert_eq!(seq, vec![0, 1, 3, 2, 6, 7, 5, 4]);
+        // adjacent Gray codes differ in exactly one bit
+        for i in 1..64u64 {
+            assert_eq!((gray(i) ^ gray(i - 1)).count_ones(), 1);
+        }
+    }
+
+    #[test]
+    fn gray_sgo_gives_adjacent_codes_to_similar_probs() {
+        let probs = [0.9, 0.05, 0.7, 0.5, 0.3];
+        let codes = gray_sgo_assignment(&probs);
+        // rank order: cell 0 (.9), cell 2 (.7), cell 3 (.5), cell 4 (.3),
+        // cell 1 (.05)
+        let rank_codes = [&codes[0], &codes[2], &codes[3], &codes[4], &codes[1]];
+        for pair in rank_codes.windows(2) {
+            let diff = pair[0].to_u64() ^ pair[1].to_u64();
+            assert_eq!(diff.count_ones(), 1, "consecutive ranks not adjacent");
+        }
+    }
+
+    #[test]
+    fn assignments_are_permutations() {
+        let probs: Vec<f64> = (0..37).map(|i| ((i * 7919) % 101) as f64 / 101.0).collect();
+        for codes in [natural_assignment(37), gray_sgo_assignment(&probs)] {
+            let mut values: Vec<u64> = codes.iter().map(|c| c.to_u64()).collect();
+            values.sort_unstable();
+            values.dedup();
+            assert_eq!(values.len(), 37, "codes must be distinct");
+            assert!(values.iter().all(|&v| v < 64));
+        }
+    }
+
+    #[test]
+    fn unused_codes_complement() {
+        let codes = natural_assignment(5);
+        assert_eq!(unused_codes(&codes), vec![5, 6, 7]);
+        let full = natural_assignment(8);
+        assert!(unused_codes(&full).is_empty());
+    }
+}

@@ -1,0 +1,311 @@
+//! Huffman tree construction (Algorithm 2) — binary and B-ary (§4).
+
+use crate::prefix_tree::{NodeId, PrefixTree};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Priority-queue entry; min-heap by (weight, insertion sequence) so that
+/// ties break deterministically (FIFO), making every build reproducible.
+struct Entry {
+    weight: f64,
+    seq: u64,
+    id: NodeId,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we need min-first.
+        other
+            .weight
+            .total_cmp(&self.weight)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Builds a binary Huffman tree over cell probabilities (Algorithm 2).
+///
+/// Leaf `i` corresponds to cell `i` with weight `probs[i]`; internal nodes
+/// take the sum of their children. Extraction is deterministic: smallest
+/// weight first, FIFO on ties.
+///
+/// # Panics
+/// Panics if `probs` is empty or contains negative/non-finite values.
+pub fn build_huffman_tree(probs: &[f64]) -> PrefixTree {
+    build_bary_huffman_tree(probs, 2)
+}
+
+/// Builds a `B`-ary Huffman tree (§4): each round groups the `B` least
+/// probable remaining nodes.
+///
+/// When `(n - 1) % (B - 1) != 0` the standard dummy-leaf padding (weight 0,
+/// no cell) keeps the tree full so that Kraft equality — and therefore the
+/// coding-tree construction — holds.
+///
+/// # Panics
+/// Panics if `arity < 2`, `probs` is empty, or probabilities are invalid.
+pub fn build_bary_huffman_tree(probs: &[f64], arity: usize) -> PrefixTree {
+    assert!(arity >= 2, "Huffman arity must be >= 2");
+    assert!(!probs.is_empty(), "at least one cell required");
+    for (i, &p) in probs.iter().enumerate() {
+        assert!(
+            p.is_finite() && p >= 0.0,
+            "probability of cell {i} must be finite and non-negative, got {p}"
+        );
+    }
+
+    let mut tree = PrefixTree::new(arity);
+    let mut seq = 0u64;
+    let mut heap = BinaryHeap::with_capacity(probs.len() + arity);
+
+    for (cell, &p) in probs.iter().enumerate() {
+        let id = tree.add_leaf(p, Some(cell));
+        heap.push(Entry {
+            weight: p,
+            seq,
+            id,
+        });
+        seq += 1;
+    }
+
+    // Dummy padding so the final merge consumes exactly `arity` nodes.
+    if probs.len() > 1 {
+        let rem = (probs.len() - 1) % (arity - 1);
+        let dummies = if rem == 0 { 0 } else { arity - 1 - rem };
+        for _ in 0..dummies {
+            let id = tree.add_leaf(0.0, None);
+            heap.push(Entry {
+                weight: 0.0,
+                seq,
+                id,
+            });
+            seq += 1;
+        }
+    }
+
+    if heap.len() == 1 {
+        // Single cell: wrap in a root so the leaf gets a 1-character code
+        // (an empty code cannot be encrypted).
+        let only = heap.pop().expect("non-empty").id;
+        let root = tree.add_internal(&[only]);
+        tree.finalize(root);
+        return tree;
+    }
+
+    while heap.len() > 1 {
+        let take = arity.min(heap.len());
+        let mut children = Vec::with_capacity(take);
+        let mut weight = 0.0;
+        for _ in 0..take {
+            let e = heap.pop().expect("heap size checked");
+            weight += e.weight;
+            children.push(e.id);
+        }
+        let parent = tree.add_internal(&children);
+        heap.push(Entry {
+            weight,
+            seq,
+            id: parent,
+        });
+        seq += 1;
+    }
+
+    let root = heap.pop().expect("single root remains").id;
+    tree.finalize(root);
+    tree
+}
+
+/// Brute-force optimal expected code length over all full binary trees —
+/// exponential, only usable for tiny `n`; the property tests compare
+/// Huffman against this oracle.
+pub fn optimal_average_length_bruteforce(probs: &[f64]) -> f64 {
+    fn rec(groups: &[(f64, f64)]) -> f64 {
+        // groups: (weight, accumulated cost). Merging two groups costs the
+        // combined weight (each merge deepens the subtree by one level).
+        if groups.len() == 1 {
+            return groups[0].1;
+        }
+        let mut best = f64::INFINITY;
+        for i in 0..groups.len() {
+            for j in i + 1..groups.len() {
+                let a = groups[i];
+                let b = groups[j];
+                let merged = (a.0 + b.0, a.1 + b.1 + a.0 + b.0);
+                let mut next: Vec<(f64, f64)> = groups
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, _)| *k != i && *k != j)
+                    .map(|(_, g)| *g)
+                    .collect();
+                next.push(merged);
+                best = best.min(rec(&next));
+            }
+        }
+        best
+    }
+    if probs.len() <= 1 {
+        return probs.iter().sum::<f64>();
+    }
+    let groups: Vec<(f64, f64)> = probs.iter().map(|&p| (p, 0.0)).collect();
+    rec(&groups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG4_PROBS: [f64; 5] = [0.1, 0.2, 0.5, 0.4, 0.6];
+
+    #[test]
+    fn fig4_running_example_lengths() {
+        // Paper §3.2: Huffman over (0.1, 0.2, 0.5, 0.4, 0.6) yields code
+        // lengths {v1:3, v2:3, v3:2, v4:2, v5:2} and RL = 3.
+        let tree = build_huffman_tree(&FIG4_PROBS);
+        assert_eq!(tree.reference_length(), 3);
+        let mut lengths = vec![0usize; 5];
+        for leaf in tree.leaves_in_order() {
+            let node = tree.node(leaf);
+            lengths[node.cell.expect("no dummies for binary")] = node.code.len();
+        }
+        assert_eq!(lengths, vec![3, 3, 2, 2, 2]);
+    }
+
+    #[test]
+    fn root_weight_is_total_mass() {
+        let tree = build_huffman_tree(&FIG4_PROBS);
+        let total: f64 = FIG4_PROBS.iter().sum();
+        assert!((tree.node(tree.root()).weight - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_probs_give_balanced_depths() {
+        let probs = vec![0.125; 8];
+        let tree = build_huffman_tree(&probs);
+        assert_eq!(tree.reference_length(), 3);
+        for leaf in tree.leaves_in_order() {
+            assert_eq!(tree.node(leaf).code.len(), 3);
+        }
+    }
+
+    #[test]
+    fn skewed_probs_give_skewed_depths() {
+        // Geometric probabilities force a maximally deep tree.
+        let probs = [0.5, 0.25, 0.125, 0.0625, 0.0625];
+        let tree = build_huffman_tree(&probs);
+        assert_eq!(tree.reference_length(), 4);
+        let lens: Vec<usize> = (0..5)
+            .map(|c| {
+                tree.leaves_in_order()
+                    .iter()
+                    .find(|&&l| tree.node(l).cell == Some(c))
+                    .map(|&l| tree.node(l).code.len())
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(lens, vec![1, 2, 3, 4, 4]);
+    }
+
+    #[test]
+    fn matches_bruteforce_optimum_small() {
+        for probs in [
+            vec![0.1, 0.9],
+            vec![0.2, 0.3, 0.5],
+            vec![0.1, 0.2, 0.5, 0.4, 0.6],
+            vec![0.25, 0.25, 0.25, 0.25],
+            vec![0.05, 0.1, 0.15, 0.3, 0.4],
+        ] {
+            let tree = build_huffman_tree(&probs);
+            let opt = optimal_average_length_bruteforce(&probs);
+            assert!(
+                (tree.average_code_length() - opt).abs() < 1e-9,
+                "Huffman {} vs optimal {} for {probs:?}",
+                tree.average_code_length(),
+                opt
+            );
+        }
+    }
+
+    #[test]
+    fn ternary_fig6_example() {
+        // §4 Fig. 6a: 3-ary Huffman over the running example groups
+        // (v2, v1, v4) first, then (r1, v3, v5); RL = 2.
+        let tree = build_bary_huffman_tree(&FIG4_PROBS, 3);
+        assert_eq!(tree.reference_length(), 2);
+        let code_of = |cell: usize| {
+            tree.leaves_in_order()
+                .iter()
+                .find(|&&l| tree.node(l).cell == Some(cell))
+                .map(|&l| tree.node(l).code.clone())
+                .unwrap()
+        };
+        // v3 and v5 sit directly under the root (codes of length 1),
+        // v1, v2, v4 under r1 (length 2).
+        assert_eq!(code_of(2).len(), 1);
+        assert_eq!(code_of(4).len(), 1);
+        assert_eq!(code_of(0).len(), 2);
+        assert_eq!(code_of(1).len(), 2);
+        assert_eq!(code_of(3).len(), 2);
+        // no dummies needed: (5-1) % (3-1) == 0
+        assert_eq!(tree.leaves_in_order().len(), 5);
+    }
+
+    #[test]
+    fn bary_dummy_padding() {
+        // n = 6, B = 3: (6-1) % 2 = 1 -> one dummy leaf added.
+        let probs = [0.1, 0.1, 0.2, 0.2, 0.2, 0.2];
+        let tree = build_bary_huffman_tree(&probs, 3);
+        let leaves = tree.leaves_in_order();
+        assert_eq!(leaves.len(), 7);
+        let dummies = leaves
+            .iter()
+            .filter(|&&l| tree.node(l).cell.is_none())
+            .count();
+        assert_eq!(dummies, 1);
+        // All real cells present exactly once.
+        let mut cells: Vec<usize> = leaves
+            .iter()
+            .filter_map(|&l| tree.node(l).cell)
+            .collect();
+        cells.sort_unstable();
+        assert_eq!(cells, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn single_cell_gets_nonempty_code() {
+        let tree = build_huffman_tree(&[1.0]);
+        assert_eq!(tree.reference_length(), 1);
+        let leaves = tree.leaves_in_order();
+        assert_eq!(leaves.len(), 1);
+        assert_eq!(tree.node(leaves[0]).code, vec![0]);
+    }
+
+    #[test]
+    fn deterministic_under_ties() {
+        let probs = vec![0.25; 16];
+        let t1 = build_huffman_tree(&probs);
+        let t2 = build_huffman_tree(&probs);
+        let codes = |t: &PrefixTree| {
+            t.leaves_in_order()
+                .iter()
+                .map(|&l| (t.node(l).cell, t.node(l).code.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(codes(&t1), codes(&t2));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_probability_rejected() {
+        build_huffman_tree(&[0.5, -0.1]);
+    }
+}

@@ -1,0 +1,59 @@
+//! # sla-encoding
+//!
+//! The **primary contribution** of the EDBT 2021 paper: variable-length
+//! (Huffman) encoding of grid cells for Hidden Vector Encryption, plus
+//! every baseline the paper evaluates against.
+//!
+//! ## What lives here
+//!
+//! * [`code`] — bit strings, `{0,1,*}` codewords, prefix property, Kraft
+//!   sums (§3.1).
+//! * [`prefix_tree`] — the node-arena prefix tree with the paper's five
+//!   per-node attributes (§3.2 II).
+//! * [`huffman`] — binary and B-ary Huffman construction, Algorithm 2 and
+//!   §4.
+//! * [`balanced`] — the probability-agnostic balanced-tree baseline.
+//! * [`coding_tree`] — Algorithm 1: grid indexes (zero-padded) and the
+//!   coding tree (star-padded), §4 expansion and granularity refinement.
+//! * [`minimize`] — Algorithm 3: deterministic token minimization.
+//! * [`qm`] — Quine–McCluskey boolean minimization (the aggregation used
+//!   by the fixed-length baselines [14]/[23]).
+//! * [`fixed`] — fixed-length natural and gray/SGO code assignments.
+//! * [`encoder`] — the [`CellCodebook`](encoder::CellCodebook) facade
+//!   unifying all five schemes behind one API.
+//! * [`theory`] — Thm 1 (Poisson alert counts), Thm 3/4 (depth bounds),
+//!   §5 length-excess analysis, Fig. 13 statistics.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use sla_encoding::encoder::{CellCodebook, EncoderKind};
+//!
+//! // Five cells with the paper's Fig. 4 probabilities.
+//! let probs = [0.1, 0.2, 0.5, 0.4, 0.6];
+//! let codebook = CellCodebook::build(EncoderKind::Huffman, &probs);
+//!
+//! // Alert zone = cells with indexes 001, 100, 110:
+//! let tokens = codebook.tokens_for(&[1, 2, 4]);
+//! let printed: Vec<String> = tokens.iter().map(|t| t.to_string()).collect();
+//! assert_eq!(printed, vec!["001", "1**"]); // the paper's §3.3 result
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod balanced;
+pub mod code;
+pub mod coding_tree;
+pub mod encoder;
+pub mod fixed;
+pub mod huffman;
+pub mod minimize;
+pub mod prefix_tree;
+pub mod qm;
+pub mod theory;
+
+pub use code::{BitString, Codeword, Symbol};
+pub use coding_tree::{CharWord, CodingScheme};
+pub use encoder::{CellCodebook, EncoderKind};
+pub use prefix_tree::{Node, NodeId, PrefixTree};

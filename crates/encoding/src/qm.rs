@@ -1,0 +1,283 @@
+//! Quine–McCluskey boolean minimization.
+//!
+//! The fixed-length baselines ([14] "basic HVE" and [23] SGO) aggregate
+//! alert-cell codes by boolean minimization ("binary expression
+//! minimization", §2.2 — e.g. `{100, 000} → *00`; §3.3 — `{0000, 0010,
+//! 0110, 0100} → 0**0`). Karnaugh maps are the by-hand method the papers
+//! cite; Quine–McCluskey is its algorithmic equivalent: combine implicants
+//! differing in one bit, keep the primes, then pick a minimal cover
+//! (essential primes + greedy set cover).
+
+use crate::code::{Codeword, Symbol};
+use std::collections::{HashMap, HashSet};
+
+/// An implicant over `width` bits: `value` on the non-star positions,
+/// `mask` bits set on star positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct Implicant {
+    value: u64,
+    mask: u64,
+}
+
+impl Implicant {
+    fn covers(&self, minterm: u64) -> bool {
+        (minterm | self.mask) == (self.value | self.mask)
+    }
+
+    fn to_codeword(self, width: usize) -> Codeword {
+        let symbols: Vec<Symbol> = (0..width)
+            .rev()
+            .map(|i| {
+                if (self.mask >> i) & 1 == 1 {
+                    Symbol::Star
+                } else {
+                    Symbol::from_bit((self.value >> i) & 1 == 1)
+                }
+            })
+            .collect();
+        Codeword::from_symbols(&symbols)
+    }
+}
+
+/// Minimizes the boolean function that is 1 exactly on `minterms`
+/// (optionally also allowing `dont_cares` to be covered), returning a set
+/// of `{0,1,*}` codewords that together match *exactly* the minterms plus
+/// possibly some don't-cares, and nothing else.
+///
+/// `width` is the code length in bits. Typical alert zones have at most a
+/// few hundred minterms, well within QM's practical range.
+///
+/// # Panics
+/// Panics if `width > 60` or any term does not fit in `width` bits.
+pub fn minimize_boolean(minterms: &[u64], dont_cares: &[u64], width: usize) -> Vec<Codeword> {
+    assert!(width <= 60, "QM widths beyond 60 bits are not supported");
+    for &m in minterms.iter().chain(dont_cares) {
+        assert!(
+            width == 64 || m < (1u64 << width),
+            "term {m} exceeds width {width}"
+        );
+    }
+    if minterms.is_empty() {
+        return Vec::new();
+    }
+
+    let minterms: HashSet<u64> = minterms.iter().copied().collect();
+    let dont_cares: HashSet<u64> = dont_cares
+        .iter()
+        .copied()
+        .filter(|d| !minterms.contains(d))
+        .collect();
+
+    // Phase 1: iteratively combine implicants differing in exactly one
+    // non-star bit; uncombined implicants are prime.
+    let mut current: HashSet<Implicant> = minterms
+        .iter()
+        .chain(dont_cares.iter())
+        .map(|&m| Implicant { value: m, mask: 0 })
+        .collect();
+    let mut primes: HashSet<Implicant> = HashSet::new();
+
+    while !current.is_empty() {
+        // Group by (mask, popcount of value&!mask) so only candidates that
+        // can combine are compared.
+        let mut groups: HashMap<(u64, u32), Vec<Implicant>> = HashMap::new();
+        for imp in &current {
+            let ones = (imp.value & !imp.mask).count_ones();
+            groups.entry((imp.mask, ones)).or_default().push(*imp);
+        }
+
+        let mut next: HashSet<Implicant> = HashSet::new();
+        let mut combined: HashSet<Implicant> = HashSet::new();
+
+        for (&(mask, ones), group) in &groups {
+            if let Some(upper) = groups.get(&(mask, ones + 1)) {
+                for a in group {
+                    for b in upper {
+                        let diff = (a.value & !mask) ^ (b.value & !mask);
+                        if diff.count_ones() == 1 {
+                            combined.insert(*a);
+                            combined.insert(*b);
+                            next.insert(Implicant {
+                                value: a.value & !diff,
+                                mask: mask | diff,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        for imp in &current {
+            if !combined.contains(imp) {
+                primes.insert(*imp);
+            }
+        }
+        current = next;
+    }
+
+    // Phase 2: prime-implicant chart over the *required* minterms.
+    let minterm_list: Vec<u64> = {
+        let mut v: Vec<u64> = minterms.iter().copied().collect();
+        v.sort_unstable();
+        v
+    };
+    let prime_list: Vec<Implicant> = {
+        let mut v: Vec<Implicant> = primes.into_iter().collect();
+        v.sort_unstable();
+        v
+    };
+
+    let covers: Vec<Vec<usize>> = prime_list
+        .iter()
+        .map(|p| {
+            minterm_list
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &m)| p.covers(m).then_some(i))
+                .collect()
+        })
+        .collect();
+
+    let mut chosen: Vec<usize> = Vec::new();
+    let mut uncovered: HashSet<usize> = (0..minterm_list.len()).collect();
+
+    // Essential primes: minterms covered by exactly one prime.
+    for (mi, _) in minterm_list.iter().enumerate() {
+        let candidates: Vec<usize> = covers
+            .iter()
+            .enumerate()
+            .filter_map(|(pi, c)| c.contains(&mi).then_some(pi))
+            .collect();
+        if candidates.len() == 1 && !chosen.contains(&candidates[0]) {
+            chosen.push(candidates[0]);
+            for &covered in &covers[candidates[0]] {
+                uncovered.remove(&covered);
+            }
+        }
+    }
+
+    // Greedy cover for the remainder (largest marginal coverage first;
+    // ties broken by prime order for determinism).
+    while !uncovered.is_empty() {
+        let (best, gain) = covers
+            .iter()
+            .enumerate()
+            .filter(|(pi, _)| !chosen.contains(pi))
+            .map(|(pi, c)| (pi, c.iter().filter(|m| uncovered.contains(m)).count()))
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .expect("primes must cover all minterms");
+        assert!(gain > 0, "cover stalled: primes cannot cover remaining minterms");
+        chosen.push(best);
+        for &covered in &covers[best] {
+            uncovered.remove(&covered);
+        }
+    }
+
+    chosen.sort_unstable();
+    chosen
+        .into_iter()
+        .map(|pi| prime_list[pi].to_codeword(width))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::code::BitString;
+
+    /// Oracle: evaluates the token set on every point of the domain.
+    fn verify_exact(tokens: &[Codeword], minterms: &[u64], dont_cares: &[u64], width: usize) {
+        let minterms: HashSet<u64> = minterms.iter().copied().collect();
+        let dont_cares: HashSet<u64> = dont_cares.iter().copied().collect();
+        for x in 0..(1u64 << width) {
+            let bits = BitString::from_u64(x, width);
+            let covered = tokens.iter().any(|t| t.matches(&bits));
+            if minterms.contains(&x) {
+                assert!(covered, "minterm {x:0width$b} not covered");
+            } else if !dont_cares.contains(&x) {
+                assert!(!covered, "non-minterm {x:0width$b} wrongly covered");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_sec22_example() {
+        // §2.2: {100, 000} minimize to *00.
+        let tokens = minimize_boolean(&[0b100, 0b000], &[], 3);
+        assert_eq!(tokens.len(), 1);
+        assert_eq!(tokens[0].to_string(), "*00");
+    }
+
+    #[test]
+    fn paper_sec33_example() {
+        // §3.3: {0000, 0010, 0110, 0100} minimize to the single token 0**0.
+        let tokens = minimize_boolean(&[0b0000, 0b0010, 0b0110, 0b0100], &[], 4);
+        assert_eq!(tokens.len(), 1);
+        assert_eq!(tokens[0].to_string(), "0**0");
+    }
+
+    #[test]
+    fn single_minterm_is_itself() {
+        let tokens = minimize_boolean(&[0b101], &[], 3);
+        assert_eq!(tokens.len(), 1);
+        assert_eq!(tokens[0].to_string(), "101");
+    }
+
+    #[test]
+    fn full_domain_collapses_to_all_stars() {
+        let tokens = minimize_boolean(&(0..8).collect::<Vec<u64>>(), &[], 3);
+        assert_eq!(tokens.len(), 1);
+        assert_eq!(tokens[0].to_string(), "***");
+    }
+
+    #[test]
+    fn dont_cares_enable_larger_cubes() {
+        // minterms {00, 01}, don't care {11}: without DC the best is 0*;
+        // with DC 11 the pair {01, 11} can also merge, but 0* already
+        // covers everything required, so output stays exact.
+        let tokens = minimize_boolean(&[0b00, 0b01], &[0b11], 2);
+        verify_exact(&tokens, &[0b00, 0b01], &[0b11], 2);
+        // Classic DC win: minterms {0, 2}, don't cares {1, 3} -> single **.
+        let tokens = minimize_boolean(&[0b00, 0b10], &[0b01, 0b11], 2);
+        assert_eq!(tokens.len(), 1);
+        assert_eq!(tokens[0].to_string(), "**");
+    }
+
+    #[test]
+    fn disjoint_minterms_stay_separate() {
+        let tokens = minimize_boolean(&[0b000, 0b011], &[], 3);
+        assert_eq!(tokens.len(), 2);
+        verify_exact(&tokens, &[0b000, 0b011], &[], 3);
+    }
+
+    #[test]
+    fn exhaustive_width_4_subsets() {
+        // Every one of the 2^16 subsets of a 4-bit domain minimizes to an
+        // exactly-equivalent cover.
+        for mask in 1u32..(1 << 16) {
+            // Sample sparsely to keep the test fast but varied.
+            if mask % 57 != 0 {
+                continue;
+            }
+            let minterms: Vec<u64> = (0..16).filter(|&b| (mask >> b) & 1 == 1).collect();
+            let tokens = minimize_boolean(&minterms, &[], 4);
+            verify_exact(&tokens, &minterms, &[], 4);
+        }
+    }
+
+    #[test]
+    fn empty_input_no_tokens() {
+        assert!(minimize_boolean(&[], &[], 4).is_empty());
+    }
+
+    #[test]
+    fn never_worse_than_one_token_per_minterm() {
+        for mask in [0x8421u32, 0xff00, 0x0f0f, 0x1234, 0xfedc] {
+            let minterms: Vec<u64> = (0..16).filter(|&b| (mask >> b) & 1 == 1).collect();
+            let tokens = minimize_boolean(&minterms, &[], 4);
+            assert!(tokens.len() <= minterms.len());
+            let cost: usize = tokens.iter().map(|t| t.non_star_count()).sum();
+            assert!(cost <= 4 * minterms.len());
+        }
+    }
+}

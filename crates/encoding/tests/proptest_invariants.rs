@@ -1,0 +1,126 @@
+//! Property tests for the encoding stack's core invariants:
+//!
+//! * prefix property & Kraft equality of generated codes,
+//! * Thm 2 bijection (each leaf codeword matches exactly its cell),
+//! * Algorithm 3 soundness (tokens cover exactly the alert set),
+//! * QM equivalence (boolean cover matches exactly the minterms),
+//! * cost dominance (aggregated tokens never cost more than naive
+//!   per-cell tokens).
+
+use proptest::prelude::*;
+use sla_encoding::code::{check_prefix_property, kraft_sum, BitString};
+use sla_encoding::encoder::{CellCodebook, EncoderKind};
+use sla_encoding::huffman::{build_bary_huffman_tree, build_huffman_tree};
+use sla_encoding::qm::minimize_boolean;
+use sla_encoding::CodingScheme;
+
+/// Strategy: a vector of 2..=40 positive probabilities.
+fn probs_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(1u32..10_000, 2..40)
+        .prop_map(|v| v.into_iter().map(|x| x as f64 / 10_000.0).collect())
+}
+
+proptest! {
+    #[test]
+    fn huffman_codes_satisfy_prefix_property_and_kraft(probs in probs_strategy()) {
+        let tree = build_huffman_tree(&probs);
+        let codes: Vec<BitString> = tree
+            .leaves_in_order()
+            .iter()
+            .map(|&l| {
+                BitString::from_bits(
+                    &tree.node(l).code.iter().map(|&c| c == 1).collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        prop_assert!(check_prefix_property(&codes).is_ok());
+        // Binary Huffman trees are full: Kraft sum is exactly 1.
+        let lengths: Vec<usize> = codes.iter().map(|c| c.len()).collect();
+        prop_assert!((kraft_sum(&lengths) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thm2_bijection_holds(probs in probs_strategy(), arity in 2usize..5) {
+        let tree = build_bary_huffman_tree(&probs, arity);
+        let scheme = CodingScheme::from_tree(&tree);
+        for (pos, word) in scheme.leaves().iter().enumerate() {
+            let Some(cell) = scheme.leaf_cells()[pos] else { continue };
+            let pattern = scheme.expand_codeword(word);
+            let matched: Vec<usize> = (0..scheme.n_cells())
+                .filter(|&c| pattern.matches(scheme.index_of(c)))
+                .collect();
+            prop_assert_eq!(matched, vec![cell]);
+        }
+    }
+
+    #[test]
+    fn all_encoders_cover_random_zones_exactly(
+        probs in probs_strategy(),
+        picks in prop::collection::vec(any::<prop::sample::Index>(), 1..12),
+    ) {
+        let alert: Vec<usize> = {
+            let mut v: Vec<usize> = picks.iter().map(|i| i.index(probs.len())).collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        for kind in [
+            EncoderKind::BasicFixed,
+            EncoderKind::GraySgo,
+            EncoderKind::Balanced,
+            EncoderKind::Huffman,
+            EncoderKind::BaryHuffman(3),
+        ] {
+            let cb = CellCodebook::build(kind, &probs);
+            let tokens = cb.tokens_for(&alert);
+            let (missed, fp) = cb.coverage_errors(&tokens, &alert);
+            prop_assert!(missed.is_empty(), "{}: missed {missed:?}", kind.name());
+            prop_assert!(fp.is_empty(), "{}: false positives {fp:?}", kind.name());
+        }
+    }
+
+    #[test]
+    fn aggregation_never_worse_than_naive(
+        probs in probs_strategy(),
+        picks in prop::collection::vec(any::<prop::sample::Index>(), 1..12),
+    ) {
+        let alert: Vec<usize> = {
+            let mut v: Vec<usize> = picks.iter().map(|i| i.index(probs.len())).collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let cb = CellCodebook::build(EncoderKind::Huffman, &probs);
+        let cost = cb.pairing_cost(&alert, 1);
+        let naive: u64 = alert
+            .iter()
+            .map(|&c| 1 + 2 * cb.index_of(c).len() as u64)
+            .sum();
+        prop_assert!(cost <= naive, "cost {cost} > naive {naive}");
+    }
+
+    #[test]
+    fn qm_covers_exactly(minterm_mask in 1u64.., width in 3usize..7) {
+        let domain = 1u64 << width;
+        let minterms: Vec<u64> = (0..domain.min(64))
+            .filter(|&b| (minterm_mask >> b) & 1 == 1)
+            .collect();
+        prop_assume!(!minterms.is_empty());
+        let tokens = minimize_boolean(&minterms, &[], width);
+        let mset: std::collections::HashSet<u64> = minterms.iter().copied().collect();
+        for x in 0..domain {
+            let bits = BitString::from_u64(x, width);
+            let covered = tokens.iter().any(|t| t.matches(&bits));
+            prop_assert_eq!(covered, mset.contains(&x), "x = {}", x);
+        }
+    }
+
+    #[test]
+    fn huffman_not_longer_than_balanced_on_average(probs in probs_strategy()) {
+        // Huffman optimality: its probability-weighted average length is
+        // minimal among all prefix codes, so <= the balanced tree's.
+        let h = build_huffman_tree(&probs);
+        let b = sla_encoding::balanced::build_balanced_tree(&probs);
+        prop_assert!(h.average_code_length() <= b.average_code_length() + 1e-9);
+    }
+}

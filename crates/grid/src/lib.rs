@@ -1,0 +1,26 @@
+//! # sla-grid
+//!
+//! Spatial substrate for the location-alert protocol: the map is divided
+//! into `n` non-overlapping cells `V = {v_1, …, v_n}` (§2 of the paper),
+//! alert zones are sets of cells, and each cell carries a likelihood
+//! `p(v_i)` of becoming alerted.
+//!
+//! Provides:
+//!
+//! * [`Grid`] — uniform rows×cols partitioning of a geographic bounding
+//!   box with point↔cell mapping and disk (radius) queries in meters.
+//! * [`ProbabilityMap`] — per-cell alert likelihoods, incl. the paper's
+//!   synthetic sigmoid generator (§7, footnote 1).
+//! * [`AlertZone`] — zone construction: disks around an epicenter, room-
+//!   sized zones, and probability-weighted epicenter sampling.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod grid;
+mod prob;
+mod zone;
+
+pub use grid::{BoundingBox, CellId, Grid, Point};
+pub use prob::{ProbabilityMap, SigmoidParams, MIN_LIKELIHOOD};
+pub use zone::{AlertZone, ZoneSampler};

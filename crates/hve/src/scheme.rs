@@ -1,0 +1,403 @@
+//! The four HVE phases: Setup, Encrypt, GenToken, Query (§2.1 of the
+//! paper, following Boneh–Waters TCC 2007).
+
+use crate::keys::{Ciphertext, PublicKey, SecretKey, Token};
+use crate::vector::{AttributeVector, SearchPattern};
+use rand::Rng;
+use sla_bigint::BigUint;
+use sla_pairing::{BilinearGroup, GtElem};
+
+/// Bit size of the valid message domain used by
+/// [`HveScheme::encode_message`] / [`HveScheme::decode_message`].
+///
+/// A query that does not match returns a `GT` element uniformly distributed
+/// in a subgroup of order ≈ `N`; the probability that it accidentally lands
+/// inside the `2^MESSAGE_DOMAIN_BITS`-element valid domain is negligible
+/// (≈ `2^{32}/N`). This realizes the paper's "special number ⊥ not in the
+/// valid message domain".
+pub const MESSAGE_DOMAIN_BITS: u32 = 32;
+
+/// HVE scheme bound to a bilinear group engine and a fixed width `l`.
+#[derive(Debug, Clone, Copy)]
+pub struct HveScheme<'g, G: BilinearGroup> {
+    group: &'g G,
+    width: usize,
+}
+
+impl<'g, G: BilinearGroup> HveScheme<'g, G> {
+    /// Creates a scheme of width `l` (attribute bit length) over `group`.
+    ///
+    /// # Panics
+    /// Panics if `width == 0`.
+    pub fn new(group: &'g G, width: usize) -> Self {
+        assert!(width > 0, "HVE width must be positive");
+        HveScheme { group, width }
+    }
+
+    /// The configured width `l`.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The underlying group engine.
+    pub fn group(&self) -> &'g G {
+        self.group
+    }
+
+    /// **Setup** — generates the `(PK, SK)` pair.
+    ///
+    /// `SK = (g_q, a ∈ Z_p, ∀i: u_i, h_i, w_i, g, v ∈ G_p)`;
+    /// `PK = (g_q, V = v·R_v, A = e(g,v)^a, ∀i: U_i = u_i·R_{u,i},
+    /// H_i = h_i·R_{h,i}, W_i = w_i·R_{w,i})` with `R ∈ G_q`.
+    pub fn setup<R: Rng>(&self, rng: &mut R) -> (PublicKey, SecretKey) {
+        let grp = self.group;
+        let l = self.width;
+
+        let a = grp.random_zp(rng);
+        let g = grp.random_gp(rng);
+        let v = grp.random_gp(rng);
+        let gq = grp.random_gq(rng);
+
+        let u: Vec<_> = (0..l).map(|_| grp.random_gp(rng)).collect();
+        let h: Vec<_> = (0..l).map(|_| grp.random_gp(rng)).collect();
+        let w: Vec<_> = (0..l).map(|_| grp.random_gp(rng)).collect();
+
+        let blind = |x: &sla_pairing::GElem, rng: &mut R| {
+            let r = grp.random_gq(rng);
+            grp.mul_g(x, &r)
+        };
+
+        let v_pub = blind(&v, rng);
+        let a_pub = grp.pow_gt(&grp.pair(&g, &v), &a);
+        let u_pub: Vec<_> = u.iter().map(|x| blind(x, rng)).collect();
+        let h_pub: Vec<_> = h.iter().map(|x| blind(x, rng)).collect();
+        let w_pub: Vec<_> = w.iter().map(|x| blind(x, rng)).collect();
+
+        (
+            PublicKey {
+                width: l,
+                gq: gq.clone(),
+                v: v_pub,
+                a: a_pub,
+                u: u_pub,
+                h: h_pub,
+                w: w_pub,
+            },
+            SecretKey {
+                width: l,
+                a,
+                g,
+                v,
+                gq,
+                u,
+                h,
+                w,
+            },
+        )
+    }
+
+    /// **Encrypt** — produces a ciphertext for message `M` under attribute
+    /// vector `I`:
+    /// `C' = M·A^s`, `C_0 = V^s·Z`,
+    /// `C_{i,1} = (U_i^{I_i}·H_i)^s·Z_{i,1}`, `C_{i,2} = W_i^s·Z_{i,2}`.
+    ///
+    /// # Panics
+    /// Panics if `index.len() != width`.
+    pub fn encrypt<R: Rng>(
+        &self,
+        pk: &PublicKey,
+        index: &AttributeVector,
+        message: &GtElem,
+        rng: &mut R,
+    ) -> Ciphertext {
+        assert_eq!(index.len(), self.width, "attribute width mismatch");
+        let grp = self.group;
+        let s = grp.random_zn(rng);
+
+        let a_s = grp.pow_gt(&pk.a, &s);
+        let c_prime = grp.mul_gt(message, &a_s);
+
+        let z = grp.random_gq(rng);
+        let c0 = grp.mul_g(&grp.pow_g(&pk.v, &s), &z);
+
+        let mut c = Vec::with_capacity(self.width);
+        for i in 0..self.width {
+            // U_i^{I_i}·H_i: multiply by U_i only when the bit is set.
+            let base = if index.bit(i) {
+                grp.mul_g(&pk.u[i], &pk.h[i])
+            } else {
+                pk.h[i].clone()
+            };
+            let z1 = grp.random_gq(rng);
+            let z2 = grp.random_gq(rng);
+            let ci1 = grp.mul_g(&grp.pow_g(&base, &s), &z1);
+            let ci2 = grp.mul_g(&grp.pow_g(&pk.w[i], &s), &z2);
+            c.push((ci1, ci2));
+        }
+
+        Ciphertext { c_prime, c0, c }
+    }
+
+    /// **GenToken** — derives the search token for pattern `I*`:
+    /// `K_0 = g^a · Π_{i∈J} (u_i^{I*_i}·h_i)^{r_{i,1}} · w_i^{r_{i,2}}`,
+    /// `K_{i,1} = v^{r_{i,1}}`, `K_{i,2} = v^{r_{i,2}}` for `i ∈ J`.
+    ///
+    /// # Panics
+    /// Panics if `pattern.len() != width`.
+    pub fn gen_token<R: Rng>(&self, sk: &SecretKey, pattern: &SearchPattern, rng: &mut R) -> Token {
+        assert_eq!(pattern.len(), self.width, "pattern width mismatch");
+        let grp = self.group;
+
+        let mut k0 = grp.pow_g(&sk.g, &sk.a);
+        let mut k = Vec::with_capacity(pattern.non_star_count());
+
+        for i in pattern.non_star_positions() {
+            let bit = pattern.symbol(i).expect("non-star position");
+            let r1 = grp.random_zp(rng);
+            let r2 = grp.random_zp(rng);
+
+            let base = if bit {
+                grp.mul_g(&sk.u[i], &sk.h[i])
+            } else {
+                sk.h[i].clone()
+            };
+            k0 = grp.mul_g(&k0, &grp.pow_g(&base, &r1));
+            k0 = grp.mul_g(&k0, &grp.pow_g(&sk.w[i], &r2));
+
+            k.push((i, grp.pow_g(&sk.v, &r1), grp.pow_g(&sk.v, &r2)));
+        }
+
+        Token {
+            pattern: pattern.clone(),
+            k0,
+            k,
+        }
+    }
+
+    /// **Query** — evaluates a token against a ciphertext, returning the
+    /// candidate message
+    /// `M = C' / ( e(C_0, K_0) / Π_{i∈J} e(C_{i,1}, K_{i,1})·e(C_{i,2},
+    /// K_{i,2}) )` (Eq. 2 of the paper).
+    ///
+    /// On a pattern match this is the encrypted message; on a non-match it
+    /// is a uniformly random-looking `GT` element (⊥ in the paper's terms —
+    /// use [`Self::decode_message`] or compare against a known sentinel).
+    ///
+    /// Cost: exactly `1 + 2·|J|` pairings, metered by the engine.
+    ///
+    /// # Panics
+    /// Panics if token and ciphertext widths differ.
+    pub fn query(&self, token: &Token, ct: &Ciphertext) -> GtElem {
+        assert_eq!(token.pattern.len(), ct.width(), "token/ciphertext width mismatch");
+        let grp = self.group;
+
+        let numer = grp.pair(&ct.c0, &token.k0);
+        let mut denom = GtElem::identity();
+        for (i, k1, k2) in &token.k {
+            let (c1, c2) = &ct.c[*i];
+            denom = grp.mul_gt(&denom, &grp.pair(c1, k1));
+            denom = grp.mul_gt(&denom, &grp.pair(c2, k2));
+        }
+
+        let blinding = grp.div_gt(&numer, &denom);
+        grp.div_gt(&ct.c_prime, &blinding)
+    }
+
+    /// Convenience: query and decode; `Some(id)` on match, `None` (⊥)
+    /// otherwise (up to negligible false-positive probability).
+    pub fn query_decode(&self, token: &Token, ct: &Ciphertext) -> Option<u64> {
+        self.decode_message(&self.query(token, ct))
+    }
+
+    /// Embeds an identifier from the valid message domain
+    /// (`id < 2^MESSAGE_DOMAIN_BITS`) into `GT` as `gt^{id+1}`.
+    ///
+    /// # Panics
+    /// Panics if `id >= 2^MESSAGE_DOMAIN_BITS`.
+    pub fn encode_message(&self, id: u64) -> GtElem {
+        assert!(
+            id < 1u64 << MESSAGE_DOMAIN_BITS,
+            "message id outside valid domain"
+        );
+        // +1 keeps the identity element out of the valid domain.
+        self.group.pow_gt(
+            &self.gt_generator(),
+            &BigUint::from_u64(id + 1),
+        )
+    }
+
+    /// Inverse of [`Self::encode_message`]; `None` when the element lies
+    /// outside the valid message domain (the ⊥ outcome).
+    pub fn decode_message(&self, m: &GtElem) -> Option<u64> {
+        let log = m.discrete_log();
+        let id_plus_1 = log.to_u64()?;
+        if id_plus_1 == 0 || id_plus_1 > 1u64 << MESSAGE_DOMAIN_BITS {
+            return None;
+        }
+        Some(id_plus_1 - 1)
+    }
+
+    fn gt_generator(&self) -> GtElem {
+        let g = self.group.g();
+        // NOTE: this is e(g, g); the pairing here is setup-time only and is
+        // excluded from matching-cost accounting by construction (callers
+        // snapshot counters around query()).
+        self.group.pair(&g, &g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sla_pairing::SimulatedGroup;
+
+    fn fixture(width: usize) -> (SimulatedGroup, StdRng) {
+        let mut rng = StdRng::seed_from_u64(0x5eed + width as u64);
+        let grp = SimulatedGroup::generate(48, &mut rng);
+        (grp, rng)
+    }
+
+    #[test]
+    fn fig2_match() {
+        // Fig. 2a: token pattern agreeing with the index on all non-star
+        // positions recovers the message.
+        let (grp, mut rng) = fixture(5);
+        let scheme = HveScheme::new(&grp, 5);
+        let (pk, sk) = scheme.setup(&mut rng);
+
+        let index: AttributeVector = "11010".parse().unwrap();
+        let msg = scheme.encode_message(7);
+        let ct = scheme.encrypt(&pk, &index, &msg, &mut rng);
+
+        let tk = scheme.gen_token(&sk, &"1*01*".parse().unwrap(), &mut rng);
+        assert_eq!(scheme.query(&tk, &ct), msg);
+        assert_eq!(scheme.query_decode(&tk, &ct), Some(7));
+    }
+
+    #[test]
+    fn fig2_nonmatch() {
+        // Fig. 2b: one disagreeing non-star position yields ⊥.
+        let (grp, mut rng) = fixture(5);
+        let scheme = HveScheme::new(&grp, 5);
+        let (pk, sk) = scheme.setup(&mut rng);
+
+        let index: AttributeVector = "11010".parse().unwrap();
+        let msg = scheme.encode_message(7);
+        let ct = scheme.encrypt(&pk, &index, &msg, &mut rng);
+
+        let tk = scheme.gen_token(&sk, &"0*01*".parse().unwrap(), &mut rng);
+        assert_ne!(scheme.query(&tk, &ct), msg);
+        assert_eq!(scheme.query_decode(&tk, &ct), None);
+    }
+
+    #[test]
+    fn all_star_token_matches_everything() {
+        let (grp, mut rng) = fixture(4);
+        let scheme = HveScheme::new(&grp, 4);
+        let (pk, sk) = scheme.setup(&mut rng);
+        let tk = scheme.gen_token(&sk, &SearchPattern::all_stars(4), &mut rng);
+        for bits in 0..16u32 {
+            let index: AttributeVector = format!("{bits:04b}").parse().unwrap();
+            let msg = scheme.encode_message(bits as u64);
+            let ct = scheme.encrypt(&pk, &index, &msg, &mut rng);
+            assert_eq!(scheme.query_decode(&tk, &ct), Some(bits as u64));
+        }
+    }
+
+    #[test]
+    fn exhaustive_width_3() {
+        // Every (index, pattern) combination of width 3: HVE evaluation
+        // must agree exactly with plaintext pattern semantics.
+        let (grp, mut rng) = fixture(3);
+        let scheme = HveScheme::new(&grp, 3);
+        let (pk, sk) = scheme.setup(&mut rng);
+
+        let symbols = ['0', '1', '*'];
+        for bits in 0..8u32 {
+            let index: AttributeVector = format!("{bits:03b}").parse().unwrap();
+            let msg = scheme.encode_message(bits as u64);
+            let ct = scheme.encrypt(&pk, &index, &msg, &mut rng);
+            for s0 in symbols {
+                for s1 in symbols {
+                    for s2 in symbols {
+                        let pat: SearchPattern =
+                            format!("{s0}{s1}{s2}").parse().unwrap();
+                        let tk = scheme.gen_token(&sk, &pat, &mut rng);
+                        let expected = pat.matches(&index);
+                        let got = scheme.query_decode(&tk, &ct) == Some(bits as u64);
+                        assert_eq!(got, expected, "index {index}, pattern {pat}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn query_costs_exactly_one_plus_two_j_pairings() {
+        let (grp, mut rng) = fixture(8);
+        let scheme = HveScheme::new(&grp, 8);
+        let (pk, sk) = scheme.setup(&mut rng);
+        let index: AttributeVector = "10110100".parse().unwrap();
+        let msg = scheme.encode_message(1);
+        let ct = scheme.encrypt(&pk, &index, &msg, &mut rng);
+
+        for pat_str in ["********", "1*******", "10110100", "**11****"] {
+            let pat: SearchPattern = pat_str.parse().unwrap();
+            let tk = scheme.gen_token(&sk, &pat, &mut rng);
+            let before = grp.counters().snapshot();
+            let _ = scheme.query(&tk, &ct);
+            let delta = grp.counters().snapshot() - before;
+            assert_eq!(
+                delta.pairings,
+                1 + 2 * pat.non_star_count() as u64,
+                "pattern {pat_str}"
+            );
+            assert_eq!(delta.pairings, tk.pairing_cost());
+        }
+    }
+
+    #[test]
+    fn message_domain_roundtrip() {
+        let (grp, _) = fixture(2);
+        let scheme = HveScheme::new(&grp, 2);
+        for id in [0u64, 1, 42, (1 << MESSAGE_DOMAIN_BITS) - 1] {
+            let m = scheme.encode_message(id);
+            assert_eq!(scheme.decode_message(&m), Some(id));
+        }
+        assert_eq!(scheme.decode_message(&GtElem::identity()), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn encrypt_rejects_wrong_width() {
+        let (grp, mut rng) = fixture(4);
+        let scheme = HveScheme::new(&grp, 4);
+        let (pk, _) = scheme.setup(&mut rng);
+        let index: AttributeVector = "101".parse().unwrap();
+        let msg = scheme.encode_message(1);
+        let _ = scheme.encrypt(&pk, &index, &msg, &mut rng);
+    }
+
+    #[test]
+    fn serde_roundtrip_of_all_material() {
+        let (grp, mut rng) = fixture(3);
+        let scheme = HveScheme::new(&grp, 3);
+        let (pk, sk) = scheme.setup(&mut rng);
+        let index: AttributeVector = "101".parse().unwrap();
+        let ct = scheme.encrypt(&pk, &index, &scheme.encode_message(3), &mut rng);
+        let tk = scheme.gen_token(&sk, &"1*1".parse().unwrap(), &mut rng);
+
+        let pk2: PublicKey = serde_json::from_str(&serde_json::to_string(&pk).unwrap()).unwrap();
+        let sk2: SecretKey = serde_json::from_str(&serde_json::to_string(&sk).unwrap()).unwrap();
+        let ct2: Ciphertext = serde_json::from_str(&serde_json::to_string(&ct).unwrap()).unwrap();
+        let tk2: Token = serde_json::from_str(&serde_json::to_string(&tk).unwrap()).unwrap();
+        assert_eq!(pk, pk2);
+        assert_eq!(sk, sk2);
+        assert_eq!(ct, ct2);
+        assert_eq!(tk, tk2);
+        // deserialized material still decrypts
+        assert_eq!(scheme.query_decode(&tk2, &ct2), Some(3));
+    }
+}

@@ -1,0 +1,61 @@
+//! Property test: HVE evaluation must agree with plaintext pattern
+//! semantics for random widths, attributes and patterns.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sla_hve::{AttributeVector, HveScheme, SearchPattern};
+use sla_pairing::{BilinearGroup, SimulatedGroup};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn hve_agrees_with_plaintext_semantics(
+        seed in any::<u64>(),
+        bits in prop::collection::vec(any::<bool>(), 1..10),
+        flips in prop::collection::vec(0usize..10, 0..4),
+        star_mask in prop::collection::vec(any::<bool>(), 1..10),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let width = bits.len();
+        let grp = SimulatedGroup::generate(32, &mut rng);
+        let scheme = HveScheme::new(&grp, width);
+        let (pk, sk) = scheme.setup(&mut rng);
+
+        let index = AttributeVector::from_bits(&bits);
+        let msg = scheme.encode_message(99);
+        let ct = scheme.encrypt(&pk, &index, &msg, &mut rng);
+
+        // Derive a pattern from the attribute: star out some positions,
+        // then flip some of the remaining bits.
+        let mut symbols: Vec<Option<bool>> = bits
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| {
+                if *star_mask.get(i % star_mask.len()).unwrap_or(&false) {
+                    None
+                } else {
+                    Some(b)
+                }
+            })
+            .collect();
+        for f in &flips {
+            let i = f % width;
+            if let Some(b) = symbols[i] {
+                symbols[i] = Some(!b);
+            }
+        }
+        let pattern = SearchPattern::from_symbols(&symbols);
+        let tk = scheme.gen_token(&sk, &pattern, &mut rng);
+
+        let expected = pattern.matches(&index);
+        let got = scheme.query_decode(&tk, &ct) == Some(99);
+        prop_assert_eq!(got, expected, "index {} pattern {}", index, pattern);
+
+        // Cost formula always holds.
+        let before = grp.counters().snapshot();
+        let _ = scheme.query(&tk, &ct);
+        let delta = grp.counters().snapshot() - before;
+        prop_assert_eq!(delta.pairings, tk.pairing_cost());
+    }
+}

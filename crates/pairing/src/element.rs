@@ -1,0 +1,72 @@
+//! Group element wrappers.
+//!
+//! Elements carry their discrete logarithm with respect to the engine's
+//! abstract generators (`g` for `G`, `gt = e(g,g)` for `GT`). The newtypes
+//! prevent accidentally mixing `G` and `GT` values or treating exponents as
+//! scalars; all arithmetic goes through the engine so operations are
+//! counted.
+
+use serde::{Deserialize, Serialize};
+use sla_bigint::BigUint;
+
+/// Element of the source group `G` (stored as `log_g`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GElem(pub(crate) BigUint);
+
+/// Element of the target group `GT` (stored as `log_gt`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GtElem(pub(crate) BigUint);
+
+impl GElem {
+    /// The identity element `g^0`.
+    pub fn identity() -> Self {
+        GElem(BigUint::zero())
+    }
+
+    /// `true` iff this is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.0.is_zero()
+    }
+
+    /// Exposes the discrete logarithm. Only meaningful for the simulated
+    /// backend; used by tests to verify algebraic identities.
+    pub fn discrete_log(&self) -> &BigUint {
+        &self.0
+    }
+}
+
+impl GtElem {
+    /// The identity element `gt^0`.
+    pub fn identity() -> Self {
+        GtElem(BigUint::zero())
+    }
+
+    /// `true` iff this is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.0.is_zero()
+    }
+
+    /// Exposes the discrete logarithm (simulation-only introspection).
+    pub fn discrete_log(&self) -> &BigUint {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identities() {
+        assert!(GElem::identity().is_identity());
+        assert!(GtElem::identity().is_identity());
+        assert_eq!(GElem::identity().discrete_log(), &BigUint::zero());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let e = GElem(BigUint::from_u64(123456));
+        let json = serde_json::to_string(&e).unwrap();
+        assert_eq!(serde_json::from_str::<GElem>(&json).unwrap(), e);
+    }
+}

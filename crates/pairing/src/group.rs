@@ -1,0 +1,293 @@
+//! The [`BilinearGroup`] abstraction and its simulated implementation.
+
+use crate::{CostModel, GElem, GroupParams, GtElem, OpCounters};
+use rand::Rng;
+use sla_bigint::{random_below, random_nonzero_below, BigUint};
+
+/// A symmetric bilinear group of composite order `N = P·Q`.
+///
+/// This is the seam between the HVE scheme and the group backend: the HVE
+/// crate is generic over this trait, so a curve-based pairing engine can be
+/// swapped in without touching the scheme. All operations are instance
+/// methods (not methods on elements) so the engine can meter them.
+pub trait BilinearGroup {
+    /// Group order `N`.
+    fn order(&self) -> &BigUint;
+    /// Prime factor `P`.
+    fn p(&self) -> &BigUint;
+    /// Prime factor `Q`.
+    fn q(&self) -> &BigUint;
+
+    /// Canonical generator of the full group `G`.
+    fn g(&self) -> GElem;
+    /// Canonical generator of the order-`P` subgroup `G_p`.
+    fn gp_generator(&self) -> GElem;
+    /// Canonical generator of the order-`Q` subgroup `G_q`.
+    fn gq_generator(&self) -> GElem;
+
+    /// Group law in `G`.
+    fn mul_g(&self, a: &GElem, b: &GElem) -> GElem;
+    /// Exponentiation in `G`.
+    fn pow_g(&self, a: &GElem, e: &BigUint) -> GElem;
+    /// Inverse in `G`.
+    fn inv_g(&self, a: &GElem) -> GElem;
+
+    /// Group law in `GT`.
+    fn mul_gt(&self, a: &GtElem, b: &GtElem) -> GtElem;
+    /// Exponentiation in `GT`.
+    fn pow_gt(&self, a: &GtElem, e: &BigUint) -> GtElem;
+    /// Inverse in `GT`.
+    fn inv_gt(&self, a: &GtElem) -> GtElem;
+    /// Division in `GT` (`a · b^{-1}`), a common HVE step.
+    fn div_gt(&self, a: &GtElem, b: &GtElem) -> GtElem {
+        let inv = self.inv_gt(b);
+        self.mul_gt(a, &inv)
+    }
+
+    /// The bilinear map `e : G × G → GT`.
+    fn pair(&self, a: &GElem, b: &GElem) -> GtElem;
+
+    /// Uniformly random element of the order-`P` subgroup `G_p` (excluding
+    /// the identity).
+    fn random_gp<R: Rng>(&self, rng: &mut R) -> GElem
+    where
+        Self: Sized;
+    /// Uniformly random element of the order-`Q` subgroup `G_q` (excluding
+    /// the identity).
+    fn random_gq<R: Rng>(&self, rng: &mut R) -> GElem
+    where
+        Self: Sized;
+    /// Uniformly random scalar in `[0, P)`.
+    fn random_zp<R: Rng>(&self, rng: &mut R) -> BigUint
+    where
+        Self: Sized;
+    /// Uniformly random scalar in `[0, N)`.
+    fn random_zn<R: Rng>(&self, rng: &mut R) -> BigUint
+    where
+        Self: Sized;
+
+    /// Operation meters.
+    fn counters(&self) -> &OpCounters;
+}
+
+/// Exponent-representation implementation of [`BilinearGroup`].
+///
+/// See the crate docs for the simulation argument. Deterministic given the
+/// RNG used to generate [`GroupParams`].
+#[derive(Debug)]
+pub struct SimulatedGroup {
+    params: GroupParams,
+    cost: CostModel,
+    counters: OpCounters,
+}
+
+impl SimulatedGroup {
+    /// Builds an engine over existing parameters.
+    pub fn new(params: GroupParams) -> Self {
+        SimulatedGroup {
+            params,
+            cost: CostModel::default(),
+            counters: OpCounters::new(),
+        }
+    }
+
+    /// Generates fresh parameters with `bits`-bit prime factors.
+    pub fn generate<R: Rng>(bits: usize, rng: &mut R) -> Self {
+        Self::new(GroupParams::generate(bits, rng))
+    }
+
+    /// Sets the wall-clock cost model (see [`CostModel`]).
+    pub fn with_cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// The group parameters.
+    pub fn params(&self) -> &GroupParams {
+        &self.params
+    }
+}
+
+impl BilinearGroup for SimulatedGroup {
+    fn order(&self) -> &BigUint {
+        &self.params.n
+    }
+    fn p(&self) -> &BigUint {
+        &self.params.p
+    }
+    fn q(&self) -> &BigUint {
+        &self.params.q
+    }
+
+    fn g(&self) -> GElem {
+        GElem(BigUint::one())
+    }
+    fn gp_generator(&self) -> GElem {
+        GElem(self.params.q.clone())
+    }
+    fn gq_generator(&self) -> GElem {
+        GElem(self.params.p.clone())
+    }
+
+    fn mul_g(&self, a: &GElem, b: &GElem) -> GElem {
+        self.counters.record_g_mult();
+        GElem(a.0.mod_add(&b.0, &self.params.n))
+    }
+
+    fn pow_g(&self, a: &GElem, e: &BigUint) -> GElem {
+        self.counters.record_g_exp();
+        GElem(a.0.mod_mul(e, &self.params.n))
+    }
+
+    fn inv_g(&self, a: &GElem) -> GElem {
+        GElem(BigUint::zero().mod_sub(&a.0, &self.params.n))
+    }
+
+    fn mul_gt(&self, a: &GtElem, b: &GtElem) -> GtElem {
+        self.counters.record_gt_mult();
+        GtElem(a.0.mod_add(&b.0, &self.params.n))
+    }
+
+    fn pow_gt(&self, a: &GtElem, e: &BigUint) -> GtElem {
+        self.counters.record_gt_exp();
+        GtElem(a.0.mod_mul(e, &self.params.n))
+    }
+
+    fn inv_gt(&self, a: &GtElem) -> GtElem {
+        GtElem(BigUint::zero().mod_sub(&a.0, &self.params.n))
+    }
+
+    fn pair(&self, a: &GElem, b: &GElem) -> GtElem {
+        self.counters.record_pairing();
+        let out = a.0.mod_mul(&b.0, &self.params.n);
+        self.cost.burn(&out, &self.params.n);
+        GtElem(out)
+    }
+
+    fn random_gp<R: Rng>(&self, rng: &mut R) -> GElem {
+        // g_p^r for r in [1, P): exponent Q·r mod N.
+        let r = random_nonzero_below(&self.params.p, rng);
+        GElem(self.params.q.mod_mul(&r, &self.params.n))
+    }
+
+    fn random_gq<R: Rng>(&self, rng: &mut R) -> GElem {
+        let r = random_nonzero_below(&self.params.q, rng);
+        GElem(self.params.p.mod_mul(&r, &self.params.n))
+    }
+
+    fn random_zp<R: Rng>(&self, rng: &mut R) -> BigUint {
+        random_below(&self.params.p, rng)
+    }
+
+    fn random_zn<R: Rng>(&self, rng: &mut R) -> BigUint {
+        random_below(&self.params.n, rng)
+    }
+
+    fn counters(&self) -> &OpCounters {
+        &self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (SimulatedGroup, StdRng) {
+        let mut rng = StdRng::seed_from_u64(0xabcd);
+        let grp = SimulatedGroup::generate(48, &mut rng);
+        (grp, rng)
+    }
+
+    #[test]
+    fn group_laws() {
+        let (grp, mut rng) = setup();
+        let a = grp.random_gp(&mut rng);
+        let b = grp.random_gq(&mut rng);
+        // associativity / commutativity via exponents
+        assert_eq!(grp.mul_g(&a, &b), grp.mul_g(&b, &a));
+        // identity
+        assert_eq!(grp.mul_g(&a, &GElem::identity()), a);
+        // inverse
+        assert!(grp.mul_g(&a, &grp.inv_g(&a)).is_identity());
+    }
+
+    #[test]
+    fn bilinearity() {
+        let (grp, mut rng) = setup();
+        let a = grp.random_gp(&mut rng);
+        let b = grp.random_gp(&mut rng);
+        let x = grp.random_zn(&mut rng);
+        let y = grp.random_zn(&mut rng);
+        let lhs = grp.pair(&grp.pow_g(&a, &x), &grp.pow_g(&b, &y));
+        let exp = x.mod_mul(&y, grp.order());
+        let rhs = grp.pow_gt(&grp.pair(&a, &b), &exp);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn symmetry() {
+        let (grp, mut rng) = setup();
+        let a = grp.random_gp(&mut rng);
+        let b = grp.random_gq(&mut rng);
+        assert_eq!(grp.pair(&a, &b), grp.pair(&b, &a));
+    }
+
+    #[test]
+    fn cross_subgroup_annihilation() {
+        // e(G_p, G_q) = 1: the property HVE's blinding terms rely on.
+        let (grp, mut rng) = setup();
+        for _ in 0..10 {
+            let a = grp.random_gp(&mut rng);
+            let b = grp.random_gq(&mut rng);
+            assert!(grp.pair(&a, &b).is_identity());
+        }
+    }
+
+    #[test]
+    fn subgroup_orders() {
+        let (grp, mut rng) = setup();
+        let a = grp.random_gp(&mut rng);
+        // a^P = identity for a in G_p
+        assert!(grp.pow_g(&a, grp.p()).is_identity());
+        let b = grp.random_gq(&mut rng);
+        assert!(grp.pow_g(&b, grp.q()).is_identity());
+        // but a^Q != identity (a has order exactly P for random sampling)
+        assert!(!grp.pow_g(&a, grp.q()).is_identity());
+    }
+
+    #[test]
+    fn pairing_counter_increments() {
+        let (grp, mut rng) = setup();
+        let a = grp.random_gp(&mut rng);
+        assert_eq!(grp.counters().pairings(), 0);
+        let _ = grp.pair(&a, &a);
+        let _ = grp.pair(&a, &a);
+        assert_eq!(grp.counters().pairings(), 2);
+        grp.counters().reset();
+        assert_eq!(grp.counters().pairings(), 0);
+    }
+
+    #[test]
+    fn gt_division() {
+        let (grp, mut rng) = setup();
+        let a = grp.random_gp(&mut rng);
+        let b = grp.random_gp(&mut rng);
+        let ab = grp.pair(&a, &b);
+        let quotient = grp.div_gt(&ab, &ab);
+        assert!(quotient.is_identity());
+    }
+
+    #[test]
+    fn calibrated_cost_model_still_correct() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let grp = SimulatedGroup::generate(32, &mut rng).with_cost_model(CostModel::Calibrated {
+            modmuls_per_pairing: 8,
+        });
+        let a = grp.random_gp(&mut rng);
+        let b = grp.random_gp(&mut rng);
+        assert_eq!(grp.pair(&a, &b), grp.pair(&b, &a));
+        assert_eq!(grp.counters().pairings(), 2);
+    }
+}

@@ -1,0 +1,78 @@
+//! §4 extension: B-ary Huffman codes and late **granularity refinement**.
+//!
+//! A ternary (B = 3) coding tree expands each character to a one-hot
+//! block, leaving star bits inside cell indexes. Those spare bits let the
+//! TA split a cell into sub-cells *later*, without rebuilding the tree or
+//! re-keying users — demonstrated here end-to-end with live HVE.
+//!
+//! ```text
+//! cargo run --example granularity_refinement --release
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use secure_location_alerts::encoding::coding_tree::CodingScheme;
+use secure_location_alerts::encoding::huffman::build_bary_huffman_tree;
+use secure_location_alerts::encoding::minimize::minimize_to_patterns;
+use secure_location_alerts::hve::{AttributeVector, HveScheme};
+use secure_location_alerts::pairing::SimulatedGroup;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(4);
+
+    // The paper's running example: five cells, ternary Huffman (Fig. 6).
+    let probs = [0.1, 0.2, 0.5, 0.4, 0.6];
+    let tree = build_bary_huffman_tree(&probs, 3);
+    let scheme_enc = CodingScheme::from_tree(&tree);
+    println!(
+        "ternary coding scheme: RL={} chars, HVE width={} bits",
+        scheme_enc.reference_length(),
+        scheme_enc.width_bits()
+    );
+    for cell in 0..5 {
+        println!(
+            "  cell v{}: prefix {:?} -> index {}",
+            cell + 1,
+            scheme_enc.prefix_code_of(cell),
+            scheme_enc.index_of(cell)
+        );
+    }
+
+    // Pick the most popular cell and refine it into sub-cells using its
+    // spare star bits (Fig. 5b: index '20' hosts 4 sub-indexes).
+    let hot = 4; // v5, p = 0.6
+    let refined = scheme_enc.refinement_indexes(hot);
+    println!("\ncell v5 refines into {} sub-cells:", refined.len());
+    for (i, idx) in refined.iter().enumerate() {
+        println!("  sub-cell {i}: {idx}");
+    }
+
+    // Live proof: a token for v5 (issued BEFORE the refinement) still
+    // matches users placed in any refined sub-cell — the coding tree is
+    // untouched.
+    let group = SimulatedGroup::generate(48, &mut rng);
+    let hve = HveScheme::new(&group, scheme_enc.width_bits());
+    let (pk, sk) = hve.setup(&mut rng);
+
+    let patterns = minimize_to_patterns(&scheme_enc, &[hot]);
+    assert_eq!(patterns.len(), 1);
+    let token = hve.gen_token(
+        &sk,
+        &secure_location_alerts::core::codeword_to_pattern(&patterns[0]),
+        &mut rng,
+    );
+
+    for (i, sub_index) in refined.iter().enumerate() {
+        let attr = AttributeVector::from_bits(sub_index.bits());
+        let ct = hve.encrypt(&pk, &attr, &hve.encode_message(i as u64), &mut rng);
+        let hit = hve.query_decode(&token, &ct);
+        println!("token(v5) vs sub-cell {i}: {:?}", hit);
+        assert_eq!(hit, Some(i as u64), "pre-refinement token must still match");
+    }
+
+    // And a user in a *different* cell still does not match.
+    let other = AttributeVector::from_bits(scheme_enc.index_of(2).bits());
+    let ct = hve.encrypt(&pk, &other, &hve.encode_message(99), &mut rng);
+    assert_eq!(hve.query_decode(&token, &ct), None);
+    println!("token(v5) vs cell v3: no match (as required)");
+}
