@@ -1,8 +1,15 @@
 //! Times the Fig. 9 pipeline at a reduced workload size (the full run is
-//! the `repro` binary's job; here we time the cost-evaluation machinery).
+//! the `repro` binary's job; here we time the cost-evaluation machinery),
+//! plus the live alert path serial-vs-batch (the batch variant fans
+//! ciphertext chunks out across cores).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use sla_bench::{fig09, SEED};
+use sla_core::{AlertSystem, SystemConfig};
+use sla_encoding::EncoderKind;
+use sla_grid::{BoundingBox, Grid, ProbabilityMap, SigmoidParams, ZoneSampler};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig09");
@@ -10,8 +17,49 @@ fn bench(c: &mut Criterion) {
     g.bench_function("crime_pipeline_5zones", |b| {
         b.iter(|| fig09::run(SEED, 5, 1_000))
     });
+    g.bench_function("crime_pipeline_5zones_parallel", |b| {
+        b.iter(|| fig09::run_with(SEED, 5, 1_000, true))
+    });
     g.finish();
 }
 
-criterion_group!(benches, bench);
+fn bench_live_alert(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let grid = Grid::new(BoundingBox::chicago_downtown(), 8, 8);
+    let probs = ProbabilityMap::sigmoid_synthetic(
+        grid.n_cells(),
+        SigmoidParams { a: 0.9, b: 100.0 },
+        &mut rng,
+    );
+    let sampler = ZoneSampler::new(grid.clone(), &probs);
+    let mut system = AlertSystem::setup(
+        SystemConfig {
+            grid,
+            encoder: EncoderKind::Huffman,
+            group_bits: 48,
+        },
+        &probs,
+        &mut rng,
+    );
+    for user in 0..64u64 {
+        let cell = sampler.sample_epicenter_cell(&mut rng).0;
+        system.subscribe_cell(user, cell, &mut rng);
+    }
+    let zone = sampler.sample_zone(600.0, &mut rng);
+    let cells = zone.cell_indices();
+
+    let mut g = c.benchmark_group("fig09_live");
+    g.sample_size(10);
+    g.bench_function("issue_alert_serial", |b| {
+        let mut r = StdRng::seed_from_u64(1);
+        b.iter(|| system.issue_alert(&cells, &mut r));
+    });
+    g.bench_function("issue_alert_batch", |b| {
+        let mut r = StdRng::seed_from_u64(1);
+        b.iter(|| system.issue_alert_batch(&cells, None, &mut r));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench, bench_live_alert);
 criterion_main!(benches);

@@ -10,6 +10,9 @@ fn bench(c: &mut Criterion) {
         g.bench_function(format!("panel_a{a}_b{b_param}_5zones"), |bch| {
             bch.iter(|| fig10::run_panel(a, b_param, SEED, 5, 1_000))
         });
+        g.bench_function(format!("panel_a{a}_b{b_param}_5zones_parallel"), |bch| {
+            bch.iter(|| fig10::run_panel_with(a, b_param, SEED, 5, 1_000, true))
+        });
     }
     g.finish();
 }

@@ -5,9 +5,43 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use sla_bigint::{gen_prime, BigUint, MontgomeryCtx};
 use sla_encoding::{CellCodebook, EncoderKind};
 use sla_hve::{AttributeVector, HveScheme, SearchPattern};
 use sla_pairing::SimulatedGroup;
+
+/// Montgomery fast path vs the seed's division-based arithmetic, at the
+/// modulus sizes the group engine actually uses (48/64-bit primes give
+/// 96/128-bit composite orders). The acceptance bar for the Montgomery
+/// work is >= 2x on 96-bit `mod_pow`.
+fn bench_modular(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut g = c.benchmark_group("modular");
+    for prime_bits in [32usize, 48, 64] {
+        let p = gen_prime(prime_bits, &mut rng);
+        let q = gen_prime(prime_bits, &mut rng);
+        let n = &p * &q;
+        let bits = n.bit_len();
+        let ctx = MontgomeryCtx::new(&n).expect("odd modulus");
+        let a = &n - &BigUint::from_u64(12345);
+        let b = &n - &BigUint::from_u64(6789);
+        let e = &n - &BigUint::from_u64(2);
+
+        g.bench_with_input(BenchmarkId::new("mod_mul_naive", bits), &bits, |bch, _| {
+            bch.iter(|| a.mod_mul(&b, &n));
+        });
+        g.bench_with_input(BenchmarkId::new("mod_mul_mont", bits), &bits, |bch, _| {
+            bch.iter(|| ctx.mod_mul(&a, &b));
+        });
+        g.bench_with_input(BenchmarkId::new("mod_pow_naive", bits), &bits, |bch, _| {
+            bch.iter(|| a.mod_pow_naive(&e, &n));
+        });
+        g.bench_with_input(BenchmarkId::new("mod_pow_mont", bits), &bits, |bch, _| {
+            bch.iter(|| a.mod_pow(&e, &n));
+        });
+    }
+    g.finish();
+}
 
 fn bench_hve_phases(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
@@ -35,9 +69,7 @@ fn bench_hve_phases(c: &mut Criterion) {
         });
         g.bench_with_input(BenchmarkId::new("gen_token", width), &width, |bch, _| {
             let mut r = StdRng::seed_from_u64(3);
-            bch.iter(|| {
-                scheme.gen_token(&sk, &SearchPattern::from_symbols(&symbols), &mut r)
-            });
+            bch.iter(|| scheme.gen_token(&sk, &SearchPattern::from_symbols(&symbols), &mut r));
         });
         g.bench_with_input(BenchmarkId::new("query", width), &width, |bch, _| {
             bch.iter(|| scheme.query(&token, &ct));
@@ -66,5 +98,5 @@ fn bench_encoding(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_hve_phases, bench_encoding);
+criterion_group!(benches, bench_modular, bench_hve_phases, bench_encoding);
 criterion_main!(benches);

@@ -8,7 +8,7 @@
 //!
 //! Tables are printed to stdout and written as CSV under `results/`.
 
-use sla_bench::{fig07, fig08, fig09, fig10, fig11, fig12, fig13, fig14};
+use sla_bench::{fig07, fig08, fig09, fig10, fig11, fig12, fig13, fig14, primitives};
 use sla_bench::{N_CIPHERTEXTS, SEED};
 use std::path::PathBuf;
 
@@ -16,16 +16,19 @@ struct Opts {
     figures: Vec<String>,
     zones: usize,
     out_dir: PathBuf,
+    parallel: bool,
 }
 
 fn parse_args() -> Opts {
     let mut figures = Vec::new();
     let mut zones = 50usize;
     let mut out_dir = PathBuf::from("results");
+    let mut parallel = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => zones = 10,
+            "--parallel" => parallel = true,
             "--zones" => {
                 zones = args
                     .next()
@@ -41,22 +44,22 @@ fn parse_args() -> Opts {
     }
     if figures.is_empty() {
         figures = (7..=14).map(|i| format!("fig{i}")).collect();
+        figures.push("primitives".to_string());
     }
     Opts {
         figures,
         zones,
         out_dir,
+        parallel,
     }
 }
 
 fn main() {
     let opts = parse_args();
+    println!("# Reproducing EDBT 2021 'Location-based Alert Protocol using SE and Huffman Codes'");
     println!(
-        "# Reproducing EDBT 2021 'Location-based Alert Protocol using SE and Huffman Codes'"
-    );
-    println!(
-        "# seed={SEED}, ciphertexts per alert={N_CIPHERTEXTS}, zones per point={}\n",
-        opts.zones
+        "# seed={SEED}, ciphertexts per alert={N_CIPHERTEXTS}, zones per point={}, parallel={}\n",
+        opts.zones, opts.parallel
     );
 
     for fig in &opts.figures {
@@ -74,7 +77,7 @@ fn main() {
                 report(t.write_csv(&opts.out_dir, "fig08"));
             }
             "fig9" | "fig09" => {
-                let result = fig09::run(SEED, opts.zones, N_CIPHERTEXTS);
+                let result = fig09::run_with(SEED, opts.zones, N_CIPHERTEXTS, opts.parallel);
                 let a = fig09::table_absolute(
                     &result,
                     "Fig 9a: pairings on crime dataset (32x32, 10k users)",
@@ -89,12 +92,10 @@ fn main() {
                 report(b.write_csv(&opts.out_dir, "fig09b"));
             }
             "fig10" => {
-                for panel in fig10::run(SEED, opts.zones, N_CIPHERTEXTS) {
+                for panel in fig10::run_with(SEED, opts.zones, N_CIPHERTEXTS, opts.parallel) {
                     let tag = format!("a{:.2}_b{:.0}", panel.a, panel.b);
-                    let a = fig09::table_absolute(
-                        &panel.result,
-                        &format!("Fig 10 ({tag}): pairings"),
-                    );
+                    let a =
+                        fig09::table_absolute(&panel.result, &format!("Fig 10 ({tag}): pairings"));
                     let b = fig09::table_improvement(
                         &panel.result,
                         &format!("Fig 10 ({tag}): improvement (%) vs [14]"),
@@ -106,7 +107,9 @@ fn main() {
                 }
             }
             "fig11" => {
-                for panel in fig11::run(SEED, opts.zones.max(100), N_CIPHERTEXTS) {
+                for panel in
+                    fig11::run_with(SEED, opts.zones.max(100), N_CIPHERTEXTS, opts.parallel)
+                {
                     let t = fig11::table_improvement(&panel);
                     print!("{}", t.render());
                     report(t.write_csv(
@@ -116,7 +119,7 @@ fn main() {
                 }
             }
             "fig12" => {
-                let points = fig12::run(SEED, opts.zones, N_CIPHERTEXTS);
+                let points = fig12::run_with(SEED, opts.zones, N_CIPHERTEXTS, opts.parallel);
                 let a = fig12::table_absolute(&points);
                 let b = fig12::table_improvement(&points);
                 print!("{}", a.render());
@@ -136,7 +139,34 @@ fn main() {
                 print!("{}", t.render());
                 report(t.write_csv(&opts.out_dir, "fig14"));
             }
-            other => eprintln!("unknown figure '{other}' (expected fig7..fig14)"),
+            "primitives" => {
+                // Perf trajectory of the arithmetic hot path, tracked
+                // across PRs as results/BENCH_primitives.json.
+                let rows: Vec<_> = [32usize, 48, 64]
+                    .iter()
+                    .map(|&bits| primitives::measure(bits, SEED))
+                    .collect();
+                for r in &rows {
+                    println!(
+                        "primitives[{} bit N]: mod_mul {:.0} -> {:.0} ns ({:.2}x), \
+                         mod_pow {:.0} -> {:.0} ns ({:.2}x), pairing {:.0} ns",
+                        r.modulus_bits,
+                        r.mod_mul_naive_ns,
+                        r.mod_mul_mont_ns,
+                        r.mod_mul_speedup(),
+                        r.mod_pow_naive_ns,
+                        r.mod_pow_mont_ns,
+                        r.mod_pow_speedup(),
+                        r.pairing_ns,
+                    );
+                }
+                let path = opts.out_dir.join("BENCH_primitives.json");
+                let write = std::fs::create_dir_all(&opts.out_dir)
+                    .and_then(|()| std::fs::write(&path, primitives::to_json(&rows)))
+                    .map(|()| path);
+                report(write);
+            }
+            other => eprintln!("unknown figure '{other}' (expected fig7..fig14 or primitives)"),
         }
         println!();
     }

@@ -76,7 +76,11 @@ mod tests {
                 row.le_numeric,
                 row.le_bound
             );
-            assert!(row.le_numeric >= 0, "Huffman RL below fixed RL at n={}", row.n);
+            assert!(
+                row.le_numeric >= 0,
+                "Huffman RL below fixed RL at n={}",
+                row.n
+            );
         }
     }
 

@@ -43,25 +43,60 @@ impl SweepResult {
 }
 
 /// Evaluates the paper's encoder lineup on a shared workload sweep.
-pub fn sweep_encoders(
+pub fn sweep_encoders(probs: &[f64], workloads: &[Workload], n_ciphertexts: u64) -> SweepResult {
+    sweep_encoders_with(probs, workloads, n_ciphertexts, false)
+}
+
+/// Like [`sweep_encoders`], with an explicit parallelism knob: when
+/// `parallel` is set, codebook construction and the (encoder × workload)
+/// cost grid are evaluated with rayon. Results are identical either way —
+/// parallel evaluation preserves ordering.
+pub fn sweep_encoders_with(
     probs: &[f64],
     workloads: &[Workload],
     n_ciphertexts: u64,
+    parallel: bool,
 ) -> SweepResult {
     let encoders = EncoderKind::paper_lineup();
-    let codebooks: Vec<CellCodebook> = encoders
-        .iter()
-        .map(|&k| CellCodebook::build(k, probs))
-        .collect();
-    let costs = codebooks
-        .iter()
-        .map(|cb| {
-            workloads
-                .iter()
-                .map(|w| evaluate_workload(cb, &w.label, &zones_to_cells(w), n_ciphertexts))
-                .collect()
-        })
-        .collect();
+    let codebooks: Vec<CellCodebook> = if parallel {
+        use rayon::prelude::*;
+        encoders
+            .par_iter()
+            .map(|&k| CellCodebook::build(k, probs))
+            .collect()
+    } else {
+        encoders
+            .iter()
+            .map(|&k| CellCodebook::build(k, probs))
+            .collect()
+    };
+    let eval = |cb: &CellCodebook, w: &Workload| {
+        evaluate_workload(cb, &w.label, &zones_to_cells(w), n_ciphertexts)
+    };
+    let costs: Vec<Vec<WorkloadCost>> = if workloads.is_empty() {
+        // chunks(0) below would panic; an empty sweep has an empty cost
+        // row per encoder on both paths.
+        codebooks.iter().map(|_| Vec::new()).collect()
+    } else if parallel {
+        use rayon::prelude::*;
+        // Flatten the (encoder × workload) grid so every cell is an
+        // independent parallel task, then regroup per encoder.
+        let pairs: Vec<(usize, &Workload)> = codebooks
+            .iter()
+            .enumerate()
+            .flat_map(|(ci, _)| workloads.iter().map(move |w| (ci, w)))
+            .collect();
+        let flat: Vec<WorkloadCost> = pairs
+            .par_iter()
+            .map(|&(ci, w)| eval(&codebooks[ci], w))
+            .collect();
+        flat.chunks(workloads.len()).map(<[_]>::to_vec).collect()
+    } else {
+        codebooks
+            .iter()
+            .map(|cb| workloads.iter().map(|w| eval(cb, w)).collect())
+            .collect()
+    };
     SweepResult {
         labels: workloads.iter().map(|w| w.label.clone()).collect(),
         mean_cells: workloads.iter().map(|w| w.mean_zone_cells()).collect(),
@@ -72,6 +107,16 @@ pub fn sweep_encoders(
 
 /// Runs the full Fig. 9 pipeline.
 pub fn run(seed: u64, zones_per_radius: usize, n_ciphertexts: u64) -> SweepResult {
+    run_with(seed, zones_per_radius, n_ciphertexts, false)
+}
+
+/// [`run`] with the parallel-evaluation knob (`repro --parallel`).
+pub fn run_with(
+    seed: u64,
+    zones_per_radius: usize,
+    n_ciphertexts: u64,
+    parallel: bool,
+) -> SweepResult {
     let mut rng = StdRng::seed_from_u64(seed);
     let dataset = CrimeDataset::generate(&CrimeGeneratorConfig::default(), &mut rng);
     let grid = Grid::chicago_downtown_32();
@@ -84,7 +129,7 @@ pub fn run(seed: u64, zones_per_radius: usize, n_ciphertexts: u64) -> SweepResul
         ..RadiusSweep::default()
     };
     let workloads = sweep.generate(&sampler, &mut rng);
-    sweep_encoders(&probs.normalized(), &workloads, n_ciphertexts)
+    sweep_encoders_with(&probs.normalized(), &workloads, n_ciphertexts, parallel)
 }
 
 /// Absolute pairing counts table (Fig. 9a).
@@ -157,6 +202,18 @@ mod tests {
         let s0 = result.improvement(si, 0);
         assert!(h0 > 0.0, "huffman improvement at 20m: {h0:.1}%");
         assert!(h0 > s0, "huffman {h0:.1}% should beat sgo {s0:.1}% at 20m");
+    }
+
+    #[test]
+    fn empty_workload_sweep_is_empty_on_both_paths() {
+        for parallel in [false, true] {
+            let result = sweep_encoders_with(&[0.5, 0.5], &[], 100, parallel);
+            assert!(result.labels.is_empty());
+            assert!(
+                result.costs.iter().all(Vec::is_empty),
+                "parallel={parallel}"
+            );
+        }
     }
 
     #[test]

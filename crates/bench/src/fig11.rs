@@ -2,13 +2,14 @@
 //! W4 (10 % / 90 %), short = 20 m, long = 300 m, for sigmoid
 //! `(a, b) ∈ {(0.9, 100), (0.99, 100)}`; improvement vs [14].
 
-use crate::common::{sigmoid_probs, zones_to_cells};
+use crate::common::sigmoid_probs;
+use crate::fig09::sweep_encoders_with;
 use crate::table::Table;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sla_core::metrics::{evaluate_workload, WorkloadCost};
+use sla_core::metrics::WorkloadCost;
 use sla_datasets::MixedWorkload;
-use sla_encoding::{CellCodebook, EncoderKind};
+use sla_encoding::EncoderKind;
 use sla_grid::{Grid, ZoneSampler};
 
 /// Result for one sigmoid configuration.
@@ -39,9 +40,19 @@ impl Fig11Panel {
 
 /// Runs both panels.
 pub fn run(seed: u64, zones_per_mix: usize, n_ciphertexts: u64) -> Vec<Fig11Panel> {
+    run_with(seed, zones_per_mix, n_ciphertexts, false)
+}
+
+/// [`run`] with the parallel-evaluation knob (`repro --parallel`).
+pub fn run_with(
+    seed: u64,
+    zones_per_mix: usize,
+    n_ciphertexts: u64,
+    parallel: bool,
+) -> Vec<Fig11Panel> {
     [(0.9, 100.0), (0.99, 100.0)]
         .iter()
-        .map(|&(a, b)| run_panel(a, b, seed, zones_per_mix, n_ciphertexts))
+        .map(|&(a, b)| run_panel_with(a, b, seed, zones_per_mix, n_ciphertexts, parallel))
         .collect()
 }
 
@@ -53,35 +64,38 @@ pub fn run_panel(
     zones_per_mix: usize,
     n_ciphertexts: u64,
 ) -> Fig11Panel {
+    run_panel_with(a, b, seed, zones_per_mix, n_ciphertexts, false)
+}
+
+/// [`run_panel`] with the parallel-evaluation knob.
+pub fn run_panel_with(
+    a: f64,
+    b: f64,
+    seed: u64,
+    zones_per_mix: usize,
+    n_ciphertexts: u64,
+    parallel: bool,
+) -> Fig11Panel {
     let grid = Grid::chicago_downtown_32();
     let probs = sigmoid_probs(grid.n_cells(), a, b, seed);
     let sampler = ZoneSampler::new(grid, &probs);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x11f1 ^ ((a * 100.0) as u64));
 
     let mixes = MixedWorkload::paper_mixes(zones_per_mix);
-    let workloads: Vec<_> = mixes.iter().map(|m| m.generate(&sampler, &mut rng)).collect();
-
-    let encoders = EncoderKind::paper_lineup();
-    let codebooks: Vec<CellCodebook> = encoders
+    let workloads: Vec<_> = mixes
         .iter()
-        .map(|&k| CellCodebook::build(k, probs.raw()))
-        .collect();
-    let costs = codebooks
-        .iter()
-        .map(|cb| {
-            workloads
-                .iter()
-                .map(|w| evaluate_workload(cb, &w.label, &zones_to_cells(w), n_ciphertexts))
-                .collect()
-        })
+        .map(|m| m.generate(&sampler, &mut rng))
         .collect();
 
+    // The (encoder × workload) cost grid is exactly fig09's sweep; reuse
+    // it so the parallel path and its guards live in one place.
+    let sweep = sweep_encoders_with(probs.raw(), &workloads, n_ciphertexts, parallel);
     Fig11Panel {
         a,
         b,
-        labels: workloads.iter().map(|w| w.label.clone()).collect(),
-        costs,
-        encoders,
+        labels: sweep.labels,
+        costs: sweep.costs,
+        encoders: sweep.encoders,
     }
 }
 

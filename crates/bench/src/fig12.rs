@@ -35,6 +35,16 @@ pub const RADII: [f64; 5] = [20.0, 100.0, 300.0, 1_000.0, 2_000.0];
 
 /// Runs the granularity sweep.
 pub fn run(seed: u64, zones_per_radius: usize, n_ciphertexts: u64) -> Vec<Fig12Point> {
+    run_with(seed, zones_per_radius, n_ciphertexts, false)
+}
+
+/// [`run`] with the parallel-evaluation knob (`repro --parallel`).
+pub fn run_with(
+    seed: u64,
+    zones_per_radius: usize,
+    n_ciphertexts: u64,
+    parallel: bool,
+) -> Vec<Fig12Point> {
     let mut out = Vec::new();
     for &side in &SIDES {
         let grid = Grid::new(BoundingBox::chicago_downtown(), side, side);
@@ -49,17 +59,23 @@ pub fn run(seed: u64, zones_per_radius: usize, n_ciphertexts: u64) -> Vec<Fig12P
 
         let huffman = CellCodebook::build(EncoderKind::Huffman, probs.raw());
         let basic = CellCodebook::build(EncoderKind::BasicFixed, probs.raw());
-        for w in &workloads {
+        let eval_point = |w: &sla_datasets::Workload| {
             let zones = zones_to_cells(w);
             let hc = evaluate_workload(&huffman, &w.label, &zones, n_ciphertexts);
             let bc = evaluate_workload(&basic, &w.label, &zones, n_ciphertexts);
-            out.push(Fig12Point {
+            Fig12Point {
                 side,
                 radius: w.label.clone(),
                 huffman_pairings: hc.pairings,
                 basic_pairings: bc.pairings,
                 improvement: hc.improvement_vs(&bc),
-            });
+            }
+        };
+        if parallel {
+            use rayon::prelude::*;
+            out.extend(workloads.par_iter().map(eval_point).collect::<Vec<_>>());
+        } else {
+            out.extend(workloads.iter().map(eval_point));
         }
     }
     out
@@ -74,9 +90,11 @@ pub fn table_absolute(points: &[Fig12Point]) -> Table {
 
 /// Improvement table: rows = radius, columns = grid side.
 pub fn table_improvement(points: &[Fig12Point]) -> Table {
-    pivot(points, "Fig 12b: improvement (%) vs basic by granularity", |p| {
-        format!("{:.1}", p.improvement)
-    })
+    pivot(
+        points,
+        "Fig 12b: improvement (%) vs basic by granularity",
+        |p| format!("{:.1}", p.improvement),
+    )
 }
 
 fn pivot(points: &[Fig12Point], title: &str, cell: impl Fn(&Fig12Point) -> String) -> Table {

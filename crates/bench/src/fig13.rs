@@ -38,7 +38,14 @@ pub fn run(seed: u64) -> Vec<Fig13Row> {
 pub fn table(rows: &[Fig13Row]) -> Table {
     let mut t = Table::new(
         "Fig 13: average-to-maximum code length ratio (sigmoid a=0.95, b=20)",
-        &["grid", "n", "mean_len", "max_len(RL)", "avg_to_max", "weighted_avg"],
+        &[
+            "grid",
+            "n",
+            "mean_len",
+            "max_len(RL)",
+            "avg_to_max",
+            "weighted_avg",
+        ],
     );
     for r in rows {
         t.push_row(vec![

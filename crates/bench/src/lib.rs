@@ -28,6 +28,7 @@ pub mod fig11;
 pub mod fig12;
 pub mod fig13;
 pub mod fig14;
+pub mod primitives;
 pub mod table;
 
 /// Number of stored ciphertexts the cost model charges each alert against

@@ -1,0 +1,138 @@
+//! Primitive-operation timings: the data behind `BENCH_primitives.json`.
+//!
+//! Measures the modular building blocks every HVE phase bottoms out in —
+//! `mod_mul`, `mod_pow` (naive division-based vs Montgomery fast path)
+//! and the simulated `pair` — so the performance trajectory of the
+//! arithmetic layer is tracked across PRs as a machine-readable artifact.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sla_bigint::{gen_prime, BigUint, MontgomeryCtx};
+use sla_pairing::{BilinearGroup, SimulatedGroup};
+use std::time::Instant;
+
+/// Timings (ns/op medians) for one modulus size.
+#[derive(Debug, Clone)]
+pub struct PrimitiveTimings {
+    /// Bit length of the composite modulus `N = P·Q`.
+    pub modulus_bits: usize,
+    /// `(a·b) mod N` via multiply + Knuth division.
+    pub mod_mul_naive_ns: f64,
+    /// `(a·b) mod N` via the Montgomery context.
+    pub mod_mul_mont_ns: f64,
+    /// `a^e mod N` via square-and-multiply with division per step.
+    pub mod_pow_naive_ns: f64,
+    /// `a^e mod N` via the windowed Montgomery ladder (what
+    /// `BigUint::mod_pow` now dispatches to for odd moduli).
+    pub mod_pow_mont_ns: f64,
+    /// One simulated pairing on a `SimulatedGroup` of this order.
+    pub pairing_ns: f64,
+}
+
+impl PrimitiveTimings {
+    /// Montgomery-vs-naive speedup on `mod_pow`.
+    pub fn mod_pow_speedup(&self) -> f64 {
+        self.mod_pow_naive_ns / self.mod_pow_mont_ns
+    }
+
+    /// Montgomery-vs-naive speedup on `mod_mul`.
+    pub fn mod_mul_speedup(&self) -> f64 {
+        self.mod_mul_naive_ns / self.mod_mul_mont_ns
+    }
+}
+
+/// Median ns/op of `f` over `iters` iterations, with warmup.
+fn time_ns<R>(iters: usize, mut f: impl FnMut() -> R) -> f64 {
+    std::hint::black_box(f());
+    let samples = 5;
+    let mut medians = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        medians.push(t.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    medians.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    medians[samples / 2]
+}
+
+/// Measures all primitives for a group whose prime factors have
+/// `prime_bits` bits (modulus `N` has `2·prime_bits` bits).
+pub fn measure(prime_bits: usize, seed: u64) -> PrimitiveTimings {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let p = gen_prime(prime_bits, &mut rng);
+    let q = gen_prime(prime_bits, &mut rng);
+    let n = &p * &q;
+    let ctx = MontgomeryCtx::new(&n).expect("N = P·Q is odd");
+
+    // Full-width reduced operands — group elements occupy all of [0, N).
+    let a = &n - &BigUint::from_u64(12345);
+    let b = &n - &BigUint::from_u64(6789);
+    let e = &n - &BigUint::from_u64(2); // full-length exponent
+
+    let mod_mul_naive_ns = time_ns(2_000, || a.mod_mul(&b, &n));
+    let mod_mul_mont_ns = time_ns(2_000, || ctx.mod_mul(&a, &b));
+    let mod_pow_naive_ns = time_ns(50, || a.mod_pow_naive(&e, &n));
+    let mod_pow_mont_ns = time_ns(50, || a.mod_pow(&e, &n));
+
+    let group = SimulatedGroup::new(sla_pairing::GroupParams::from_factors(p, q));
+    let x = group.random_gp(&mut rng);
+    let y = group.random_gp(&mut rng);
+    let pairing_ns = time_ns(2_000, || group.pair(&x, &y));
+
+    PrimitiveTimings {
+        modulus_bits: n.bit_len(),
+        mod_mul_naive_ns,
+        mod_mul_mont_ns,
+        mod_pow_naive_ns,
+        mod_pow_mont_ns,
+        pairing_ns,
+    }
+}
+
+/// Renders the timing series as the `BENCH_primitives.json` artifact.
+pub fn to_json(rows: &[PrimitiveTimings]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"sla-bench/primitives/v1\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"modulus_bits\": {}, \"mod_mul_naive_ns\": {:.1}, \"mod_mul_mont_ns\": {:.1}, \
+             \"mod_pow_naive_ns\": {:.1}, \"mod_pow_mont_ns\": {:.1}, \"pairing_ns\": {:.1}, \
+             \"mod_mul_speedup\": {:.2}, \"mod_pow_speedup\": {:.2}}}{}\n",
+            r.modulus_bits,
+            r.mod_mul_naive_ns,
+            r.mod_mul_mont_ns,
+            r.mod_pow_naive_ns,
+            r.mod_pow_mont_ns,
+            r.pairing_ns,
+            r.mod_mul_speedup(),
+            r.mod_pow_speedup(),
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_produces_sane_numbers() {
+        let t = measure(32, 7);
+        assert_eq!(t.modulus_bits, 64);
+        for v in [
+            t.mod_mul_naive_ns,
+            t.mod_mul_mont_ns,
+            t.mod_pow_naive_ns,
+            t.mod_pow_mont_ns,
+            t.pairing_ns,
+        ] {
+            assert!(v.is_finite() && v > 0.0);
+        }
+        let json = to_json(&[t]);
+        assert!(json.contains("\"modulus_bits\": 64"));
+        assert!(json.contains("mod_pow_speedup"));
+    }
+}

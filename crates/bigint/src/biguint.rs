@@ -55,7 +55,9 @@ impl BigUint {
     pub fn from_u128(v: u128) -> Self {
         let lo = v as u64;
         let hi = (v >> 64) as u64;
-        let mut out = BigUint { limbs: vec![lo, hi] };
+        let mut out = BigUint {
+            limbs: vec![lo, hi],
+        };
         out.normalize();
         out
     }

@@ -58,9 +58,7 @@ impl BigUint {
             let numer = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
             let mut qhat = numer / v_top;
             let mut rhat = numer % v_top;
-            while qhat >> 64 != 0
-                || qhat * v_next > ((rhat << 64) | un[j + n - 2] as u128)
-            {
+            while qhat >> 64 != 0 || qhat * v_next > ((rhat << 64) | un[j + n - 2] as u128) {
                 qhat -= 1;
                 rhat += v_top;
                 if rhat >> 64 != 0 {

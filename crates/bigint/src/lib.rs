@@ -12,6 +12,10 @@
 //! * Modular arithmetic — [`BigUint::mod_add`], [`BigUint::mod_sub`],
 //!   [`BigUint::mod_mul`], [`BigUint::mod_pow`], [`BigUint::mod_inverse`],
 //!   [`BigUint::gcd`].
+//! * Montgomery fast path — [`MontgomeryCtx`] precomputes `-N^{-1} mod
+//!   2^64` and `R^2 mod N` for an odd modulus, making every subsequent
+//!   product a division-free CIOS pass; [`BigUint::mod_pow`] routes odd
+//!   moduli through its sliding-window ladder automatically.
 //! * Primality — Miller–Rabin testing ([`is_probable_prime`]) and random
 //!   prime generation ([`gen_prime`]).
 //! * Random sampling — [`random_below`], [`random_bits`].
@@ -37,9 +41,11 @@ mod arith;
 mod biguint;
 mod div;
 mod modular;
+mod montgomery;
 mod prime;
 mod random;
 
 pub use biguint::{BigUint, ParseBigUintError};
+pub use montgomery::MontgomeryCtx;
 pub use prime::{gen_prime, is_probable_prime, MillerRabinConfig};
 pub use random::{random_below, random_bits, random_nonzero_below};

@@ -4,14 +4,35 @@ use crate::BigUint;
 
 impl BigUint {
     /// `(self + rhs) mod m`. Operands need not be reduced.
+    ///
+    /// When both operands are already reduced (`< m`) — the common case on
+    /// the group hot path, where every element is kept canonical — this is
+    /// one addition plus at most one subtraction, with no division.
     pub fn mod_add(&self, rhs: &BigUint, m: &BigUint) -> BigUint {
         assert!(!m.is_zero(), "modulus must be non-zero");
+        if self < m && rhs < m {
+            let sum = self + rhs;
+            if &sum >= m {
+                return &sum - m;
+            }
+            return sum;
+        }
         &(self + rhs) % m
     }
 
     /// `(self - rhs) mod m`, wrapping negative results into `[0, m)`.
+    ///
+    /// Reduced operands take a division-free fast path, mirroring
+    /// [`BigUint::mod_add`].
     pub fn mod_sub(&self, rhs: &BigUint, m: &BigUint) -> BigUint {
         assert!(!m.is_zero(), "modulus must be non-zero");
+        if self < m && rhs < m {
+            return if self >= rhs {
+                self - rhs
+            } else {
+                &(self + m) - rhs
+            };
+        }
         let a = self % m;
         let b = rhs % m;
         if a >= b {
@@ -27,10 +48,30 @@ impl BigUint {
         &(self * rhs) % m
     }
 
-    /// `self^exp mod m` by left-to-right binary square-and-multiply.
+    /// `self^exp mod m`.
+    ///
+    /// Odd moduli (every prime and every HVE group order `N = P·Q`)
+    /// dispatch to the windowed Montgomery ladder in
+    /// [`crate::MontgomeryCtx`], which replaces the per-step division with
+    /// a single CIOS reduction; even moduli fall back to
+    /// [`BigUint::mod_pow_naive`].
     ///
     /// `0^0 mod m` is defined as `1 mod m`, matching the usual convention.
     pub fn mod_pow(&self, exp: &BigUint, m: &BigUint) -> BigUint {
+        assert!(!m.is_zero(), "modulus must be non-zero");
+        if m.is_one() {
+            return BigUint::zero();
+        }
+        if let Some(ctx) = crate::MontgomeryCtx::new(m) {
+            return ctx.mod_pow(self, exp);
+        }
+        self.mod_pow_naive(exp, m)
+    }
+
+    /// `self^exp mod m` by left-to-right binary square-and-multiply with a
+    /// full division per step — the pre-Montgomery baseline, kept public
+    /// so benchmarks and property tests can compare against it.
+    pub fn mod_pow_naive(&self, exp: &BigUint, m: &BigUint) -> BigUint {
         assert!(!m.is_zero(), "modulus must be non-zero");
         if m.is_one() {
             return BigUint::zero();

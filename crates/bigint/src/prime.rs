@@ -6,9 +6,9 @@ use rand::Rng;
 
 /// Small primes used for trial division before Miller–Rabin.
 const SMALL_PRIMES: [u64; 46] = [
-    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
-    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
-    193, 197, 199,
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199,
 ];
 
 /// Tuning knobs for [`is_probable_prime`].
@@ -52,13 +52,19 @@ pub fn is_probable_prime<R: Rng>(n: &BigUint, cfg: MillerRabinConfig, rng: &mut 
     let s = n_minus_1.trailing_zeros();
     let d = n_minus_1.shr_bits(s);
 
+    // One Montgomery context for the whole witness loop: every witness
+    // exponentiation and every squaring shares the same (odd) modulus, so
+    // hoisting the context keeps the entire test division-free instead of
+    // rebuilding R^2 mod n per mod_pow call.
+    let mont = crate::MontgomeryCtx::new(n).expect("n is odd and > 1 here");
+
     let witness_passes = |a: &BigUint| -> bool {
-        let mut x = a.mod_pow(&d, n);
+        let mut x = mont.mod_pow(a, &d);
         if x.is_one() || x == n_minus_1 {
             return true;
         }
         for _ in 0..s - 1 {
-            x = x.mod_mul(&x, n);
+            x = mont.mod_mul(&x, &x);
             if x == n_minus_1 {
                 return true;
             }

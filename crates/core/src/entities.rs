@@ -158,8 +158,19 @@ impl ServiceProvider {
         scheme: &HveScheme<'_, G>,
         tokens: &[Token],
     ) -> Vec<u64> {
+        Self::match_chunk_exhaustive(&self.store, scheme, tokens)
+    }
+
+    /// Exhaustive matching of one contiguous chunk of the store; the unit
+    /// of work both the serial and the parallel batch paths share, so
+    /// their outcomes are identical by construction.
+    fn match_chunk_exhaustive<G: BilinearGroup>(
+        chunk: &[Subscription],
+        scheme: &HveScheme<'_, G>,
+        tokens: &[Token],
+    ) -> Vec<u64> {
         let mut notified = Vec::new();
-        for sub in &self.store {
+        for sub in chunk {
             let mut hit = false;
             for token in tokens {
                 if scheme.query_decode(token, &sub.ciphertext) == Some(sub.user_id) {
@@ -171,5 +182,85 @@ impl ServiceProvider {
             }
         }
         notified
+    }
+
+    /// Default chunk size for [`Self::process_alert_batch`]: a handful of
+    /// chunks per available core so stragglers rebalance — or one single
+    /// chunk when only one core is available or the store is small, where
+    /// the rayon shim's per-call thread spawns (scoped threads, no
+    /// persistent pool — it is `forbid(unsafe_code)`) outweigh the
+    /// matching work. An explicit `chunk_size` always takes the parallel
+    /// machinery, which is what the equivalence tests exercise.
+    pub fn default_batch_chunk_size(&self) -> usize {
+        let threads = Self::match_threads();
+        if threads <= 1 || self.store.len() < Self::PARALLEL_MIN_STORE {
+            return self.store.len().max(1);
+        }
+        self.store.len().div_ceil(threads * 4).max(1)
+    }
+
+    #[cfg(feature = "parallel")]
+    fn match_threads() -> usize {
+        rayon::current_num_threads()
+    }
+
+    #[cfg(not(feature = "parallel"))]
+    fn match_threads() -> usize {
+        1
+    }
+
+    /// Batch variant of [`Self::match_alert_exhaustive`]: partitions the
+    /// ciphertext store into `chunk_size`-sized chunks and matches them in
+    /// parallel (rayon; `parallel` feature, on by default — serial chunks
+    /// otherwise).
+    ///
+    /// Chunk results are concatenated in store order, so the returned ids
+    /// are **byte-identical** to the serial path's regardless of thread
+    /// count, and the engine's atomic [`sla_pairing::OpCounters`] see
+    /// exactly the same number of pairings.
+    ///
+    /// # Panics
+    /// Panics if `chunk_size == 0`.
+    pub fn process_alert_batch<G: BilinearGroup + Sync>(
+        &self,
+        scheme: &HveScheme<'_, G>,
+        tokens: &[Token],
+        chunk_size: usize,
+    ) -> Vec<u64> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        let per_chunk: Vec<Vec<u64>> = self.match_chunks(scheme, tokens, chunk_size);
+        per_chunk.into_iter().flatten().collect()
+    }
+
+    /// Below this store size [`Self::default_batch_chunk_size`] picks a
+    /// single chunk, keeping the default path serial where parallelism
+    /// cannot pay for its thread spawns.
+    const PARALLEL_MIN_STORE: usize = 256;
+
+    #[cfg(feature = "parallel")]
+    fn match_chunks<G: BilinearGroup + Sync>(
+        &self,
+        scheme: &HveScheme<'_, G>,
+        tokens: &[Token],
+        chunk_size: usize,
+    ) -> Vec<Vec<u64>> {
+        use rayon::prelude::*;
+        self.store
+            .par_chunks(chunk_size)
+            .map(|chunk| Self::match_chunk_exhaustive(chunk, scheme, tokens))
+            .collect()
+    }
+
+    #[cfg(not(feature = "parallel"))]
+    fn match_chunks<G: BilinearGroup + Sync>(
+        &self,
+        scheme: &HveScheme<'_, G>,
+        tokens: &[Token],
+        chunk_size: usize,
+    ) -> Vec<Vec<u64>> {
+        self.store
+            .chunks(chunk_size)
+            .map(|chunk| Self::match_chunk_exhaustive(chunk, scheme, tokens))
+            .collect()
     }
 }

@@ -51,7 +51,10 @@ pub fn evaluate_workload(
     for zone in zones {
         let patterns = codebook.tokens_for(zone);
         tokens += patterns.len() as u64;
-        non_star_bits += patterns.iter().map(|p| p.non_star_count() as u64).sum::<u64>();
+        non_star_bits += patterns
+            .iter()
+            .map(|p| p.non_star_count() as u64)
+            .sum::<u64>();
         pairings += patterns
             .iter()
             .map(|p| 1 + 2 * p.non_star_count() as u64)

@@ -128,22 +128,30 @@ impl AlertSystem {
         }
     }
 
-    /// Issues an alert for a set of cells: the TA minimizes and signs
-    /// tokens, the SP evaluates them exhaustively (the cost model's
-    /// regime), and matched users are notified.
-    pub fn issue_alert<R: Rng>(&mut self, alert_cells: &[usize], rng: &mut R) -> AlertOutcome {
+    /// Shared alert pipeline: token issuance, analytic cost, counter
+    /// bracketing and outcome assembly; `match_fn` supplies the matching
+    /// strategy, which is the only difference between the serial and
+    /// batch entry points (keeping their outcomes identical by
+    /// construction).
+    fn issue_alert_with<R: Rng>(
+        &mut self,
+        alert_cells: &[usize],
+        rng: &mut R,
+        match_fn: impl FnOnce(
+            &ServiceProvider,
+            &HveScheme<'_, SimulatedGroup>,
+            &[sla_hve::Token],
+        ) -> Vec<u64>,
+    ) -> AlertOutcome {
         let scheme = self.scheme();
         let tokens = self.ta.issue_tokens(&scheme, alert_cells, rng);
-        let non_star_bits: u64 = tokens
-            .iter()
-            .map(|t| t.non_star_count() as u64)
-            .sum();
+        let non_star_bits: u64 = tokens.iter().map(|t| t.non_star_count() as u64).sum();
         let analytic = self
             .ta
             .analytic_pairing_cost(alert_cells, self.sp.n_subscriptions() as u64);
 
         let before = self.group.counters().snapshot();
-        let mut notified = self.sp.match_alert_exhaustive(&scheme, &tokens);
+        let mut notified = match_fn(&self.sp, &scheme, &tokens);
         let delta = self.group.counters().snapshot() - before;
         notified.sort_unstable();
 
@@ -156,11 +164,40 @@ impl AlertSystem {
         }
     }
 
+    /// Issues an alert for a set of cells: the TA minimizes and signs
+    /// tokens, the SP evaluates them exhaustively (the cost model's
+    /// regime), and matched users are notified.
+    pub fn issue_alert<R: Rng>(&mut self, alert_cells: &[usize], rng: &mut R) -> AlertOutcome {
+        self.issue_alert_with(alert_cells, rng, |sp, scheme, tokens| {
+            sp.match_alert_exhaustive(scheme, tokens)
+        })
+    }
+
     /// Analytic pairing cost of an alert against the current store,
     /// without performing any cryptography.
     pub fn analytic_cost(&self, alert_cells: &[usize]) -> u64 {
         self.ta
             .analytic_pairing_cost(alert_cells, self.sp.n_subscriptions() as u64)
+    }
+
+    /// Batch variant of [`Self::issue_alert`]: the SP evaluates the token
+    /// set over chunks of the ciphertext store in parallel via
+    /// [`ServiceProvider::process_alert_batch`].
+    ///
+    /// `chunk_size` of `None` picks a per-core default. The outcome is
+    /// **identical** to [`Self::issue_alert`] for the same tokens — same
+    /// `notified`, `tokens_issued`, `pairings_used` — which the
+    /// `batch_matching` integration tests assert.
+    pub fn issue_alert_batch<R: Rng>(
+        &mut self,
+        alert_cells: &[usize],
+        chunk_size: Option<usize>,
+        rng: &mut R,
+    ) -> AlertOutcome {
+        self.issue_alert_with(alert_cells, rng, |sp, scheme, tokens| {
+            let chunk = chunk_size.unwrap_or_else(|| sp.default_batch_chunk_size());
+            sp.process_alert_batch(scheme, tokens, chunk)
+        })
     }
 }
 
@@ -202,12 +239,7 @@ mod tests {
                 system.subscribe_cell(100 + cell as u64, cell, &mut rng);
             }
             let outcome = system.issue_alert(&[1, 4], &mut rng);
-            assert_eq!(
-                outcome.notified,
-                vec![101, 104],
-                "{:?}",
-                encoder
-            );
+            assert_eq!(outcome.notified, vec![101, 104], "{:?}", encoder);
             assert_eq!(
                 outcome.pairings_used, outcome.analytic_pairings,
                 "{encoder:?}: live counter must equal analytic model"

@@ -138,12 +138,10 @@ impl CrimeDataset {
             let weight_total: f64 = hotspots.iter().map(|h| h.1).sum();
 
             // Month weights from seasonality.
-            let month_weights: Vec<f64> =
-                (1..=12).map(|m| category.seasonality(m)).collect();
+            let month_weights: Vec<f64> = (1..=12).map(|m| category.seasonality(m)).collect();
             let month_total: f64 = month_weights.iter().sum();
 
-            let volume =
-                (category.annual_volume() as f64 * config.volume_scale).round() as usize;
+            let volume = (category.annual_volume() as f64 * config.volume_scale).round() as usize;
             for _ in 0..volume {
                 // month ~ seasonality
                 let mut pick = rng.gen::<f64>() * month_total;
@@ -239,11 +237,7 @@ impl CrimeDataset {
     }
 
     /// Per-cell counts across all categories.
-    pub fn cell_counts_total(
-        &self,
-        grid: &Grid,
-        months: std::ops::RangeInclusive<u8>,
-    ) -> Vec<u32> {
+    pub fn cell_counts_total(&self, grid: &Grid, months: std::ops::RangeInclusive<u8>) -> Vec<u32> {
         let mut counts = vec![0u32; grid.n_cells()];
         for inc in &self.incidents {
             if months.contains(&inc.month) {
@@ -288,10 +282,7 @@ mod tests {
     #[test]
     fn incidents_inside_bbox() {
         let ds = dataset();
-        assert!(ds
-            .incidents
-            .iter()
-            .all(|i| ds.bbox.contains(&i.location)));
+        assert!(ds.incidents.iter().all(|i| ds.bbox.contains(&i.location)));
         assert!(ds.incidents.iter().all(|i| (1..=12).contains(&i.month)));
     }
 

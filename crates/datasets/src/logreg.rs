@@ -95,12 +95,7 @@ impl LogisticRegression {
             let mut grad_w = vec![0.0; dims];
             let mut grad_b = 0.0;
             for (row, &label) in standardized.iter().zip(y) {
-                let z = bias
-                    + row
-                        .iter()
-                        .zip(&weights)
-                        .map(|(v, w)| v * w)
-                        .sum::<f64>();
+                let z = bias + row.iter().zip(&weights).map(|(v, w)| v * w).sum::<f64>();
                 let err = sigmoid(z) - label as u8 as f64;
                 for (g, v) in grad_w.iter_mut().zip(row) {
                     *g += err * v / n;

@@ -38,7 +38,9 @@ impl Default for RadiusSweep {
         RadiusSweep {
             // 20 m contact tracing up to ~2 km public-safety events; with
             // ~300 m cells this spans 1-cell to ~150-cell zones.
-            radii_m: vec![20.0, 50.0, 100.0, 200.0, 300.0, 500.0, 750.0, 1_000.0, 1_500.0, 2_000.0],
+            radii_m: vec![
+                20.0, 50.0, 100.0, 200.0, 300.0, 500.0, 750.0, 1_000.0, 1_500.0, 2_000.0,
+            ],
             zones_per_radius: 50,
         }
     }
@@ -77,21 +79,16 @@ pub struct MixedWorkload {
 impl MixedWorkload {
     /// The paper's four mixes with 20 m / 300 m radii.
     pub fn paper_mixes(count: usize) -> Vec<MixedWorkload> {
-        [
-            ("W1", 0.90),
-            ("W2", 0.75),
-            ("W3", 0.25),
-            ("W4", 0.10),
-        ]
-        .iter()
-        .map(|(label, frac)| MixedWorkload {
-            label: label.to_string(),
-            short_fraction: *frac,
-            short_radius_m: 20.0,
-            long_radius_m: 300.0,
-            count,
-        })
-        .collect()
+        [("W1", 0.90), ("W2", 0.75), ("W3", 0.25), ("W4", 0.10)]
+            .iter()
+            .map(|(label, frac)| MixedWorkload {
+                label: label.to_string(),
+                short_fraction: *frac,
+                short_radius_m: 20.0,
+                long_radius_m: 300.0,
+                count,
+            })
+            .collect()
     }
 
     /// Generates the workload (short zones first is avoided by sampling

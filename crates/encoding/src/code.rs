@@ -362,10 +362,7 @@ mod tests {
 
     #[test]
     fn common_prefix() {
-        let words = vec![
-            Codeword::parse("10*"),
-            Codeword::parse("11*"),
-        ];
+        let words = vec![Codeword::parse("10*"), Codeword::parse("11*")];
         assert_eq!(Codeword::common_prefix(&words).to_string(), "1");
         let words = vec![Codeword::parse("001"), Codeword::parse("01*")];
         assert_eq!(Codeword::common_prefix(&words).to_string(), "0");

@@ -146,8 +146,7 @@ impl CodingScheme {
 
         for (pos, &leaf) in leaf_ids.iter().enumerate() {
             let node = tree.node(leaf);
-            let word = CharWord(node.code.iter().map(|&c| Some(c)).collect())
-                .pad_stars_to(rl);
+            let word = CharWord(node.code.iter().map(|&c| Some(c)).collect()).pad_stars_to(rl);
             leaves.push(word);
             leaf_cell.push(node.cell);
             if let Some(cell) = node.cell {
@@ -177,17 +176,14 @@ impl CodingScheme {
         // Grid indexes (Algorithm 1, step III): zero-pad to RL, then (§4)
         // expand characters to bits and turn residual stars into zeros.
         let cell_indexes: Vec<BitString> = (0..n_cells)
-            .map(|cell| {
-                Self::index_bits(arity, rl, &cell_codes[cell])
-            })
+            .map(|cell| Self::index_bits(arity, rl, &cell_codes[cell]))
             .collect();
 
         // parentDict (Algorithm 3 initialization).
         let mut parent_dict = HashMap::new();
         for node_id in tree.internal_nodes() {
             let node = tree.node(node_id);
-            let word = CharWord(node.code.iter().map(|&c| Some(c)).collect())
-                .pad_stars_to(rl);
+            let word = CharWord(node.code.iter().map(|&c| Some(c)).collect()).pad_stars_to(rl);
             parent_dict.insert(word, tree.descendant_leaf_count(node_id));
         }
 
@@ -562,7 +558,10 @@ mod tests {
             for cell in 0..scheme.n_cells() {
                 let idx = scheme.index_of(cell);
                 assert_eq!(idx.len(), scheme.width_bits());
-                assert!(seen.insert(idx.clone()), "duplicate index for arity {arity}");
+                assert!(
+                    seen.insert(idx.clone()),
+                    "duplicate index for arity {arity}"
+                );
             }
         }
     }

@@ -171,8 +171,7 @@ impl CellCodebook {
                 codes,
                 dont_cares,
             } => {
-                let mut minterms: Vec<u64> =
-                    alert_cells.iter().map(|&c| codes[c]).collect();
+                let mut minterms: Vec<u64> = alert_cells.iter().map(|&c| codes[c]).collect();
                 minterms.sort_unstable();
                 minterms.dedup();
                 minimize_boolean(&minterms, dont_cares, *width)
@@ -192,8 +191,7 @@ impl CellCodebook {
         tokens: &[Codeword],
         alert_cells: &[usize],
     ) -> (Vec<usize>, Vec<usize>) {
-        let alerted: std::collections::HashSet<usize> =
-            alert_cells.iter().copied().collect();
+        let alerted: std::collections::HashSet<usize> = alert_cells.iter().copied().collect();
         let mut missed = Vec::new();
         let mut false_pos = Vec::new();
         for cell in 0..self.n_cells() {
@@ -248,12 +246,7 @@ mod tests {
         for kind in all_kinds() {
             let cb = CellCodebook::build(kind, &FIG4_PROBS);
             for cell in 0..cb.n_cells() {
-                assert_eq!(
-                    cb.index_of(cell).len(),
-                    cb.width_bits(),
-                    "{}",
-                    kind.name()
-                );
+                assert_eq!(cb.index_of(cell).len(), cb.width_bits(), "{}", kind.name());
             }
         }
     }

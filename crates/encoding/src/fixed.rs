@@ -59,8 +59,7 @@ pub fn gray_sgo_assignment(probs: &[f64]) -> Vec<BitString> {
 /// user ever encrypts them).
 pub fn unused_codes(assignment: &[BitString]) -> Vec<u64> {
     let width = assignment.first().map_or(0, |c| c.len());
-    let used: std::collections::HashSet<u64> =
-        assignment.iter().map(|c| c.to_u64()).collect();
+    let used: std::collections::HashSet<u64> = assignment.iter().map(|c| c.to_u64()).collect();
     (0..(1u64 << width)).filter(|c| !used.contains(c)).collect()
 }
 

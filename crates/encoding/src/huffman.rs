@@ -70,11 +70,7 @@ pub fn build_bary_huffman_tree(probs: &[f64], arity: usize) -> PrefixTree {
 
     for (cell, &p) in probs.iter().enumerate() {
         let id = tree.add_leaf(p, Some(cell));
-        heap.push(Entry {
-            weight: p,
-            seq,
-            id,
-        });
+        heap.push(Entry { weight: p, seq, id });
         seq += 1;
     }
 
@@ -272,10 +268,7 @@ mod tests {
             .count();
         assert_eq!(dummies, 1);
         // All real cells present exactly once.
-        let mut cells: Vec<usize> = leaves
-            .iter()
-            .filter_map(|&l| tree.node(l).cell)
-            .collect();
+        let mut cells: Vec<usize> = leaves.iter().filter_map(|&l| tree.node(l).cell).collect();
         cells.sort_unstable();
         assert_eq!(cells, vec![0, 1, 2, 3, 4, 5]);
     }

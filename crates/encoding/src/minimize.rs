@@ -8,8 +8,8 @@
 //! fully alerted — "all leaves under a common subtree root must be alerted;
 //! otherwise ... a user would be falsely notified".
 
-use crate::coding_tree::{CharWord, CodingScheme};
 use crate::code::Codeword;
+use crate::coding_tree::{CharWord, CodingScheme};
 
 /// Runs Algorithm 3: returns the minimized token codewords (character
 /// level) for the given set of alerted cells.

@@ -285,12 +285,7 @@ mod tests {
         counts.sort();
         assert_eq!(
             counts,
-            vec![
-                (vec![], 5),
-                (vec![0], 3),
-                (vec![0, 0], 2),
-                (vec![1], 2),
-            ]
+            vec![(vec![], 5), (vec![0], 3), (vec![0, 0], 2), (vec![1], 2),]
         );
     }
 
@@ -299,10 +294,11 @@ mod tests {
         let (t, _) = fig4_tree();
         let root = t.root();
         assert!((t.node(root).weight - 1.8).abs() < 1e-9);
-        assert!((t.average_code_length()
-            - (0.1 * 3.0 + 0.2 * 3.0 + 0.5 * 2.0 + 0.4 * 2.0 + 0.6 * 2.0))
-            .abs()
-            < 1e-9);
+        assert!(
+            (t.average_code_length() - (0.1 * 3.0 + 0.2 * 3.0 + 0.5 * 2.0 + 0.4 * 2.0 + 0.6 * 2.0))
+                .abs()
+                < 1e-9
+        );
     }
 
     #[test]

@@ -166,7 +166,10 @@ pub fn minimize_boolean(minterms: &[u64], dont_cares: &[u64], width: usize) -> V
             .map(|(pi, c)| (pi, c.iter().filter(|m| uncovered.contains(m)).count()))
             .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
             .expect("primes must cover all minterms");
-        assert!(gain > 0, "cover stalled: primes cannot cover remaining minterms");
+        assert!(
+            gain > 0,
+            "cover stalled: primes cannot cover remaining minterms"
+        );
         chosen.push(best);
         for &covered in &covers[best] {
             uncovered.remove(&covered);

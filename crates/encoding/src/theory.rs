@@ -211,10 +211,7 @@ mod tests {
             let total: f64 = probs.iter().sum();
             let normalized: Vec<f64> = probs.iter().map(|p| p / total).collect();
             let tree = build_huffman_tree(&normalized);
-            let p_min = normalized
-                .iter()
-                .cloned()
-                .fold(f64::INFINITY, f64::min);
+            let p_min = normalized.iter().cloned().fold(f64::INFINITY, f64::min);
             assert!(
                 tree.reference_length() as f64 <= thm4_golden_ratio_bound(p_min) + 1e-9,
                 "n={n}"

@@ -65,7 +65,10 @@ impl ProbabilityMap {
     pub fn new(probs: Vec<f64>) -> Self {
         assert!(!probs.is_empty(), "at least one cell required");
         for (i, &p) in probs.iter().enumerate() {
-            assert!(p.is_finite() && p >= 0.0, "invalid likelihood {p} at cell {i}");
+            assert!(
+                p.is_finite() && p >= 0.0,
+                "invalid likelihood {p} at cell {i}"
+            );
         }
         assert!(probs.iter().any(|&p| p > 0.0), "all-zero likelihoods");
         ProbabilityMap { probs }
@@ -188,17 +191,11 @@ mod tests {
     #[test]
     fn higher_inflection_is_more_skewed() {
         let mut rng = StdRng::seed_from_u64(42);
-        let lo = ProbabilityMap::sigmoid_synthetic(
-            1024,
-            SigmoidParams { a: 0.5, b: 20.0 },
-            &mut rng,
-        );
+        let lo =
+            ProbabilityMap::sigmoid_synthetic(1024, SigmoidParams { a: 0.5, b: 20.0 }, &mut rng);
         let mut rng = StdRng::seed_from_u64(42);
-        let hi = ProbabilityMap::sigmoid_synthetic(
-            1024,
-            SigmoidParams { a: 0.99, b: 20.0 },
-            &mut rng,
-        );
+        let hi =
+            ProbabilityMap::sigmoid_synthetic(1024, SigmoidParams { a: 0.99, b: 20.0 }, &mut rng);
         assert!(
             hi.skewness() > lo.skewness(),
             "a=0.99 skew {} should exceed a=0.5 skew {}",

@@ -99,10 +99,7 @@ impl ZoneSampler {
     /// Samples an epicenter cell ∝ probability.
     pub fn sample_epicenter_cell<R: Rng>(&self, rng: &mut R) -> CellId {
         let u: f64 = rng.gen();
-        let idx = self
-            .cdf
-            .partition_point(|&c| c < u)
-            .min(self.cdf.len() - 1);
+        let idx = self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1);
         CellId(idx)
     }
 
@@ -129,7 +126,9 @@ impl ZoneSampler {
 
     /// Samples `count` zones of radius `radius_m`.
     pub fn sample_zones<R: Rng>(&self, radius_m: f64, count: usize, rng: &mut R) -> Vec<AlertZone> {
-        (0..count).map(|_| self.sample_zone(radius_m, rng)).collect()
+        (0..count)
+            .map(|_| self.sample_zone(radius_m, rng))
+            .collect()
     }
 }
 

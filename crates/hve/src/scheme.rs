@@ -188,7 +188,11 @@ impl<'g, G: BilinearGroup> HveScheme<'g, G> {
     /// # Panics
     /// Panics if token and ciphertext widths differ.
     pub fn query(&self, token: &Token, ct: &Ciphertext) -> GtElem {
-        assert_eq!(token.pattern.len(), ct.width(), "token/ciphertext width mismatch");
+        assert_eq!(
+            token.pattern.len(),
+            ct.width(),
+            "token/ciphertext width mismatch"
+        );
         let grp = self.group;
 
         let numer = grp.pair(&ct.c0, &token.k0);
@@ -220,10 +224,8 @@ impl<'g, G: BilinearGroup> HveScheme<'g, G> {
             "message id outside valid domain"
         );
         // +1 keeps the identity element out of the valid domain.
-        self.group.pow_gt(
-            &self.gt_generator(),
-            &BigUint::from_u64(id + 1),
-        )
+        self.group
+            .pow_gt(&self.gt_generator(), &BigUint::from_u64(id + 1))
     }
 
     /// Inverse of [`Self::encode_message`]; `None` when the element lies
@@ -322,8 +324,7 @@ mod tests {
             for s0 in symbols {
                 for s1 in symbols {
                     for s2 in symbols {
-                        let pat: SearchPattern =
-                            format!("{s0}{s1}{s2}").parse().unwrap();
+                        let pat: SearchPattern = format!("{s0}{s1}{s2}").parse().unwrap();
                         let tk = scheme.gen_token(&sk, &pat, &mut rng);
                         let expected = pat.matches(&index);
                         let got = scheme.query_decode(&tk, &ct) == Some(bits as u64);

@@ -6,11 +6,10 @@
 //! engine, [`CostModel::Calibrated`] injects a configurable amount of extra
 //! modular work per pairing. Operation *counts* are identical either way.
 
-use sla_bigint::BigUint;
+use sla_bigint::{BigUint, MontgomeryCtx};
 
 /// How much synthetic work each pairing performs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CostModel {
     /// Pairings are a single modular multiplication; rely on [`super::OpCounters`]
     /// for cost comparisons. This is the default and what the figure
@@ -27,17 +26,27 @@ pub enum CostModel {
     },
 }
 
-
 impl CostModel {
-    /// Performs the synthetic work mandated by the model.
-    pub(crate) fn burn(&self, seed: &BigUint, modulus: &BigUint) {
+    /// Performs the synthetic work mandated by the model, using the
+    /// engine's Montgomery context when one exists so calibrated runs
+    /// exercise the same arithmetic as real pairings.
+    pub(crate) fn burn(&self, seed: &BigUint, modulus: &BigUint, mont: Option<&MontgomeryCtx>) {
         if let CostModel::Calibrated {
             modmuls_per_pairing,
         } = self
         {
             let mut x = seed.clone();
-            for _ in 0..*modmuls_per_pairing {
-                x = x.mod_mul(&x, modulus);
+            match mont {
+                Some(ctx) => {
+                    for _ in 0..*modmuls_per_pairing {
+                        x = ctx.mont_mul(&x, &x);
+                    }
+                }
+                None => {
+                    for _ in 0..*modmuls_per_pairing {
+                        x = x.mod_mul(&x, modulus);
+                    }
+                }
             }
             std::hint::black_box(&x);
         }
@@ -51,7 +60,7 @@ mod tests {
     #[test]
     fn count_only_is_free() {
         let n = BigUint::from_u64(101);
-        CostModel::CountOnly.burn(&BigUint::from_u64(7), &n);
+        CostModel::CountOnly.burn(&BigUint::from_u64(7), &n, None);
     }
 
     #[test]
@@ -60,7 +69,7 @@ mod tests {
         CostModel::Calibrated {
             modmuls_per_pairing: 16,
         }
-        .burn(&BigUint::from_u64(7), &n);
+        .burn(&BigUint::from_u64(7), &n, MontgomeryCtx::new(&n).as_ref());
     }
 
     #[test]

@@ -1,0 +1,201 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! Benchmarks compile and run with `cargo bench` (the manifests set
+//! `harness = false`); each `Bencher::iter` call performs a warmup, sizes
+//! batches to a target wall-clock budget, and reports the median
+//! nanoseconds per iteration on stdout in a stable, grep-friendly format:
+//!
+//! ```text
+//! bench: hve/query/32 ... 1234 ns/iter (median of 7 samples)
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Wall-clock budget per benchmark (sampling stops after this).
+const TOTAL_BUDGET: Duration = Duration::from_millis(800);
+/// Target duration of one timed batch.
+const BATCH_TARGET: Duration = Duration::from_millis(40);
+const MAX_SAMPLES: usize = 15;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        run_bench(&id.into().0, f);
+    }
+}
+
+/// A named collection of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; sampling is time-budgeted here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, id.into().0), f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, optionally parameterized.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// Identifier carrying only a parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Timing context handed to benchmark closures.
+pub struct Bencher {
+    median_ns: f64,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Measures `f`, storing the median ns/iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup + batch sizing.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed();
+        let batch = if once.is_zero() {
+            1024
+        } else {
+            (BATCH_TARGET.as_nanos() / once.as_nanos().max(1)).clamp(1, 1 << 20) as u64
+        };
+
+        let started = Instant::now();
+        let mut samples_ns: Vec<f64> = Vec::new();
+        while samples_ns.len() < MAX_SAMPLES
+            && (samples_ns.len() < 3 || started.elapsed() < TOTAL_BUDGET)
+        {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples_ns.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.median_ns = samples_ns[samples_ns.len() / 2];
+        self.samples = samples_ns.len();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
+    let mut b = Bencher {
+        median_ns: f64::NAN,
+        samples: 0,
+    };
+    f(&mut b);
+    if b.samples == 0 {
+        println!("bench: {name} ... no measurement (Bencher::iter never called)");
+    } else {
+        println!(
+            "bench: {name} ... {:.0} ns/iter (median of {} samples)",
+            b.median_ns, b.samples
+        );
+    }
+}
+
+/// Declares a group of benchmark functions (shim for `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point (shim for `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.bench_function("noop_sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        g.bench_with_input(BenchmarkId::new("param", 42), &42u64, |b, &n| {
+            b.iter(|| n * 2);
+        });
+        g.finish();
+    }
+}

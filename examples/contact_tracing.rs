@@ -79,7 +79,10 @@ fn main() {
     expected.dedup();
 
     println!("exposed users (via encrypted matching): {exposed:?}");
-    assert_eq!(exposed, expected, "encrypted matching must equal ground truth");
+    assert_eq!(
+        exposed, expected,
+        "encrypted matching must equal ground truth"
+    );
 
     // Compare against the fixed-length baseline on the same trajectory.
     let mut baseline = AlertSystem::setup(
@@ -99,8 +102,8 @@ fn main() {
         baseline_pairings += baseline.issue_alert(&[site], &mut rng).pairings_used;
     }
 
-    let gain = 100.0 * (baseline_pairings as f64 - total_pairings as f64)
-        / baseline_pairings as f64;
+    let gain =
+        100.0 * (baseline_pairings as f64 - total_pairings as f64) / baseline_pairings as f64;
     println!("\npairings (huffman)     : {total_pairings}");
     println!("pairings (fixed [14])  : {baseline_pairings}");
     println!("improvement            : {gain:.1}%");

@@ -23,7 +23,11 @@ fn main() {
     let dataset = CrimeDataset::generate(&CrimeGeneratorConfig::default(), &mut rng);
     println!("incidents generated: {}", dataset.len());
     for (cat, months) in dataset.monthly_counts() {
-        println!("  {:<15} {:>5} incidents", cat.name(), months.iter().sum::<usize>());
+        println!(
+            "  {:<15} {:>5} incidents",
+            cat.name(),
+            months.iter().sum::<usize>()
+        );
     }
 
     let grid = Grid::chicago_downtown_32();
@@ -67,7 +71,10 @@ fn main() {
     );
 
     let outcome = system.issue_alert(&zone.cell_indices(), &mut rng);
-    println!("tokens: {}, pairings: {}", outcome.tokens_issued, outcome.pairings_used);
+    println!(
+        "tokens: {}, pairings: {}",
+        outcome.tokens_issued, outcome.pairings_used
+    );
     println!("notified users: {:?}", outcome.notified);
     assert_eq!(outcome.pairings_used, outcome.analytic_pairings);
 }
@@ -87,7 +94,5 @@ fn coarsen(
         }
     }
     let k = (factor * factor) as f64;
-    secure_location_alerts::grid::ProbabilityMap::new(
-        out.into_iter().map(|p| p / k).collect(),
-    )
+    secure_location_alerts::grid::ProbabilityMap::new(out.into_iter().map(|p| p / k).collect())
 }

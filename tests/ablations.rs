@@ -21,7 +21,10 @@ fn ablation_dont_cares_never_hurt_boolean_minimization() {
         let with_dc = minimize_boolean(&minterms, &dont_cares, 3);
         let without_dc = minimize_boolean(&minterms, &[], 3);
         let cost = |tokens: &[secure_location_alerts::encoding::Codeword]| -> u64 {
-            tokens.iter().map(|t| 1 + 2 * t.non_star_count() as u64).sum()
+            tokens
+                .iter()
+                .map(|t| 1 + 2 * t.non_star_count() as u64)
+                .sum()
         };
         assert!(
             cost(&with_dc) <= cost(&without_dc),
@@ -52,9 +55,7 @@ fn ablation_deterministic_vs_boolean_on_same_tree() {
         // Boolean minimization over the (variable-length, padded) indexes.
         let minterms: Vec<u64> = zone.iter().map(|&c| scheme.index_of(c).to_u64()).collect();
         let unused: Vec<u64> = (0..(1u64 << width))
-            .filter(|v| {
-                (0..scheme.n_cells()).all(|c| scheme.index_of(c).to_u64() != *v)
-            })
+            .filter(|v| (0..scheme.n_cells()).all(|c| scheme.index_of(c).to_u64() != *v))
             .collect();
         let boolean = minimize_boolean(&minterms, &unused, width);
 
@@ -130,5 +131,8 @@ fn ablation_headline_gain_is_stable() {
         "compact-zone improvement {improvement:.1}% below the expected band"
     );
     assert_eq!(basic, sgo, "single-cell zones: SGO cannot aggregate");
-    assert_eq!(basic, balanced, "single-cell zones: balanced tree is fixed-length-equivalent");
+    assert_eq!(
+        basic, balanced,
+        "single-cell zones: balanced tree is fixed-length-equivalent"
+    );
 }

@@ -49,8 +49,16 @@ fn fig1_token_aggregation_live() {
         &scheme.encode_message(1),
         &mut rng,
     );
-    assert_eq!(scheme.query_decode(&token, &ct_b), Some(2), "user B matches");
-    assert_eq!(scheme.query_decode(&token, &ct_a), None, "user A must not match");
+    assert_eq!(
+        scheme.query_decode(&token, &ct_b),
+        Some(2),
+        "user B matches"
+    );
+    assert_eq!(
+        scheme.query_decode(&token, &ct_a),
+        None,
+        "user A must not match"
+    );
 
     // Cost comparison of §2.2: aggregated token evaluates with 5 pairings
     // per ciphertext vs 2 tokens x 7 pairings without aggregation.
