@@ -5,10 +5,11 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sla_bigint::{gen_prime, BigUint, MontgomeryCtx};
+use sla_bigint::{gen_prime, BigUint, FixedBaseTable, MontgomeryCtx, Reducer};
 use sla_encoding::{CellCodebook, EncoderKind};
 use sla_hve::{AttributeVector, HveScheme, SearchPattern};
-use sla_pairing::SimulatedGroup;
+use sla_pairing::{BilinearGroup, SimulatedGroup};
+use std::sync::Arc;
 
 /// Montgomery fast path vs the seed's division-based arithmetic, at the
 /// modulus sizes the group engine actually uses (48/64-bit primes give
@@ -43,6 +44,51 @@ fn bench_modular(c: &mut Criterion) {
     g.finish();
 }
 
+/// Fixed-base tables vs the generic windowed ladder — the repeated-base
+/// regime of Setup/Encrypt/GenToken, where one base is exponentiated with
+/// many fresh exponents. Includes the engine-level analogue: `pow_g` on a
+/// cached generator vs on an arbitrary element.
+fn bench_fixed_base(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(43);
+    let mut g = c.benchmark_group("fixed_base_vs_generic");
+    for prime_bits in [32usize, 48, 64] {
+        let p = gen_prime(prime_bits, &mut rng);
+        let q = gen_prime(prime_bits, &mut rng);
+        let n = &p * &q;
+        let bits = n.bit_len();
+        let reducer = Arc::new(Reducer::new(&n).expect("N > 1"));
+        let base = &n - &BigUint::from_u64(98765);
+        let table = FixedBaseTable::with_default_window(reducer, &base, bits);
+        let e = &n - &BigUint::from_u64(2);
+
+        g.bench_with_input(
+            BenchmarkId::new("generic_mod_pow", bits),
+            &bits,
+            |bch, _| {
+                bch.iter(|| base.mod_pow(&e, &n));
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("fixed_base_pow", bits), &bits, |bch, _| {
+            bch.iter(|| table.pow(&e));
+        });
+
+        let group = SimulatedGroup::new(sla_pairing::GroupParams::from_factors(p, q));
+        let arb = group.random_gp(&mut rng);
+        let gen = group.gp_generator();
+        g.bench_with_input(BenchmarkId::new("pow_g_generic", bits), &bits, |bch, _| {
+            bch.iter(|| group.pow_g(&arb, &e));
+        });
+        g.bench_with_input(
+            BenchmarkId::new("pow_g_generator", bits),
+            &bits,
+            |bch, _| {
+                bch.iter(|| group.pow_g(&gen, &e));
+            },
+        );
+    }
+    g.finish();
+}
+
 fn bench_hve_phases(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
     let group = SimulatedGroup::generate(64, &mut rng);
@@ -63,14 +109,34 @@ fn bench_hve_phases(c: &mut Criterion) {
             .collect();
         let token = scheme.gen_token(&sk, &SearchPattern::from_symbols(&symbols), &mut rng);
 
+        let ppk = scheme.prepare_public_key(&pk);
+        let psk = scheme.prepare_secret_key(&sk);
         g.bench_with_input(BenchmarkId::new("encrypt", width), &width, |bch, _| {
             let mut r = StdRng::seed_from_u64(2);
             bch.iter(|| scheme.encrypt(&pk, &index, &msg, &mut r));
         });
+        g.bench_with_input(
+            BenchmarkId::new("encrypt_prepared", width),
+            &width,
+            |bch, _| {
+                let mut r = StdRng::seed_from_u64(2);
+                bch.iter(|| scheme.encrypt_prepared(&ppk, &index, &msg, &mut r));
+            },
+        );
         g.bench_with_input(BenchmarkId::new("gen_token", width), &width, |bch, _| {
             let mut r = StdRng::seed_from_u64(3);
             bch.iter(|| scheme.gen_token(&sk, &SearchPattern::from_symbols(&symbols), &mut r));
         });
+        g.bench_with_input(
+            BenchmarkId::new("gen_token_prepared", width),
+            &width,
+            |bch, _| {
+                let mut r = StdRng::seed_from_u64(3);
+                bch.iter(|| {
+                    scheme.gen_token_prepared(&psk, &SearchPattern::from_symbols(&symbols), &mut r)
+                });
+            },
+        );
         g.bench_with_input(BenchmarkId::new("query", width), &width, |bch, _| {
             bch.iter(|| scheme.query(&token, &ct));
         });
@@ -98,5 +164,11 @@ fn bench_encoding(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_modular, bench_hve_phases, bench_encoding);
+criterion_group!(
+    benches,
+    bench_modular,
+    bench_fixed_base,
+    bench_hve_phases,
+    bench_encoding
+);
 criterion_main!(benches);

@@ -4,6 +4,7 @@
 //! cargo run -p sla-bench --bin repro --release             # everything
 //! cargo run -p sla-bench --bin repro --release -- fig9     # one figure
 //! cargo run -p sla-bench --bin repro --release -- fig10 --quick
+//! cargo run -p sla-bench --bin repro --release -- --smoke  # CI smoke test
 //! ```
 //!
 //! Tables are printed to stdout and written as CSV under `results/`.
@@ -17,6 +18,7 @@ struct Opts {
     zones: usize,
     out_dir: PathBuf,
     parallel: bool,
+    smoke: bool,
 }
 
 fn parse_args() -> Opts {
@@ -24,11 +26,13 @@ fn parse_args() -> Opts {
     let mut zones = 50usize;
     let mut out_dir = PathBuf::from("results");
     let mut parallel = false;
+    let mut smoke = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => zones = 10,
             "--parallel" => parallel = true,
+            "--smoke" => smoke = true,
             "--zones" => {
                 zones = args
                     .next()
@@ -51,11 +55,85 @@ fn parse_args() -> Opts {
         zones,
         out_dir,
         parallel,
+        smoke,
     }
+}
+
+/// Fast end-to-end exercise of the bench/repro path for CI: primitives at
+/// the smallest size, one HVE phase measurement, and a miniature alert
+/// round with the live-vs-analytic invariants asserted. Panics (failing
+/// the CI step) on any mismatch; writes a side artifact so it never
+/// clobbers the tracked `BENCH_primitives.json`.
+fn run_smoke(out_dir: &std::path::Path) {
+    println!("# smoke: primitives");
+    let rows = vec![primitives::measure(32, SEED)];
+    let phases = vec![primitives::measure_phases(24, 8, SEED)];
+    for r in &rows {
+        println!(
+            "primitives[{} bit N]: mod_pow {:.0} -> {:.0} ns ({:.2}x), fixed-base {:.0} ns ({:.2}x)",
+            r.modulus_bits,
+            r.mod_pow_naive_ns,
+            r.mod_pow_mont_ns,
+            r.mod_pow_speedup(),
+            r.mod_pow_fixed_ns,
+            r.fixed_base_speedup(),
+        );
+    }
+    for p in &phases {
+        println!(
+            "phases[{} bit N, l={}]: encrypt {:.0} -> {:.0} ns, gen_token {:.0} -> {:.0} ns",
+            p.modulus_bits,
+            p.width,
+            p.encrypt_ns,
+            p.encrypt_prepared_ns,
+            p.gen_token_ns,
+            p.gen_token_prepared_ns,
+        );
+    }
+    let path = out_dir.join("BENCH_primitives_smoke.json");
+    let write = std::fs::create_dir_all(out_dir)
+        .and_then(|()| std::fs::write(&path, primitives::to_json(&rows, &phases)))
+        .map(|()| path);
+    report(write);
+
+    println!("# smoke: end-to-end alert round");
+    use rand::{rngs::StdRng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let grid = sla_grid::Grid::new(sla_grid::BoundingBox::new(0.0, 0.0, 0.1, 0.1), 4, 4);
+    let probs = sla_grid::ProbabilityMap::new(vec![1.0 / 16.0; 16]);
+    let mut system = sla_core::AlertSystem::setup(
+        sla_core::SystemConfig {
+            grid,
+            encoder: sla_encoding::EncoderKind::Huffman,
+            group_bits: 32,
+        },
+        &probs,
+        &mut rng,
+    );
+    for cell in 0..16 {
+        system.subscribe_cell(100 + cell as u64, cell, &mut rng);
+    }
+    let serial = system.issue_alert(&[2, 3, 6], &mut rng);
+    let batch = system.issue_alert_batch(&[2, 3, 6], Some(4), &mut rng);
+    assert_eq!(serial.notified, vec![102, 103, 106], "smoke: wrong matches");
+    assert_eq!(serial.notified, batch.notified, "smoke: batch != serial");
+    assert_eq!(
+        serial.pairings_used, serial.analytic_pairings,
+        "smoke: live counters diverge from the analytic model"
+    );
+    println!(
+        "smoke OK: {} users notified, {} pairings (= analytic), batch identical",
+        serial.notified.len(),
+        serial.pairings_used
+    );
 }
 
 fn main() {
     let opts = parse_args();
+    if opts.smoke {
+        run_smoke(&opts.out_dir);
+        return;
+    }
     println!("# Reproducing EDBT 2021 'Location-based Alert Protocol using SE and Huffman Codes'");
     println!(
         "# seed={SEED}, ciphertexts per alert={N_CIPHERTEXTS}, zones per point={}, parallel={}\n",
@@ -149,7 +227,8 @@ fn main() {
                 for r in &rows {
                     println!(
                         "primitives[{} bit N]: mod_mul {:.0} -> {:.0} ns ({:.2}x), \
-                         mod_pow {:.0} -> {:.0} ns ({:.2}x), pairing {:.0} ns",
+                         mod_pow {:.0} -> {:.0} ns ({:.2}x), fixed-base {:.0} ns \
+                         ({:.2}x over mont), pairing {:.0} ns",
                         r.modulus_bits,
                         r.mod_mul_naive_ns,
                         r.mod_mul_mont_ns,
@@ -157,12 +236,36 @@ fn main() {
                         r.mod_pow_naive_ns,
                         r.mod_pow_mont_ns,
                         r.mod_pow_speedup(),
+                        r.mod_pow_fixed_ns,
+                        r.fixed_base_speedup(),
                         r.pairing_ns,
+                    );
+                }
+                // Per-phase Setup/Encrypt/GenToken timings, plain vs
+                // prepared, at the default simulation order (96-bit N).
+                let phases: Vec<_> = [8usize, 16, 32]
+                    .iter()
+                    .map(|&width| primitives::measure_phases(48, width, SEED))
+                    .collect();
+                for p in &phases {
+                    println!(
+                        "phases[{} bit N, l={}]: setup {:.1} µs (+{:.1} µs prepare), \
+                         encrypt {:.1} -> {:.1} µs ({:.2}x), gen_token {:.1} -> {:.1} µs ({:.2}x)",
+                        p.modulus_bits,
+                        p.width,
+                        p.setup_ns / 1e3,
+                        p.prepare_ns / 1e3,
+                        p.encrypt_ns / 1e3,
+                        p.encrypt_prepared_ns / 1e3,
+                        p.encrypt_speedup(),
+                        p.gen_token_ns / 1e3,
+                        p.gen_token_prepared_ns / 1e3,
+                        p.gen_token_speedup(),
                     );
                 }
                 let path = opts.out_dir.join("BENCH_primitives.json");
                 let write = std::fs::create_dir_all(&opts.out_dir)
-                    .and_then(|()| std::fs::write(&path, primitives::to_json(&rows)))
+                    .and_then(|()| std::fs::write(&path, primitives::to_json(&rows, &phases)))
                     .map(|()| path);
                 report(write);
             }

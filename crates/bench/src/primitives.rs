@@ -1,14 +1,18 @@
 //! Primitive-operation timings: the data behind `BENCH_primitives.json`.
 //!
 //! Measures the modular building blocks every HVE phase bottoms out in —
-//! `mod_mul`, `mod_pow` (naive division-based vs Montgomery fast path)
-//! and the simulated `pair` — so the performance trajectory of the
-//! arithmetic layer is tracked across PRs as a machine-readable artifact.
+//! `mod_mul`, `mod_pow` (naive division-based vs Montgomery vs fixed-base
+//! table) and the simulated `pair` — plus the HVE phases themselves
+//! (Setup / Encrypt / GenToken, plain and prepared), so the performance
+//! trajectory of the arithmetic layer is tracked across PRs as a
+//! machine-readable artifact.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sla_bigint::{gen_prime, BigUint, MontgomeryCtx};
+use sla_bigint::{gen_prime, BigUint, FixedBaseTable, MontgomeryCtx, Reducer};
+use sla_hve::{AttributeVector, HveScheme, SearchPattern};
 use sla_pairing::{BilinearGroup, SimulatedGroup};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Timings (ns/op medians) for one modulus size.
@@ -23,9 +27,13 @@ pub struct PrimitiveTimings {
     /// `a^e mod N` via square-and-multiply with division per step.
     pub mod_pow_naive_ns: f64,
     /// `a^e mod N` via the windowed Montgomery ladder (what
-    /// `BigUint::mod_pow` now dispatches to for odd moduli).
+    /// `BigUint::mod_pow` dispatches to for odd moduli).
     pub mod_pow_mont_ns: f64,
-    /// One simulated pairing on a `SimulatedGroup` of this order.
+    /// `a^e mod N` via a per-base [`FixedBaseTable`] (the repeated-base
+    /// regime of Setup/Encrypt/GenToken).
+    pub mod_pow_fixed_ns: f64,
+    /// One simulated pairing on a `SimulatedGroup` of this order (a single
+    /// residue-domain product under the Montgomery representation).
     pub pairing_ns: f64,
 }
 
@@ -38,6 +46,45 @@ impl PrimitiveTimings {
     /// Montgomery-vs-naive speedup on `mod_mul`.
     pub fn mod_mul_speedup(&self) -> f64 {
         self.mod_mul_naive_ns / self.mod_mul_mont_ns
+    }
+
+    /// Fixed-base-table-vs-generic-Montgomery speedup on `mod_pow`.
+    pub fn fixed_base_speedup(&self) -> f64 {
+        self.mod_pow_mont_ns / self.mod_pow_fixed_ns
+    }
+}
+
+/// Timings (ns/op medians) for the HVE phases at one (modulus, width).
+#[derive(Debug, Clone)]
+pub struct PhaseTimings {
+    /// Bit length of the composite modulus `N = P·Q`.
+    pub modulus_bits: usize,
+    /// HVE width `l`.
+    pub width: usize,
+    /// **Setup**: one `(PK, SK)` generation.
+    pub setup_ns: f64,
+    /// Building the fixed-base tables for both keys (amortized once per
+    /// key over every later Encrypt/GenToken).
+    pub prepare_ns: f64,
+    /// **Encrypt** through the plain key.
+    pub encrypt_ns: f64,
+    /// **Encrypt** through the prepared key's tables.
+    pub encrypt_prepared_ns: f64,
+    /// **GenToken** through the plain key.
+    pub gen_token_ns: f64,
+    /// **GenToken** through the prepared key's tables.
+    pub gen_token_prepared_ns: f64,
+}
+
+impl PhaseTimings {
+    /// Prepared-vs-plain speedup on Encrypt.
+    pub fn encrypt_speedup(&self) -> f64 {
+        self.encrypt_ns / self.encrypt_prepared_ns
+    }
+
+    /// Prepared-vs-plain speedup on GenToken.
+    pub fn gen_token_speedup(&self) -> f64 {
+        self.gen_token_ns / self.gen_token_prepared_ns
     }
 }
 
@@ -71,10 +118,14 @@ pub fn measure(prime_bits: usize, seed: u64) -> PrimitiveTimings {
     let b = &n - &BigUint::from_u64(6789);
     let e = &n - &BigUint::from_u64(2); // full-length exponent
 
+    let reducer = Arc::new(Reducer::new(&n).expect("N > 1"));
+    let table = FixedBaseTable::with_default_window(reducer, &a, n.bit_len());
+
     let mod_mul_naive_ns = time_ns(2_000, || a.mod_mul(&b, &n));
     let mod_mul_mont_ns = time_ns(2_000, || ctx.mod_mul(&a, &b));
     let mod_pow_naive_ns = time_ns(50, || a.mod_pow_naive(&e, &n));
     let mod_pow_mont_ns = time_ns(50, || a.mod_pow(&e, &n));
+    let mod_pow_fixed_ns = time_ns(200, || table.pow(&e));
 
     let group = SimulatedGroup::new(sla_pairing::GroupParams::from_factors(p, q));
     let x = group.random_gp(&mut rng);
@@ -87,27 +138,98 @@ pub fn measure(prime_bits: usize, seed: u64) -> PrimitiveTimings {
         mod_mul_mont_ns,
         mod_pow_naive_ns,
         mod_pow_mont_ns,
+        mod_pow_fixed_ns,
         pairing_ns,
     }
 }
 
-/// Renders the timing series as the `BENCH_primitives.json` artifact.
-pub fn to_json(rows: &[PrimitiveTimings]) -> String {
-    let mut out = String::from("{\n  \"schema\": \"sla-bench/primitives/v1\",\n  \"rows\": [\n");
+/// Measures the HVE phases (plain vs prepared) for a group with
+/// `prime_bits`-bit factors at HVE width `width`.
+pub fn measure_phases(prime_bits: usize, width: usize, seed: u64) -> PhaseTimings {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9);
+    let group = SimulatedGroup::generate(prime_bits, &mut rng);
+    let scheme = HveScheme::new(&group, width);
+
+    let setup_ns = time_ns(10, || scheme.setup(&mut rng));
+    let (pk, sk) = scheme.setup(&mut rng);
+    let prepare_ns = time_ns(10, || {
+        (
+            scheme.prepare_public_key(&pk),
+            scheme.prepare_secret_key(&sk),
+        )
+    });
+    let ppk = scheme.prepare_public_key(&pk);
+    let psk = scheme.prepare_secret_key(&sk);
+
+    let bits: Vec<bool> = (0..width).map(|i| i % 3 == 0).collect();
+    let index = AttributeVector::from_bits(&bits);
+    let msg = scheme.encode_message(7);
+    let symbols: Vec<Option<bool>> = bits
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| if i % 2 == 0 { Some(b) } else { None })
+        .collect();
+    let pattern = SearchPattern::from_symbols(&symbols);
+
+    let encrypt_ns = time_ns(40, || scheme.encrypt(&pk, &index, &msg, &mut rng));
+    let encrypt_prepared_ns = time_ns(40, || scheme.encrypt_prepared(&ppk, &index, &msg, &mut rng));
+    let gen_token_ns = time_ns(40, || scheme.gen_token(&sk, &pattern, &mut rng));
+    let gen_token_prepared_ns = time_ns(40, || scheme.gen_token_prepared(&psk, &pattern, &mut rng));
+
+    PhaseTimings {
+        modulus_bits: group.params().order_bits(),
+        width,
+        setup_ns,
+        prepare_ns,
+        encrypt_ns,
+        encrypt_prepared_ns,
+        gen_token_ns,
+        gen_token_prepared_ns,
+    }
+}
+
+/// Renders the timing series as the `BENCH_primitives.json` artifact
+/// (schema v2: primitive rows plus per-phase HVE timings).
+pub fn to_json(rows: &[PrimitiveTimings], phases: &[PhaseTimings]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"sla-bench/primitives/v2\",\n  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"modulus_bits\": {}, \"mod_mul_naive_ns\": {:.1}, \"mod_mul_mont_ns\": {:.1}, \
-             \"mod_pow_naive_ns\": {:.1}, \"mod_pow_mont_ns\": {:.1}, \"pairing_ns\": {:.1}, \
-             \"mod_mul_speedup\": {:.2}, \"mod_pow_speedup\": {:.2}}}{}\n",
+             \"mod_pow_naive_ns\": {:.1}, \"mod_pow_mont_ns\": {:.1}, \
+             \"mod_pow_fixed_ns\": {:.1}, \"pairing_ns\": {:.1}, \
+             \"mod_mul_speedup\": {:.2}, \"mod_pow_speedup\": {:.2}, \
+             \"fixed_base_speedup\": {:.2}}}{}\n",
             r.modulus_bits,
             r.mod_mul_naive_ns,
             r.mod_mul_mont_ns,
             r.mod_pow_naive_ns,
             r.mod_pow_mont_ns,
+            r.mod_pow_fixed_ns,
             r.pairing_ns,
             r.mod_mul_speedup(),
             r.mod_pow_speedup(),
+            r.fixed_base_speedup(),
             if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n  \"phases\": [\n");
+    for (i, p) in phases.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"modulus_bits\": {}, \"width\": {}, \"setup_ns\": {:.0}, \
+             \"prepare_ns\": {:.0}, \"encrypt_ns\": {:.0}, \"encrypt_prepared_ns\": {:.0}, \
+             \"gen_token_ns\": {:.0}, \"gen_token_prepared_ns\": {:.0}, \
+             \"encrypt_speedup\": {:.2}, \"gen_token_speedup\": {:.2}}}{}\n",
+            p.modulus_bits,
+            p.width,
+            p.setup_ns,
+            p.prepare_ns,
+            p.encrypt_ns,
+            p.encrypt_prepared_ns,
+            p.gen_token_ns,
+            p.gen_token_prepared_ns,
+            p.encrypt_speedup(),
+            p.gen_token_speedup(),
+            if i + 1 == phases.len() { "" } else { "," },
         ));
     }
     out.push_str("  ]\n}\n");
@@ -127,12 +249,32 @@ mod tests {
             t.mod_mul_mont_ns,
             t.mod_pow_naive_ns,
             t.mod_pow_mont_ns,
+            t.mod_pow_fixed_ns,
             t.pairing_ns,
         ] {
             assert!(v.is_finite() && v > 0.0);
         }
-        let json = to_json(&[t]);
+        let json = to_json(&[t], &[]);
         assert!(json.contains("\"modulus_bits\": 64"));
-        assert!(json.contains("mod_pow_speedup"));
+        assert!(json.contains("fixed_base_speedup"));
+    }
+
+    #[test]
+    fn measure_phases_produces_sane_numbers() {
+        let p = measure_phases(24, 8, 7);
+        assert_eq!(p.width, 8);
+        for v in [
+            p.setup_ns,
+            p.prepare_ns,
+            p.encrypt_ns,
+            p.encrypt_prepared_ns,
+            p.gen_token_ns,
+            p.gen_token_prepared_ns,
+        ] {
+            assert!(v.is_finite() && v > 0.0);
+        }
+        let json = to_json(&[], &[p]);
+        assert!(json.contains("\"phases\""));
+        assert!(json.contains("gen_token_speedup"));
     }
 }

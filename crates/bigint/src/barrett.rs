@@ -1,0 +1,187 @@
+//! Barrett reduction: division-free modular arithmetic for **any**
+//! modulus, covering the even moduli [`crate::MontgomeryCtx`] rejects.
+//!
+//! Montgomery form needs `gcd(N, 2^64) = 1`, so even moduli used to fall
+//! back to Knuth Algorithm-D division on every step. [`BarrettCtx`]
+//! instead precomputes, once per modulus,
+//!
+//! * `µ = ⌊ b^{2k} / N ⌋` with `b = 2^64` and `k` the limb count of `N`,
+//!
+//! after which any `x < b^{2k}` (in particular any product of two reduced
+//! operands) reduces with two multiplications, two shifts and at most two
+//! conditional subtractions — no division (HAC Algorithm 14.42, run at
+//! full width). Together with Montgomery this makes the modulus dispatch
+//! in [`BigUint::mod_pow`] **total**: odd `N` takes CIOS passes, even `N`
+//! takes Barrett passes, and the division-based ladder survives only as
+//! the explicitly-named [`BigUint::mod_pow_naive`] baseline.
+
+use crate::pow::{window_pow_res, ResidueOps};
+use crate::BigUint;
+
+/// Precomputed per-modulus state for division-free reduction by an
+/// arbitrary modulus `N > 1`.
+///
+/// The "residue domain" of a Barrett context is the canonical residues
+/// themselves (unlike Montgomery's `x·R mod N`), so domain conversion is
+/// just reduction into `[0, N)`.
+#[derive(Debug, Clone)]
+pub struct BarrettCtx {
+    /// The modulus `N`.
+    n: BigUint,
+    /// Limb count `k` of `N`.
+    k: usize,
+    /// `⌊ 2^{128k} / N ⌋`.
+    mu: BigUint,
+}
+
+impl BarrettCtx {
+    /// Builds a context for any modulus `n > 1`; `None` otherwise.
+    pub fn new(n: &BigUint) -> Option<Self> {
+        if n.is_zero() || n.is_one() {
+            return None;
+        }
+        let k = n.limbs().len();
+        let mu = &BigUint::one().shl_bits(128 * k) / n;
+        Some(BarrettCtx {
+            n: n.clone(),
+            k,
+            mu,
+        })
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// Reduces `x < 2^{128k}` into `[0, N)` without division.
+    ///
+    /// Any product of two reduced operands satisfies the bound; larger
+    /// values are canonicalized with one (cold-path) division.
+    pub fn reduce(&self, x: &BigUint) -> BigUint {
+        if x < &self.n {
+            return x.clone();
+        }
+        if x.bit_len() > 128 * self.k {
+            return x % &self.n; // outside Barrett's input range
+        }
+        // q̂ = ⌊ ⌊x / b^{k-1}⌋ · µ / b^{k+1} ⌋  underestimates the true
+        // quotient by at most 2, so r = x - q̂·N lands in [0, 3N).
+        let q = (&x.shr_bits(64 * (self.k - 1)) * &self.mu).shr_bits(64 * (self.k + 1));
+        let mut r = x - &(&q * &self.n);
+        while r >= self.n {
+            r = &r - &self.n;
+        }
+        r
+    }
+
+    /// `(a · b) mod N` via one full product and one Barrett reduction.
+    pub fn mod_mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let (ra, rb);
+        let a = if a < &self.n {
+            a
+        } else {
+            ra = a % &self.n;
+            &ra
+        };
+        let b = if b < &self.n {
+            b
+        } else {
+            rb = b % &self.n;
+            &rb
+        };
+        self.reduce(&(a * b))
+    }
+
+    /// `base^exp mod N` via the shared sliding-window ladder with a
+    /// Barrett reduction per step.
+    pub fn mod_pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        window_pow_res(self, &self.to_res(base), exp)
+    }
+}
+
+impl ResidueOps for BarrettCtx {
+    fn one_res(&self) -> BigUint {
+        BigUint::one() // N > 1 by construction
+    }
+    fn to_res(&self, a: &BigUint) -> BigUint {
+        if a < &self.n {
+            a.clone()
+        } else {
+            a % &self.n
+        }
+    }
+    fn mul_res(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        self.reduce(&(a * b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(v: u128) -> BigUint {
+        BigUint::from_u128(v)
+    }
+
+    #[test]
+    fn rejects_degenerate_moduli() {
+        assert!(BarrettCtx::new(&BigUint::zero()).is_none());
+        assert!(BarrettCtx::new(&BigUint::one()).is_none());
+        assert!(BarrettCtx::new(&b(2)).is_some());
+        assert!(BarrettCtx::new(&b(4096)).is_some());
+    }
+
+    #[test]
+    fn reduce_matches_remainder() {
+        for m in [2u128, 6, 97, 4096, 1 << 64, (1 << 80) + 2] {
+            let ctx = BarrettCtx::new(&b(m)).unwrap();
+            for x in [0u128, 1, m - 1, m, m + 1, m * 3 + 5, u128::MAX >> 8] {
+                assert_eq!(ctx.reduce(&b(x)), b(x % m), "x = {x}, m = {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn mod_mul_matches_naive_even_moduli() {
+        let samples = [0u128, 1, 2, 0x1234_5678, 0xdead_beef_cafe, u128::MAX >> 64];
+        for m in [2u128, 10, 4096, (1u128 << 96) + 4, (1 << 64) - 2] {
+            let m = b(m);
+            let ctx = BarrettCtx::new(&m).unwrap();
+            for &x in &samples {
+                for &y in &samples {
+                    assert_eq!(ctx.mod_mul(&b(x), &b(y)), b(x).mod_mul(&b(y), &m));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mod_pow_matches_naive() {
+        let m = b((1u128 << 90) + 6); // even, multi-limb
+        let ctx = BarrettCtx::new(&m).unwrap();
+        for (base, exp) in [
+            (0u128, 0u128),
+            (0, 5),
+            (5, 0),
+            (2, 1),
+            (3, 1_000_000),
+            (0xdead_beef, 0xcafe_babe_1234),
+        ] {
+            assert_eq!(
+                ctx.mod_pow(&b(base), &b(exp)),
+                b(base).mod_pow_naive(&b(exp), &m),
+                "base = {base}, exp = {exp}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_inputs_are_canonicalized() {
+        let m = b(1 << 20);
+        let ctx = BarrettCtx::new(&m).unwrap();
+        let huge = BigUint::one().shl_bits(500);
+        assert_eq!(ctx.reduce(&huge), &huge % &m);
+        assert_eq!(ctx.mod_mul(&huge, &huge), huge.mod_mul(&huge, &m));
+    }
+}

@@ -50,11 +50,12 @@ impl BigUint {
 
     /// `self^exp mod m`.
     ///
-    /// Odd moduli (every prime and every HVE group order `N = P·Q`)
-    /// dispatch to the windowed Montgomery ladder in
-    /// [`crate::MontgomeryCtx`], which replaces the per-step division with
-    /// a single CIOS reduction; even moduli fall back to
-    /// [`BigUint::mod_pow_naive`].
+    /// The dispatch through [`crate::Reducer`] is **total**: odd moduli
+    /// (every prime and every HVE group order `N = P·Q`) take the windowed
+    /// Montgomery ladder in [`crate::MontgomeryCtx`], even moduli take the
+    /// windowed Barrett ladder in [`crate::BarrettCtx`]. Neither path
+    /// divides per step; the division-based ladder survives only as the
+    /// explicitly-named [`BigUint::mod_pow_naive`] baseline.
     ///
     /// `0^0 mod m` is defined as `1 mod m`, matching the usual convention.
     pub fn mod_pow(&self, exp: &BigUint, m: &BigUint) -> BigUint {
@@ -62,10 +63,9 @@ impl BigUint {
         if m.is_one() {
             return BigUint::zero();
         }
-        if let Some(ctx) = crate::MontgomeryCtx::new(m) {
-            return ctx.mod_pow(self, exp);
-        }
-        self.mod_pow_naive(exp, m)
+        crate::Reducer::new(m)
+            .expect("modulus > 1 always has a reduction context")
+            .mod_pow(self, exp)
     }
 
     /// `self^exp mod m` by left-to-right binary square-and-multiply with a

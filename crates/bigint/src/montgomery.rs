@@ -16,9 +16,9 @@
 //! both the per-step reduction cost and the number of multiplies.
 //!
 //! The context requires an **odd** modulus (true for `N = P·Q` with odd
-//! primes); [`MontgomeryCtx::new`] returns `None` otherwise and callers
-//! fall back to the division-based path (see `ROADMAP.md` for the Barrett
-//! follow-on covering even moduli).
+//! primes); [`MontgomeryCtx::new`] returns `None` otherwise and the
+//! [`crate::Reducer`] dispatch routes those moduli through the Barrett
+//! context instead, keeping every `mod_pow` division-free.
 
 use crate::BigUint;
 
@@ -215,70 +215,26 @@ impl MontgomeryCtx {
     }
 
     /// `base^exp mod N` with a sliding window over a table of odd powers,
-    /// performed entirely in the Montgomery domain.
+    /// performed entirely in the Montgomery domain (the shared ladder in
+    /// `pow.rs`, instantiated with CIOS products).
     pub fn mod_pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
         if exp.is_zero() {
             return BigUint::one(); // N > 1 guaranteed by construction
         }
         let base_m = self.to_mont(base);
-        let bits = exp.bit_len();
+        self.from_mont(&crate::pow::window_pow_res(self, &base_m, exp))
+    }
+}
 
-        // Window size: 1 for short exponents up to 5 for very long ones.
-        let window = match bits {
-            0..=8 => 1,
-            9..=32 => 2,
-            33..=96 => 3,
-            97..=512 => 4,
-            _ => 5,
-        };
-
-        if window == 1 {
-            // Plain left-to-right square-and-multiply.
-            let mut acc = self.r1.clone();
-            for i in (0..bits).rev() {
-                acc = self.mont_mul(&acc, &acc);
-                if exp.bit(i) {
-                    acc = self.mont_mul(&acc, &base_m);
-                }
-            }
-            return self.from_mont(&acc);
-        }
-
-        // Odd-power table: odd[i] = base^(2i+1) in Montgomery form.
-        let base_sq = self.mont_mul(&base_m, &base_m);
-        let mut odd = Vec::with_capacity(1 << (window - 1));
-        odd.push(base_m);
-        for i in 1..(1usize << (window - 1)) {
-            let next = self.mont_mul(&odd[i - 1], &base_sq);
-            odd.push(next);
-        }
-
-        let mut acc = self.r1.clone();
-        let mut i = bits as isize - 1;
-        while i >= 0 {
-            if !exp.bit(i as usize) {
-                acc = self.mont_mul(&acc, &acc);
-                i -= 1;
-                continue;
-            }
-            // Greedily take up to `window` bits ending on a set bit so the
-            // window value is odd and hits the precomputed table.
-            let mut lo = (i - window as isize + 1).max(0);
-            while !exp.bit(lo as usize) {
-                lo += 1;
-            }
-            let width = (i - lo + 1) as usize;
-            let mut value = 0usize;
-            for b in (lo..=i).rev() {
-                value = (value << 1) | exp.bit(b as usize) as usize;
-            }
-            for _ in 0..width {
-                acc = self.mont_mul(&acc, &acc);
-            }
-            acc = self.mont_mul(&acc, &odd[(value - 1) / 2]);
-            i = lo - 1;
-        }
-        self.from_mont(&acc)
+impl crate::pow::ResidueOps for MontgomeryCtx {
+    fn one_res(&self) -> BigUint {
+        self.r1.clone()
+    }
+    fn to_res(&self, a: &BigUint) -> BigUint {
+        self.to_mont(a)
+    }
+    fn mul_res(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        self.mont_mul(a, b)
     }
 }
 

@@ -1,0 +1,105 @@
+//! Property tests for the fixed-base tables and the Barrett half of the
+//! total `Reducer` dispatch: both must agree exactly with the naive
+//! division-based arithmetic over random moduli (odd *and* even),
+//! exponents and window widths.
+
+use proptest::prelude::*;
+use sla_bigint::{BarrettCtx, BigUint, FixedBaseTable, Reducer};
+use std::sync::Arc;
+
+/// Builds a modulus > 1 from random limbs, forcing the requested parity.
+fn modulus(limbs: &[u64], force_even: bool) -> BigUint {
+    let mut m = BigUint::from_limbs(limbs.to_vec());
+    if force_even {
+        if m.is_odd() {
+            m = &m + &BigUint::one();
+        }
+        if m.is_zero() {
+            m = BigUint::from_u64(2);
+        }
+    } else if m.is_zero() || m.is_one() {
+        m = BigUint::from_u64(3);
+    }
+    m
+}
+
+proptest! {
+    #[test]
+    fn fixed_base_table_matches_naive_mod_pow(
+        m in prop::collection::vec(any::<u64>(), 1..4),
+        even in any::<bool>(),
+        base in prop::collection::vec(any::<u64>(), 1..4),
+        exp in prop::collection::vec(any::<u64>(), 1..3),
+        window in 1usize..9,
+        max_bits in 1usize..161,
+    ) {
+        let m = modulus(&m, even);
+        let base = BigUint::from_limbs(base);
+        let exp = BigUint::from_limbs(exp);
+        let reducer = Arc::new(Reducer::new(&m).expect("modulus > 1"));
+        // Undersized max_bits exercises the generic-ladder fallback.
+        let table = FixedBaseTable::new(reducer, &base, max_bits, window);
+        prop_assert_eq!(table.pow(&exp), base.mod_pow_naive(&exp, &m));
+    }
+
+    #[test]
+    fn fixed_base_residue_composes_with_reducer(
+        m in prop::collection::vec(any::<u64>(), 1..3),
+        base in any::<u64>(),
+        e1 in any::<u64>(),
+        e2 in any::<u64>(),
+    ) {
+        // base^e1 · base^e2 = base^(e1+e2), computed entirely in the
+        // residue domain and converted once at the end.
+        let m = modulus(&m, false);
+        let base = BigUint::from_u64(base);
+        let reducer = Arc::new(Reducer::new(&m).expect("modulus > 1"));
+        let table = FixedBaseTable::with_default_window(reducer.clone(), &base, 128);
+        let prod = reducer.residue_mul(
+            &table.pow_residue(&BigUint::from_u64(e1)),
+            &table.pow_residue(&BigUint::from_u64(e2)),
+        );
+        let sum = &BigUint::from_u64(e1) + &BigUint::from_u64(e2);
+        prop_assert_eq!(reducer.from_residue(&prod), base.mod_pow_naive(&sum, &m));
+    }
+
+    #[test]
+    fn barrett_mod_mul_matches_naive(
+        m in prop::collection::vec(any::<u64>(), 1..6),
+        a in prop::collection::vec(any::<u64>(), 1..8),
+        b in prop::collection::vec(any::<u64>(), 1..8),
+    ) {
+        let m = modulus(&m, true);
+        let a = BigUint::from_limbs(a);
+        let b = BigUint::from_limbs(b);
+        let ctx = BarrettCtx::new(&m).expect("even modulus > 1 accepted");
+        prop_assert_eq!(ctx.mod_mul(&a, &b), a.mod_mul(&b, &m));
+    }
+
+    #[test]
+    fn barrett_mod_pow_matches_naive(
+        m in prop::collection::vec(any::<u64>(), 1..4),
+        base in prop::collection::vec(any::<u64>(), 1..4),
+        exp in prop::collection::vec(any::<u64>(), 1..3),
+    ) {
+        let m = modulus(&m, true);
+        let base = BigUint::from_limbs(base);
+        let exp = BigUint::from_limbs(exp);
+        let ctx = BarrettCtx::new(&m).expect("even modulus > 1 accepted");
+        let expected = base.mod_pow_naive(&exp, &m);
+        prop_assert_eq!(ctx.mod_pow(&base, &exp), expected.clone());
+        // The total dispatch must route even moduli to the same answer.
+        prop_assert_eq!(base.mod_pow(&exp, &m), expected);
+    }
+
+    #[test]
+    fn barrett_reduce_matches_remainder(
+        m in prop::collection::vec(any::<u64>(), 1..4),
+        x in prop::collection::vec(any::<u64>(), 1..8),
+    ) {
+        let m = modulus(&m, true);
+        let x = BigUint::from_limbs(x);
+        let ctx = BarrettCtx::new(&m).expect("even modulus > 1 accepted");
+        prop_assert_eq!(ctx.reduce(&x), &x % &m);
+    }
+}

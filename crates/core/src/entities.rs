@@ -4,17 +4,42 @@ use crate::convert::{codeword_to_pattern, index_to_attribute};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use sla_encoding::CellCodebook;
-use sla_hve::{Ciphertext, HveScheme, PublicKey, SecretKey, Token};
+use sla_hve::{
+    Ciphertext, HveScheme, PreparedPublicKey, PreparedSecretKey, PublicKey, SecretKey, Token,
+};
 use sla_pairing::BilinearGroup;
 
 /// The Trusted Authority: holds the HVE secret key and the codebook's
 /// coding tree; issues minimized search tokens for alert zones. "The TA
 /// does not have access to user locations" — it only ever sees cell sets
 /// supplied by the alert source.
+///
+/// After [`TrustedAuthority::prepare`] the TA also holds fixed-base tables
+/// over its key material, so every token of every alert reuses the same
+/// per-base precomputation.
 #[derive(Debug)]
 pub struct TrustedAuthority {
-    sk: SecretKey,
+    /// The secret key, in exactly one state: plain after construction,
+    /// table-backed after [`Self::prepare`] (the prepared form embeds the
+    /// key, so nothing is stored twice).
+    key: TaKey,
     codebook: CellCodebook,
+}
+
+/// The TA's key-material state.
+#[derive(Debug)]
+enum TaKey {
+    Plain(SecretKey),
+    Prepared(Box<PreparedSecretKey>),
+}
+
+impl TaKey {
+    fn secret_key(&self) -> &SecretKey {
+        match self {
+            TaKey::Plain(sk) => sk,
+            TaKey::Prepared(psk) => psk.secret_key(),
+        }
+    }
 }
 
 impl TrustedAuthority {
@@ -25,7 +50,17 @@ impl TrustedAuthority {
             codebook.width_bits(),
             "secret key width must match the codebook"
         );
-        TrustedAuthority { sk, codebook }
+        TrustedAuthority {
+            key: TaKey::Plain(sk),
+            codebook,
+        }
+    }
+
+    /// Builds the secret key's fixed-base tables; subsequent
+    /// [`Self::issue_tokens`] calls route through them (same operations
+    /// and outputs, lower wall-clock).
+    pub fn prepare<G: BilinearGroup>(&mut self, scheme: &HveScheme<'_, G>) {
+        self.key = TaKey::Prepared(Box::new(scheme.prepare_secret_key(self.key.secret_key())));
     }
 
     /// The codebook (public: users need the indexes).
@@ -34,7 +69,8 @@ impl TrustedAuthority {
     }
 
     /// Issues the minimized token set for an alert zone (Fig. 3's
-    /// "minimization algorithm" + token encryption).
+    /// "minimization algorithm" + token encryption), through the prepared
+    /// key tables when [`Self::prepare`] has run.
     pub fn issue_tokens<G: BilinearGroup, R: Rng>(
         &self,
         scheme: &HveScheme<'_, G>,
@@ -44,7 +80,13 @@ impl TrustedAuthority {
         self.codebook
             .tokens_for(alert_cells)
             .iter()
-            .map(|cw| scheme.gen_token(&self.sk, &codeword_to_pattern(cw), rng))
+            .map(|cw| {
+                let pattern = codeword_to_pattern(cw);
+                match &self.key {
+                    TaKey::Prepared(psk) => scheme.gen_token_prepared(psk, &pattern, rng),
+                    TaKey::Plain(sk) => scheme.gen_token(sk, &pattern, rng),
+                }
+            })
             .collect()
     }
 
@@ -86,6 +128,22 @@ impl MobileUser {
         let msg = scheme.encode_message(self.id);
         scheme.encrypt(pk, &attr, &msg, rng)
     }
+
+    /// [`Self::encrypt_update`] through a prepared public key — identical
+    /// output, with the fixed-base tables amortized across all users
+    /// encrypting under the same key.
+    pub fn encrypt_update_prepared<G: BilinearGroup, R: Rng>(
+        &self,
+        scheme: &HveScheme<'_, G>,
+        ppk: &PreparedPublicKey,
+        codebook: &CellCodebook,
+        rng: &mut R,
+    ) -> Ciphertext {
+        let index = codebook.index_of(self.cell);
+        let attr = index_to_attribute(index);
+        let msg = scheme.encode_message(self.id);
+        scheme.encrypt_prepared(ppk, &attr, &msg, rng)
+    }
 }
 
 /// A stored subscription at the SP: the submitting user's id (routing
@@ -101,6 +159,12 @@ pub struct Subscription {
 /// The Service Provider: stores encrypted updates, evaluates tokens, and
 /// notifies matched users. Learns only "user u is inside the alert zone" /
 /// "user u is not" — nothing else (§6).
+///
+/// The stored ciphertexts (and the tokens handed in per alert) keep their
+/// group elements in the engine's Montgomery residue domain, so batch
+/// alert processing pays a single reduction pass per pairing — the
+/// per-operand domain conversions are precomputed once, at encryption /
+/// token-issuance time, and reused across every (token, ciphertext) pair.
 #[derive(Debug, Default)]
 pub struct ServiceProvider {
     store: Vec<Subscription>,

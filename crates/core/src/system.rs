@@ -5,7 +5,7 @@ use crate::entities::{MobileUser, ServiceProvider, Subscription, TrustedAuthorit
 use rand::Rng;
 use sla_encoding::{CellCodebook, EncoderKind};
 use sla_grid::{Grid, Point, ProbabilityMap};
-use sla_hve::{HveScheme, PublicKey};
+use sla_hve::{HveScheme, PreparedPublicKey, PublicKey};
 use sla_pairing::{BilinearGroup, SimulatedGroup};
 
 /// System-wide configuration.
@@ -38,18 +38,26 @@ pub struct AlertOutcome {
 }
 
 /// The assembled system: group engine + TA + SP + codebook.
+///
+/// Setup also builds the fixed-base tables for both halves of the key
+/// pair (the prepared public key lives here, the prepared secret key in
+/// the TA), so every subscription encryption and every token issuance
+/// reuses the per-base precomputation.
 #[derive(Debug)]
 pub struct AlertSystem {
     group: SimulatedGroup,
     grid: Grid,
-    pk: PublicKey,
+    /// The public key plus its fixed-base tables, reused by every
+    /// subscription (the plain key is a view into this).
+    ppk: PreparedPublicKey,
     ta: TrustedAuthority,
     sp: ServiceProvider,
 }
 
 impl AlertSystem {
     /// Runs system initialization (Fig. 3): build the codebook from the
-    /// probability map, generate the group and the HVE key pair.
+    /// probability map, generate the group and the HVE key pair, and
+    /// prepare the fixed-base tables for both keys.
     ///
     /// # Panics
     /// Panics if the probability map does not cover the grid.
@@ -63,11 +71,14 @@ impl AlertSystem {
         let group = SimulatedGroup::generate(config.group_bits, rng);
         let scheme = HveScheme::new(&group, codebook.width_bits());
         let (pk, sk) = scheme.setup(rng);
+        let ppk = scheme.prepare_public_key(&pk);
+        let mut ta = TrustedAuthority::new(sk, codebook);
+        ta.prepare(&scheme);
         AlertSystem {
             group,
             grid: config.grid,
-            pk,
-            ta: TrustedAuthority::new(sk, codebook),
+            ppk,
+            ta,
             sp: ServiceProvider::new(),
         }
     }
@@ -84,7 +95,7 @@ impl AlertSystem {
 
     /// The HVE public key (what a real deployment would publish).
     pub fn public_key(&self) -> &PublicKey {
-        &self.pk
+        self.ppk.public_key()
     }
 
     /// The group's operation counters.
@@ -109,7 +120,7 @@ impl AlertSystem {
         assert!(cell < self.grid.n_cells(), "cell out of range");
         let user = MobileUser::new(user_id, cell);
         let scheme = self.scheme();
-        let ct = user.encrypt_update(&scheme, &self.pk, self.ta.codebook(), rng);
+        let ct = user.encrypt_update_prepared(&scheme, &self.ppk, self.ta.codebook(), rng);
         self.sp.accept_update(Subscription {
             user_id,
             ciphertext: ct,

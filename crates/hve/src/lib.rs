@@ -50,9 +50,11 @@
 #![warn(missing_docs)]
 
 mod keys;
+mod prepared;
 mod scheme;
 mod vector;
 
 pub use keys::{Ciphertext, PublicKey, SecretKey, Token};
+pub use prepared::{PreparedPublicKey, PreparedSecretKey};
 pub use scheme::{HveScheme, MESSAGE_DOMAIN_BITS};
 pub use vector::{AttributeVector, ParseVectorError, SearchPattern};

@@ -1,0 +1,71 @@
+//! Prepared key material: fixed-base tables over the HVE keys.
+//!
+//! Every Encrypt exponentiates the *same* public-key bases (`V`, `A`,
+//! `H_i`, `W_i`) and every GenToken the same secret-key bases (`g`, `v`,
+//! `h_i`, `w_i`) — only the exponents change. Wrapping a key once with
+//! [`HveScheme::prepare_public_key`](crate::HveScheme::prepare_public_key) /
+//! [`HveScheme::prepare_secret_key`](crate::HveScheme::prepare_secret_key)
+//! builds a [`PreparedG`]/[`PreparedGt`] fixed-base table per base, after
+//! which `encrypt_prepared`/`gen_token_prepared` reuse the precomputation
+//! across every ciphertext and token in a batch.
+//!
+//! The prepared paths perform **exactly the same metered operations** as
+//! the plain ones (the `u_i·h_i` combination for set bits is still a
+//! counted `mul_g` per call), draw randomness in the same order, and
+//! produce bit-identical ciphertexts/tokens — only the wall-clock cost of
+//! each exponentiation drops.
+
+use crate::keys::{PublicKey, SecretKey};
+use sla_pairing::{PreparedG, PreparedGt};
+
+/// A [`PublicKey`] plus per-base fixed-base tables for the Encrypt phase.
+#[derive(Debug, Clone)]
+pub struct PreparedPublicKey {
+    pub(crate) pk: PublicKey,
+    /// Table over `V` (the `C_0` base).
+    pub(crate) v: PreparedG,
+    /// Table over `A = e(g,v)^a` (the `C'` base).
+    pub(crate) a: PreparedGt,
+    /// Tables over each `H_i` (the `C_{i,1}` base for clear bits).
+    pub(crate) h: Vec<PreparedG>,
+    /// Tables over each `W_i` (the `C_{i,2}` base).
+    pub(crate) w: Vec<PreparedG>,
+}
+
+impl PreparedPublicKey {
+    /// The underlying public key.
+    pub fn public_key(&self) -> &PublicKey {
+        &self.pk
+    }
+
+    /// HVE width `l`.
+    pub fn width(&self) -> usize {
+        self.pk.width()
+    }
+}
+
+/// A [`SecretKey`] plus per-base fixed-base tables for the GenToken phase.
+#[derive(Debug, Clone)]
+pub struct PreparedSecretKey {
+    pub(crate) sk: SecretKey,
+    /// Table over `g` (the `g^a` factor of `K_0`).
+    pub(crate) g: PreparedG,
+    /// Table over `v` (the `K_{i,1}`/`K_{i,2}` base).
+    pub(crate) v: PreparedG,
+    /// Tables over each `h_i`.
+    pub(crate) h: Vec<PreparedG>,
+    /// Tables over each `w_i`.
+    pub(crate) w: Vec<PreparedG>,
+}
+
+impl PreparedSecretKey {
+    /// The underlying secret key.
+    pub fn secret_key(&self) -> &SecretKey {
+        &self.sk
+    }
+
+    /// HVE width `l`.
+    pub fn width(&self) -> usize {
+        self.sk.width()
+    }
+}

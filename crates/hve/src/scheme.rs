@@ -2,10 +2,11 @@
 //! paper, following Boneh–Waters TCC 2007).
 
 use crate::keys::{Ciphertext, PublicKey, SecretKey, Token};
+use crate::prepared::{PreparedPublicKey, PreparedSecretKey};
 use crate::vector::{AttributeVector, SearchPattern};
 use rand::Rng;
 use sla_bigint::BigUint;
-use sla_pairing::{BilinearGroup, GtElem};
+use sla_pairing::{BilinearGroup, GElem, GtElem};
 
 /// Bit size of the valid message domain used by
 /// [`HveScheme::encode_message`] / [`HveScheme::decode_message`].
@@ -110,28 +111,94 @@ impl<'g, G: BilinearGroup> HveScheme<'g, G> {
         message: &GtElem,
         rng: &mut R,
     ) -> Ciphertext {
+        self.encrypt_impl(EncKey::Plain(pk), index, message, rng)
+    }
+
+    /// [`Self::encrypt`] through a [`PreparedPublicKey`]: the same metered
+    /// operations, randomness order and output bytes, with every
+    /// exponentiation served from the key's fixed-base tables.
+    ///
+    /// # Panics
+    /// Panics if `index.len() != width`.
+    pub fn encrypt_prepared<R: Rng>(
+        &self,
+        ppk: &PreparedPublicKey,
+        index: &AttributeVector,
+        message: &GtElem,
+        rng: &mut R,
+    ) -> Ciphertext {
+        self.encrypt_impl(EncKey::Prepared(ppk), index, message, rng)
+    }
+
+    /// Builds the per-base fixed-base tables for `pk` (once per key; every
+    /// subsequent [`Self::encrypt_prepared`] reuses them).
+    ///
+    /// # Panics
+    /// Panics if `pk.width() != width`.
+    pub fn prepare_public_key(&self, pk: &PublicKey) -> PreparedPublicKey {
+        assert_eq!(pk.width, self.width, "public key width mismatch");
+        let grp = self.group;
+        PreparedPublicKey {
+            pk: pk.clone(),
+            v: grp.prepare_g(&pk.v),
+            a: grp.prepare_gt(&pk.a),
+            h: pk.h.iter().map(|x| grp.prepare_g(x)).collect(),
+            w: pk.w.iter().map(|x| grp.prepare_g(x)).collect(),
+        }
+    }
+
+    /// Builds the per-base fixed-base tables for `sk` (once per key; every
+    /// subsequent [`Self::gen_token_prepared`] reuses them).
+    ///
+    /// # Panics
+    /// Panics if `sk.width() != width`.
+    pub fn prepare_secret_key(&self, sk: &SecretKey) -> PreparedSecretKey {
+        assert_eq!(sk.width, self.width, "secret key width mismatch");
+        let grp = self.group;
+        PreparedSecretKey {
+            sk: sk.clone(),
+            g: grp.prepare_g(&sk.g),
+            v: grp.prepare_g(&sk.v),
+            h: sk.h.iter().map(|x| grp.prepare_g(x)).collect(),
+            w: sk.w.iter().map(|x| grp.prepare_g(x)).collect(),
+        }
+    }
+
+    /// Shared Encrypt body: the plain and prepared entry points differ
+    /// only in how the fixed bases are exponentiated, so their operation
+    /// counts, RNG draws and outputs are identical by construction.
+    fn encrypt_impl<R: Rng>(
+        &self,
+        key: EncKey<'_>,
+        index: &AttributeVector,
+        message: &GtElem,
+        rng: &mut R,
+    ) -> Ciphertext {
         assert_eq!(index.len(), self.width, "attribute width mismatch");
         let grp = self.group;
+        let pk = key.pk();
         let s = grp.random_zn(rng);
 
-        let a_s = grp.pow_gt(&pk.a, &s);
+        let a_s = key.pow_a(grp, &s);
         let c_prime = grp.mul_gt(message, &a_s);
 
         let z = grp.random_gq(rng);
-        let c0 = grp.mul_g(&grp.pow_g(&pk.v, &s), &z);
+        let c0 = grp.mul_g(&key.pow_v(grp, &s), &z);
 
         let mut c = Vec::with_capacity(self.width);
         for i in 0..self.width {
-            // U_i^{I_i}·H_i: multiply by U_i only when the bit is set.
-            let base = if index.bit(i) {
-                grp.mul_g(&pk.u[i], &pk.h[i])
+            // U_i^{I_i}·H_i: multiply by U_i only when the bit is set (a
+            // metered mul_g either way, so prepared runs count the same).
+            let c1_pow = if index.bit(i) {
+                let base = grp.mul_g(&pk.u[i], &pk.h[i]);
+                grp.pow_g(&base, &s)
             } else {
-                pk.h[i].clone()
+                key.pow_h(grp, i, &s)
             };
             let z1 = grp.random_gq(rng);
             let z2 = grp.random_gq(rng);
-            let ci1 = grp.mul_g(&grp.pow_g(&base, &s), &z1);
-            let ci2 = grp.mul_g(&grp.pow_g(&pk.w[i], &s), &z2);
+            let ci1 = grp.mul_g(&c1_pow, &z1);
+            let ci2 = grp.mul_g(&key.pow_w(grp, i, &s), &z2);
             c.push((ci1, ci2));
         }
 
@@ -145,10 +212,36 @@ impl<'g, G: BilinearGroup> HveScheme<'g, G> {
     /// # Panics
     /// Panics if `pattern.len() != width`.
     pub fn gen_token<R: Rng>(&self, sk: &SecretKey, pattern: &SearchPattern, rng: &mut R) -> Token {
+        self.gen_token_impl(TokKey::Plain(sk), pattern, rng)
+    }
+
+    /// [`Self::gen_token`] through a [`PreparedSecretKey`]: the same
+    /// metered operations, randomness order and output bytes, with every
+    /// exponentiation served from the key's fixed-base tables.
+    ///
+    /// # Panics
+    /// Panics if `pattern.len() != width`.
+    pub fn gen_token_prepared<R: Rng>(
+        &self,
+        psk: &PreparedSecretKey,
+        pattern: &SearchPattern,
+        rng: &mut R,
+    ) -> Token {
+        self.gen_token_impl(TokKey::Prepared(psk), pattern, rng)
+    }
+
+    /// Shared GenToken body (see [`Self::encrypt_impl`]).
+    fn gen_token_impl<R: Rng>(
+        &self,
+        key: TokKey<'_>,
+        pattern: &SearchPattern,
+        rng: &mut R,
+    ) -> Token {
         assert_eq!(pattern.len(), self.width, "pattern width mismatch");
         let grp = self.group;
+        let sk = key.sk();
 
-        let mut k0 = grp.pow_g(&sk.g, &sk.a);
+        let mut k0 = key.pow_gen(grp, &sk.a);
         let mut k = Vec::with_capacity(pattern.non_star_count());
 
         for i in pattern.non_star_positions() {
@@ -156,15 +249,16 @@ impl<'g, G: BilinearGroup> HveScheme<'g, G> {
             let r1 = grp.random_zp(rng);
             let r2 = grp.random_zp(rng);
 
-            let base = if bit {
-                grp.mul_g(&sk.u[i], &sk.h[i])
+            let base_pow = if bit {
+                let base = grp.mul_g(&sk.u[i], &sk.h[i]);
+                grp.pow_g(&base, &r1)
             } else {
-                sk.h[i].clone()
+                key.pow_h(grp, i, &r1)
             };
-            k0 = grp.mul_g(&k0, &grp.pow_g(&base, &r1));
-            k0 = grp.mul_g(&k0, &grp.pow_g(&sk.w[i], &r2));
+            k0 = grp.mul_g(&k0, &base_pow);
+            k0 = grp.mul_g(&k0, &key.pow_w(grp, i, &r2));
 
-            k.push((i, grp.pow_g(&sk.v, &r1), grp.pow_g(&sk.v, &r2)));
+            k.push((i, key.pow_v(grp, &r1), key.pow_v(grp, &r2)));
         }
 
         Token {
@@ -245,6 +339,87 @@ impl<'g, G: BilinearGroup> HveScheme<'g, G> {
         // excluded from matching-cost accounting by construction (callers
         // snapshot counters around query()).
         self.group.pair(&g, &g)
+    }
+}
+
+/// Encrypt-side key view: plain keys exponentiate through `pow_g`/`pow_gt`,
+/// prepared keys through their fixed-base tables. Both are metered
+/// identically by the engine.
+enum EncKey<'k> {
+    Plain(&'k PublicKey),
+    Prepared(&'k PreparedPublicKey),
+}
+
+impl EncKey<'_> {
+    fn pk(&self) -> &PublicKey {
+        match self {
+            EncKey::Plain(pk) => pk,
+            EncKey::Prepared(p) => &p.pk,
+        }
+    }
+    fn pow_a<G: BilinearGroup>(&self, grp: &G, e: &BigUint) -> GtElem {
+        match self {
+            EncKey::Plain(pk) => grp.pow_gt(&pk.a, e),
+            EncKey::Prepared(p) => grp.pow_prepared_gt(&p.a, e),
+        }
+    }
+    fn pow_v<G: BilinearGroup>(&self, grp: &G, e: &BigUint) -> GElem {
+        match self {
+            EncKey::Plain(pk) => grp.pow_g(&pk.v, e),
+            EncKey::Prepared(p) => grp.pow_prepared_g(&p.v, e),
+        }
+    }
+    fn pow_h<G: BilinearGroup>(&self, grp: &G, i: usize, e: &BigUint) -> GElem {
+        match self {
+            EncKey::Plain(pk) => grp.pow_g(&pk.h[i], e),
+            EncKey::Prepared(p) => grp.pow_prepared_g(&p.h[i], e),
+        }
+    }
+    fn pow_w<G: BilinearGroup>(&self, grp: &G, i: usize, e: &BigUint) -> GElem {
+        match self {
+            EncKey::Plain(pk) => grp.pow_g(&pk.w[i], e),
+            EncKey::Prepared(p) => grp.pow_prepared_g(&p.w[i], e),
+        }
+    }
+}
+
+/// GenToken-side key view (see [`EncKey`]).
+enum TokKey<'k> {
+    Plain(&'k SecretKey),
+    Prepared(&'k PreparedSecretKey),
+}
+
+impl TokKey<'_> {
+    fn sk(&self) -> &SecretKey {
+        match self {
+            TokKey::Plain(sk) => sk,
+            TokKey::Prepared(p) => &p.sk,
+        }
+    }
+    /// `g^e` (the `K_0` seed factor).
+    fn pow_gen<G: BilinearGroup>(&self, grp: &G, e: &BigUint) -> GElem {
+        match self {
+            TokKey::Plain(sk) => grp.pow_g(&sk.g, e),
+            TokKey::Prepared(p) => grp.pow_prepared_g(&p.g, e),
+        }
+    }
+    fn pow_v<G: BilinearGroup>(&self, grp: &G, e: &BigUint) -> GElem {
+        match self {
+            TokKey::Plain(sk) => grp.pow_g(&sk.v, e),
+            TokKey::Prepared(p) => grp.pow_prepared_g(&p.v, e),
+        }
+    }
+    fn pow_h<G: BilinearGroup>(&self, grp: &G, i: usize, e: &BigUint) -> GElem {
+        match self {
+            TokKey::Plain(sk) => grp.pow_g(&sk.h[i], e),
+            TokKey::Prepared(p) => grp.pow_prepared_g(&p.h[i], e),
+        }
+    }
+    fn pow_w<G: BilinearGroup>(&self, grp: &G, i: usize, e: &BigUint) -> GElem {
+        match self {
+            TokKey::Plain(sk) => grp.pow_g(&sk.w[i], e),
+            TokKey::Prepared(p) => grp.pow_prepared_g(&p.w[i], e),
+        }
     }
 }
 
@@ -379,6 +554,45 @@ mod tests {
         let index: AttributeVector = "101".parse().unwrap();
         let msg = scheme.encode_message(1);
         let _ = scheme.encrypt(&pk, &index, &msg, &mut rng);
+    }
+
+    #[test]
+    fn prepared_paths_are_bit_and_count_identical() {
+        // encrypt_prepared/gen_token_prepared must consume the same RNG
+        // stream, record the same OpCounters deltas, and emit the same
+        // bytes as the plain paths — the tables change wall-clock only.
+        let (grp, mut rng) = fixture(6);
+        let scheme = HveScheme::new(&grp, 6);
+        let (pk, sk) = scheme.setup(&mut rng);
+        let ppk = scheme.prepare_public_key(&pk);
+        let psk = scheme.prepare_secret_key(&sk);
+
+        let index: AttributeVector = "101101".parse().unwrap();
+        let msg = scheme.encode_message(99);
+        let pat: SearchPattern = "1*11*1".parse().unwrap();
+
+        let mut r1 = StdRng::seed_from_u64(0xfeed);
+        let before_plain = grp.counters().snapshot();
+        let ct_plain = scheme.encrypt(&pk, &index, &msg, &mut r1);
+        let tk_plain = scheme.gen_token(&sk, &pat, &mut r1);
+        let delta_plain = grp.counters().snapshot() - before_plain;
+
+        let mut r2 = StdRng::seed_from_u64(0xfeed);
+        let before_prep = grp.counters().snapshot();
+        let ct_prep = scheme.encrypt_prepared(&ppk, &index, &msg, &mut r2);
+        let tk_prep = scheme.gen_token_prepared(&psk, &pat, &mut r2);
+        let delta_prep = grp.counters().snapshot() - before_prep;
+
+        assert_eq!(ct_plain, ct_prep);
+        assert_eq!(tk_plain, tk_prep);
+        assert_eq!(delta_plain, delta_prep, "op counts must be identical");
+        assert_eq!(
+            serde_json::to_string(&ct_plain).unwrap(),
+            serde_json::to_string(&ct_prep).unwrap(),
+            "wire bytes must be identical"
+        );
+        // and the prepared material still decrypts
+        assert_eq!(scheme.query_decode(&tk_prep, &ct_prep), Some(99));
     }
 
     #[test]

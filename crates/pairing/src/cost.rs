@@ -6,7 +6,7 @@
 //! engine, [`CostModel::Calibrated`] injects a configurable amount of extra
 //! modular work per pairing. Operation *counts* are identical either way.
 
-use sla_bigint::{BigUint, MontgomeryCtx};
+use sla_bigint::{BigUint, Reducer};
 
 /// How much synthetic work each pairing performs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -27,26 +27,17 @@ pub enum CostModel {
 }
 
 impl CostModel {
-    /// Performs the synthetic work mandated by the model, using the
-    /// engine's Montgomery context when one exists so calibrated runs
-    /// exercise the same arithmetic as real pairings.
-    pub(crate) fn burn(&self, seed: &BigUint, modulus: &BigUint, mont: Option<&MontgomeryCtx>) {
+    /// Performs the synthetic work mandated by the model, squaring inside
+    /// the engine's residue domain so calibrated runs exercise the same
+    /// arithmetic (one reduction pass per product) as real pairings.
+    pub(crate) fn burn(&self, seed: &BigUint, reducer: &Reducer) {
         if let CostModel::Calibrated {
             modmuls_per_pairing,
         } = self
         {
             let mut x = seed.clone();
-            match mont {
-                Some(ctx) => {
-                    for _ in 0..*modmuls_per_pairing {
-                        x = ctx.mont_mul(&x, &x);
-                    }
-                }
-                None => {
-                    for _ in 0..*modmuls_per_pairing {
-                        x = x.mod_mul(&x, modulus);
-                    }
-                }
+            for _ in 0..*modmuls_per_pairing {
+                x = reducer.residue_mul(&x, &x);
             }
             std::hint::black_box(&x);
         }
@@ -60,7 +51,7 @@ mod tests {
     #[test]
     fn count_only_is_free() {
         let n = BigUint::from_u64(101);
-        CostModel::CountOnly.burn(&BigUint::from_u64(7), &n, None);
+        CostModel::CountOnly.burn(&BigUint::from_u64(7), &Reducer::new(&n).unwrap());
     }
 
     #[test]
@@ -69,7 +60,7 @@ mod tests {
         CostModel::Calibrated {
             modmuls_per_pairing: 16,
         }
-        .burn(&BigUint::from_u64(7), &n, MontgomeryCtx::new(&n).as_ref());
+        .burn(&BigUint::from_u64(7), &Reducer::new(&n).unwrap());
     }
 
     #[test]

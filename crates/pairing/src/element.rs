@@ -5,68 +5,216 @@
 //! prevent accidentally mixing `G` and `GT` values or treating exponents as
 //! scalars; all arithmetic goes through the engine so operations are
 //! counted.
+//!
+//! ## Representation: Montgomery-domain logs, canonical boundary
+//!
+//! Engine-produced elements keep their log in the **residue domain** of
+//! the group's shared [`Reducer`] (Montgomery form `x·R mod N` for the
+//! odd composite orders the protocol uses), so chained group operations
+//! never pay the two per-op domain-conversion passes the previous
+//! canonical representation required — a pairing is now a *single* CIOS
+//! pass. Conversion back to the canonical residue happens only at the
+//! three boundaries:
+//!
+//! * [`GElem::discrete_log`] / [`GtElem::discrete_log`] (introspection),
+//! * equality/hashing against elements in a different representation, and
+//! * serde — the wire encoding is the canonical log's hex string, **byte
+//!   identical** to the pre-refactor derived encoding, and deserialized
+//!   elements start out canonical (the engine re-enters the domain on
+//!   first use).
+//!
+//! Within one representation (same modulus ⇒ same `R`) the domain map is
+//! a bijection, so residues compare directly without converting.
 
 use serde::{Deserialize, Serialize};
-use sla_bigint::BigUint;
+use sla_bigint::{BigUint, Reducer};
+use std::borrow::Cow;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A discrete logarithm in one of two representations.
+#[derive(Debug, Clone)]
+pub(crate) enum Log {
+    /// Canonical residue in `[0, N)` (identity elements, deserialized
+    /// material, and engine-less construction).
+    Canonical(BigUint),
+    /// Residue-domain value (`x·R mod N` for Montgomery reducers) plus
+    /// the shared context that defines the domain.
+    Residue {
+        /// The domain image of the log.
+        value: BigUint,
+        /// The reducer whose modulus (and `R`) the value lives under.
+        ctx: Arc<Reducer>,
+    },
+}
+
+impl Log {
+    /// The canonical (standard-form) log, converting if necessary.
+    pub(crate) fn canonical(&self) -> Cow<'_, BigUint> {
+        match self {
+            Log::Canonical(v) => Cow::Borrowed(v),
+            Log::Residue { value, ctx } => Cow::Owned(ctx.from_residue(value)),
+        }
+    }
+
+    /// Zero is zero in every domain (`0·R = 0`), so the identity test
+    /// needs no conversion.
+    fn is_zero(&self) -> bool {
+        match self {
+            Log::Canonical(v) => v.is_zero(),
+            Log::Residue { value, .. } => value.is_zero(),
+        }
+    }
+
+    fn eq_log(&self, other: &Log) -> bool {
+        match (self, other) {
+            (Log::Canonical(a), Log::Canonical(b)) => a == b,
+            // Same domain ⇒ the domain map is a bijection.
+            (Log::Residue { value: a, ctx: ca }, Log::Residue { value: b, ctx: cb })
+                if Arc::ptr_eq(ca, cb) || ca.same_domain(cb) =>
+            {
+                a == b
+            }
+            _ => self.canonical() == other.canonical(),
+        }
+    }
+}
+
+macro_rules! element_impls {
+    ($ty:ident, $gen:literal) => {
+        impl $ty {
+            /// The identity element (generator to the zeroth power).
+            pub fn identity() -> Self {
+                $ty(Log::Canonical(BigUint::zero()))
+            }
+
+            /// Wraps a canonical (standard-form) log.
+            pub(crate) fn canonical(log: BigUint) -> Self {
+                $ty(Log::Canonical(log))
+            }
+
+            /// Wraps a residue-domain log under `ctx`.
+            pub(crate) fn residue(value: BigUint, ctx: Arc<Reducer>) -> Self {
+                $ty(Log::Residue { value, ctx })
+            }
+
+            /// `true` iff this is the identity.
+            pub fn is_identity(&self) -> bool {
+                self.0.is_zero()
+            }
+
+            /// The canonical discrete logarithm with respect to
+            #[doc = concat!("`", $gen, "`.")]
+            ///
+            /// This is the **conversion boundary** out of the Montgomery
+            /// domain: residue-form elements pay one reduction pass here
+            /// and nowhere else. Only meaningful for the simulated
+            /// backend; used by tests to verify algebraic identities and
+            /// by message decoding.
+            pub fn discrete_log(&self) -> BigUint {
+                self.0.canonical().into_owned()
+            }
+        }
+
+        impl PartialEq for $ty {
+            fn eq(&self, other: &Self) -> bool {
+                self.0.eq_log(&other.0)
+            }
+        }
+
+        impl Eq for $ty {}
+
+        impl Hash for $ty {
+            fn hash<H: Hasher>(&self, state: &mut H) {
+                // Hash the canonical log so mixed representations of the
+                // same element collide, as Eq requires.
+                self.0.canonical().hash(state);
+            }
+        }
+
+        impl Serialize for $ty {
+            fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                // Canonical hex string — byte-identical to the derived
+                // transparent-newtype encoding of the canonical-log era.
+                self.0.canonical().serialize(serializer)
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                BigUint::deserialize(deserializer).map(Self::canonical)
+            }
+        }
+    };
+}
 
 /// Element of the source group `G` (stored as `log_g`).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub struct GElem(pub(crate) BigUint);
+#[derive(Debug, Clone)]
+pub struct GElem(pub(crate) Log);
 
 /// Element of the target group `GT` (stored as `log_gt`).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub struct GtElem(pub(crate) BigUint);
+#[derive(Debug, Clone)]
+pub struct GtElem(pub(crate) Log);
 
-impl GElem {
-    /// The identity element `g^0`.
-    pub fn identity() -> Self {
-        GElem(BigUint::zero())
-    }
-
-    /// `true` iff this is the identity.
-    pub fn is_identity(&self) -> bool {
-        self.0.is_zero()
-    }
-
-    /// Exposes the discrete logarithm. Only meaningful for the simulated
-    /// backend; used by tests to verify algebraic identities.
-    pub fn discrete_log(&self) -> &BigUint {
-        &self.0
-    }
-}
-
-impl GtElem {
-    /// The identity element `gt^0`.
-    pub fn identity() -> Self {
-        GtElem(BigUint::zero())
-    }
-
-    /// `true` iff this is the identity.
-    pub fn is_identity(&self) -> bool {
-        self.0.is_zero()
-    }
-
-    /// Exposes the discrete logarithm (simulation-only introspection).
-    pub fn discrete_log(&self) -> &BigUint {
-        &self.0
-    }
-}
+element_impls!(GElem, "g");
+element_impls!(GtElem, "gt = e(g, g)");
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn reducer(n: u64) -> Arc<Reducer> {
+        Arc::new(Reducer::new(&BigUint::from_u64(n)).expect("modulus > 1"))
+    }
+
     #[test]
     fn identities() {
         assert!(GElem::identity().is_identity());
         assert!(GtElem::identity().is_identity());
-        assert_eq!(GElem::identity().discrete_log(), &BigUint::zero());
+        assert_eq!(GElem::identity().discrete_log(), BigUint::zero());
     }
 
     #[test]
     fn serde_roundtrip() {
-        let e = GElem(BigUint::from_u64(123456));
+        let e = GElem::canonical(BigUint::from_u64(123456));
         let json = serde_json::to_string(&e).unwrap();
         assert_eq!(serde_json::from_str::<GElem>(&json).unwrap(), e);
+    }
+
+    #[test]
+    fn residue_serializes_canonically() {
+        let ctx = reducer(1_000_003);
+        let v = BigUint::from_u64(424242);
+        let res = GElem::residue(ctx.to_residue(&v), ctx);
+        let can = GElem::canonical(v);
+        assert_eq!(
+            serde_json::to_string(&res).unwrap(),
+            serde_json::to_string(&can).unwrap(),
+            "wire bytes must not depend on the in-memory representation"
+        );
+    }
+
+    #[test]
+    fn mixed_representation_equality_and_hash() {
+        use std::collections::hash_map::DefaultHasher;
+        let ctx = reducer(1_000_003);
+        let v = BigUint::from_u64(987654);
+        let res = GtElem::residue(ctx.to_residue(&v), ctx);
+        let can = GtElem::canonical(v.clone());
+        assert_eq!(res, can);
+        assert_ne!(res, GtElem::canonical(&v + &BigUint::one()));
+
+        let hash = |e: &GtElem| {
+            let mut h = DefaultHasher::new();
+            e.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&res), hash(&can));
+    }
+
+    #[test]
+    fn residue_zero_is_identity() {
+        let ctx = reducer(97);
+        assert!(GElem::residue(BigUint::zero(), ctx).is_identity());
     }
 }

@@ -1,8 +1,12 @@
 //! The [`BilinearGroup`] abstraction and its simulated implementation.
 
-use crate::{CostModel, GElem, GroupParams, GtElem, OpCounters};
+use crate::element::Log;
+use crate::table::FixedBaseMul;
+use crate::{CostModel, GElem, GroupParams, GtElem, OpCounters, PreparedG, PreparedGt};
 use rand::Rng;
-use sla_bigint::{random_below, random_nonzero_below, BigUint, MontgomeryCtx};
+use sla_bigint::{random_below, random_nonzero_below, BigUint, Reducer};
+use std::borrow::Cow;
+use std::sync::Arc;
 
 /// A symmetric bilinear group of composite order `N = P·Q`.
 ///
@@ -47,6 +51,30 @@ pub trait BilinearGroup {
     /// The bilinear map `e : G × G → GT`.
     fn pair(&self, a: &GElem, b: &GElem) -> GtElem;
 
+    /// Prepares a base in `G` for repeated exponentiation (key material,
+    /// generators). Engines may attach per-base precomputation; the
+    /// default is a plain wrapper with no speedup.
+    fn prepare_g(&self, a: &GElem) -> PreparedG {
+        PreparedG::unprepared(a.clone())
+    }
+
+    /// Exponentiation through a prepared base — metered exactly like
+    /// [`BilinearGroup::pow_g`], so op-count invariants are unchanged.
+    fn pow_prepared_g(&self, base: &PreparedG, e: &BigUint) -> GElem {
+        self.pow_g(&base.base, e)
+    }
+
+    /// Prepares a base in `GT` for repeated exponentiation.
+    fn prepare_gt(&self, a: &GtElem) -> PreparedGt {
+        PreparedGt::unprepared(a.clone())
+    }
+
+    /// Exponentiation through a prepared `GT` base (metered like
+    /// [`BilinearGroup::pow_gt`]).
+    fn pow_prepared_gt(&self, base: &PreparedGt, e: &BigUint) -> GtElem {
+        self.pow_gt(&base.base, e)
+    }
+
     /// Uniformly random element of the order-`P` subgroup `G_p` (excluding
     /// the identity).
     fn random_gp<R: Rng>(&self, rng: &mut R) -> GElem
@@ -75,40 +103,52 @@ pub trait BilinearGroup {
 /// See the crate docs for the simulation argument. Deterministic given the
 /// RNG used to generate [`GroupParams`].
 ///
-/// On construction the engine precomputes a [`MontgomeryCtx`] for the
-/// group order `N` (always odd for `N = P·Q` with odd primes), so the hot
-/// operations — `pow_g`/`pow_gt`/`pair`, each one modular multiplication
-/// in the exponent representation — reduce with division-free CIOS passes
-/// instead of Knuth Algorithm-D division. Elements stay in canonical
-/// (standard, fully reduced) form throughout, so operation counts and all
-/// algebraic invariants are unchanged.
+/// On construction the engine builds a shared [`Reducer`] for the group
+/// order `N` (Montgomery for the odd `N = P·Q` orders, Barrett for the
+/// degenerate even orders constructible in tests) and keeps every element
+/// it produces **inside the residue domain**: a pairing is one domain
+/// product (a single CIOS pass), the group law is one division-free
+/// `mod_add`, and nothing converts back per operation. It also builds
+/// [fixed-base precomputations](crate::table) for the four generators, so
+/// `pow_g`/`pow_gt` on `g`, `g_p`, `g_q` or `gt` (and on any base wrapped
+/// via [`BilinearGroup::prepare_g`]) cost a single reduction pass.
+/// Canonical conversion happens at `discrete_log()`/serde only; operation
+/// counts and all algebraic invariants are unchanged.
 #[derive(Debug)]
 pub struct SimulatedGroup {
     params: GroupParams,
     cost: CostModel,
     counters: OpCounters,
-    /// Montgomery fast lane for reduction mod `N`; `None` only for the
-    /// degenerate even-order groups constructible in tests.
-    mont: Option<MontgomeryCtx>,
+    /// Shared reduction context defining the residue domain of every
+    /// element this engine produces.
+    reducer: Arc<Reducer>,
+    /// Fixed-base precomputation for `g` — and for `gt = e(g, g)`, which
+    /// shares it because both have log 1 (`pow_g`/`pow_gt` dispatch
+    /// through the same [`SimulatedGroup::pow_log`]).
+    g_table: FixedBaseMul,
+    /// Fixed-base precomputation for the `G_p` generator `g^Q` (log `Q`).
+    gp_table: FixedBaseMul,
+    /// Fixed-base precomputation for the `G_q` generator `g^P` (log `P`).
+    gq_table: FixedBaseMul,
 }
 
 impl SimulatedGroup {
-    /// Builds an engine over existing parameters.
+    /// Builds an engine over existing parameters, precomputing the
+    /// reduction context and the generator tables.
     pub fn new(params: GroupParams) -> Self {
-        let mont = MontgomeryCtx::new(&params.n);
+        let reducer = Arc::new(Reducer::new(&params.n).expect("group order N = P·Q exceeds 1"));
+        let one_res = reducer.to_residue(&BigUint::one());
+        let g_table = FixedBaseMul::new(reducer.clone(), one_res);
+        let gp_table = FixedBaseMul::new(reducer.clone(), reducer.to_residue(&params.q));
+        let gq_table = FixedBaseMul::new(reducer.clone(), reducer.to_residue(&params.p));
         SimulatedGroup {
             params,
             cost: CostModel::default(),
             counters: OpCounters::new(),
-            mont,
-        }
-    }
-
-    /// `(a · b) mod N` through the Montgomery fast path when available.
-    fn mul_mod_n(&self, a: &BigUint, b: &BigUint) -> BigUint {
-        match &self.mont {
-            Some(ctx) => ctx.mod_mul(a, b),
-            None => a.mod_mul(b, &self.params.n),
+            reducer,
+            g_table,
+            gp_table,
+            gq_table,
         }
     }
 
@@ -127,6 +167,48 @@ impl SimulatedGroup {
     pub fn params(&self) -> &GroupParams {
         &self.params
     }
+
+    /// The engine's residue domain of `log`: borrowed when the element
+    /// already lives in this engine's domain (the hot path), converted
+    /// otherwise (identity elements, deserialized material, foreign
+    /// engines).
+    fn residue_of<'a>(&self, log: &'a Log) -> Cow<'a, BigUint> {
+        match log {
+            Log::Residue { value, ctx }
+                if Arc::ptr_eq(ctx, &self.reducer) || ctx.same_domain(&self.reducer) =>
+            {
+                Cow::Borrowed(value)
+            }
+            Log::Residue { value, ctx } => {
+                Cow::Owned(self.reducer.to_residue(&ctx.from_residue(value)))
+            }
+            Log::Canonical(v) if v.is_zero() => Cow::Owned(BigUint::zero()),
+            Log::Canonical(v) => Cow::Owned(self.reducer.to_residue(v)),
+        }
+    }
+
+    /// Residue of `log(a) · e mod N`: fixed-base tables for the cached
+    /// generators, otherwise one exponent conversion plus one domain
+    /// product.
+    fn pow_log(&self, log: &Log, e: &BigUint) -> BigUint {
+        let r = self.residue_of(log);
+        for table in [&self.g_table, &self.gp_table, &self.gq_table] {
+            if *r == *table.base_res() {
+                return table.scalar_mul(e);
+            }
+        }
+        self.reducer.residue_mul(&r, &self.reducer.to_residue(e))
+    }
+
+    /// Wraps a residue-domain log as a `G` element of this engine.
+    fn g_elem(&self, residue: BigUint) -> GElem {
+        GElem::residue(residue, self.reducer.clone())
+    }
+
+    /// Wraps a residue-domain log as a `GT` element of this engine.
+    fn gt_elem(&self, residue: BigUint) -> GtElem {
+        GtElem::residue(residue, self.reducer.clone())
+    }
 }
 
 impl BilinearGroup for SimulatedGroup {
@@ -141,59 +223,101 @@ impl BilinearGroup for SimulatedGroup {
     }
 
     fn g(&self) -> GElem {
-        GElem(BigUint::one())
+        self.g_elem(self.g_table.base_res().clone())
     }
     fn gp_generator(&self) -> GElem {
-        GElem(self.params.q.clone())
+        self.g_elem(self.gp_table.base_res().clone())
     }
     fn gq_generator(&self) -> GElem {
-        GElem(self.params.p.clone())
+        self.g_elem(self.gq_table.base_res().clone())
     }
 
     fn mul_g(&self, a: &GElem, b: &GElem) -> GElem {
         self.counters.record_g_mult();
-        GElem(a.0.mod_add(&b.0, &self.params.n))
+        let (ra, rb) = (self.residue_of(&a.0), self.residue_of(&b.0));
+        self.g_elem(ra.mod_add(&rb, &self.params.n))
     }
 
     fn pow_g(&self, a: &GElem, e: &BigUint) -> GElem {
         self.counters.record_g_exp();
-        GElem(self.mul_mod_n(&a.0, e))
+        self.g_elem(self.pow_log(&a.0, e))
     }
 
     fn inv_g(&self, a: &GElem) -> GElem {
-        GElem(BigUint::zero().mod_sub(&a.0, &self.params.n))
+        let ra = self.residue_of(&a.0);
+        self.g_elem(BigUint::zero().mod_sub(&ra, &self.params.n))
     }
 
     fn mul_gt(&self, a: &GtElem, b: &GtElem) -> GtElem {
         self.counters.record_gt_mult();
-        GtElem(a.0.mod_add(&b.0, &self.params.n))
+        let (ra, rb) = (self.residue_of(&a.0), self.residue_of(&b.0));
+        self.gt_elem(ra.mod_add(&rb, &self.params.n))
     }
 
     fn pow_gt(&self, a: &GtElem, e: &BigUint) -> GtElem {
         self.counters.record_gt_exp();
-        GtElem(self.mul_mod_n(&a.0, e))
+        self.gt_elem(self.pow_log(&a.0, e))
     }
 
     fn inv_gt(&self, a: &GtElem) -> GtElem {
-        GtElem(BigUint::zero().mod_sub(&a.0, &self.params.n))
+        let ra = self.residue_of(&a.0);
+        self.gt_elem(BigUint::zero().mod_sub(&ra, &self.params.n))
     }
 
     fn pair(&self, a: &GElem, b: &GElem) -> GtElem {
         self.counters.record_pairing();
-        let out = self.mul_mod_n(&a.0, &b.0);
-        self.cost.burn(&out, &self.params.n, self.mont.as_ref());
-        GtElem(out)
+        // Both logs live in the residue domain, so the pairing's log
+        // product is a *single* domain multiplication — the refactor
+        // deleted the two per-op conversion passes this used to need.
+        let (ra, rb) = (self.residue_of(&a.0), self.residue_of(&b.0));
+        let out = self.reducer.residue_mul(&ra, &rb);
+        self.cost.burn(&out, &self.reducer);
+        self.gt_elem(out)
+    }
+
+    fn prepare_g(&self, a: &GElem) -> PreparedG {
+        let res = self.residue_of(&a.0).into_owned();
+        PreparedG {
+            base: a.clone(),
+            table: Some(FixedBaseMul::new(self.reducer.clone(), res)),
+        }
+    }
+
+    fn pow_prepared_g(&self, base: &PreparedG, e: &BigUint) -> GElem {
+        self.counters.record_g_exp();
+        let res = match &base.table {
+            Some(t) if t.ctx().same_domain(&self.reducer) => t.scalar_mul(e),
+            _ => self.pow_log(&base.base.0, e),
+        };
+        self.g_elem(res)
+    }
+
+    fn prepare_gt(&self, a: &GtElem) -> PreparedGt {
+        let res = self.residue_of(&a.0).into_owned();
+        PreparedGt {
+            base: a.clone(),
+            table: Some(FixedBaseMul::new(self.reducer.clone(), res)),
+        }
+    }
+
+    fn pow_prepared_gt(&self, base: &PreparedGt, e: &BigUint) -> GtElem {
+        self.counters.record_gt_exp();
+        let res = match &base.table {
+            Some(t) if t.ctx().same_domain(&self.reducer) => t.scalar_mul(e),
+            _ => self.pow_log(&base.base.0, e),
+        };
+        self.gt_elem(res)
     }
 
     fn random_gp<R: Rng>(&self, rng: &mut R) -> GElem {
-        // g_p^r for r in [1, P): exponent Q·r mod N.
+        // g_p^r for r in [1, P): exponent Q·r mod N, via the G_p table.
         let r = random_nonzero_below(&self.params.p, rng);
-        GElem(self.mul_mod_n(&self.params.q, &r))
+        self.g_elem(self.gp_table.scalar_mul(&r))
     }
 
     fn random_gq<R: Rng>(&self, rng: &mut R) -> GElem {
         let r = random_nonzero_below(&self.params.q, rng);
-        GElem(self.mul_mod_n(&self.params.p, &r))
+        self.g_elem(self.gq_table.scalar_mul(&r))
     }
 
     fn random_zp<R: Rng>(&self, rng: &mut R) -> BigUint {
@@ -310,5 +434,65 @@ mod tests {
         let b = grp.random_gp(&mut rng);
         assert_eq!(grp.pair(&a, &b), grp.pair(&b, &a));
         assert_eq!(grp.counters().pairings(), 2);
+    }
+
+    #[test]
+    fn generator_exponentiation_uses_tables_and_agrees() {
+        // pow_g on the cached generators must equal the log product the
+        // generic path computes, for both representations of the base.
+        let (grp, mut rng) = setup();
+        let e = grp.random_zn(&mut rng);
+        let n = grp.order();
+
+        let via_table = grp.pow_g(&grp.g(), &e);
+        assert_eq!(via_table.discrete_log(), &e % n);
+
+        let gp = grp.gp_generator();
+        assert_eq!(grp.pow_g(&gp, &e).discrete_log(), grp.q().mod_mul(&e, n));
+        // Canonical-representation base (as after deserialization).
+        let gp_canonical = GElem::canonical(grp.q().clone());
+        assert_eq!(grp.pow_g(&gp_canonical, &e), grp.pow_g(&gp, &e));
+    }
+
+    #[test]
+    fn prepared_bases_match_generic_pow_and_count_identically() {
+        let (grp, mut rng) = setup();
+        let a = grp.random_gp(&mut rng);
+        let e = grp.random_zn(&mut rng);
+
+        let prepared = grp.prepare_g(&a);
+        let before = grp.counters().snapshot();
+        let fast = grp.pow_prepared_g(&prepared, &e);
+        let slow = grp.pow_g(&a, &e);
+        let delta = grp.counters().snapshot() - before;
+        assert_eq!(fast, slow);
+        assert_eq!(delta.g_exps, 2, "prepared pow meters like pow_g");
+
+        let gt = grp.pair(&a, &a);
+        let pgt = grp.prepare_gt(&gt);
+        assert_eq!(grp.pow_prepared_gt(&pgt, &e), grp.pow_gt(&gt, &e));
+    }
+
+    #[test]
+    fn unprepared_fallback_agrees() {
+        let (grp, mut rng) = setup();
+        let a = grp.random_gp(&mut rng);
+        let e = grp.random_zn(&mut rng);
+        let plain = PreparedG::unprepared(a.clone());
+        assert_eq!(grp.pow_prepared_g(&plain, &e), grp.pow_g(&a, &e));
+    }
+
+    #[test]
+    fn deserialized_material_interoperates() {
+        // Canonical-representation elements (the post-serde state) mix
+        // freely with residue-domain ones.
+        let (grp, mut rng) = setup();
+        let a = grp.random_gp(&mut rng);
+        let b = grp.random_gp(&mut rng);
+        let a2 = GElem::canonical(a.discrete_log());
+        assert_eq!(a, a2);
+        assert_eq!(grp.mul_g(&a2, &b), grp.mul_g(&a, &b));
+        assert_eq!(grp.pair(&a2, &b), grp.pair(&a, &b));
+        assert_eq!(grp.inv_g(&a2), grp.inv_g(&a));
     }
 }

@@ -28,6 +28,19 @@
 //! cryptographic instantiation; the [`BilinearGroup`] trait is the seam
 //! where a curve-based engine would slot in.
 //!
+//! ## Montgomery-domain representation
+//!
+//! Engine-produced elements keep their discrete log in the **residue
+//! domain** of a shared [`sla_bigint::Reducer`] (Montgomery form for the
+//! odd composite orders the protocol uses), so every pairing is a single
+//! reduction pass and the group law is a division-free addition — no
+//! per-operation domain round trips. Canonical conversion happens only at
+//! `discrete_log()`, cross-representation equality, and serde (whose wire
+//! bytes are unchanged from the canonical-representation era). The engine
+//! precomputes fixed-base tables for `g`, `g_p`, `g_q` and `gt`, and
+//! [`BilinearGroup::prepare_g`]/[`BilinearGroup::prepare_gt`] extend the
+//! same speedup to arbitrary repeated bases such as HVE key material.
+//!
 //! ## Cost accounting
 //!
 //! The engine counts pairings / exponentiations / multiplications in
@@ -62,9 +75,11 @@ mod counters;
 mod element;
 mod group;
 mod params;
+mod table;
 
 pub use cost::CostModel;
 pub use counters::{CounterSnapshot, OpCounters};
 pub use element::{GElem, GtElem};
 pub use group::{BilinearGroup, SimulatedGroup};
 pub use params::GroupParams;
+pub use table::{PreparedG, PreparedGt};
