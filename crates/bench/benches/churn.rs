@@ -1,0 +1,89 @@
+//! `churn` bench group: subscription lifecycle under load. Replays the
+//! datasets churn workload (moves / unsubscribes / re-subscriptions plus
+//! one alert per epoch) against both store backends — the contiguous
+//! `Vec` pays O(n) upserts, the sharded store O(1) plus per-shard
+//! parallel matching.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sla_bench::SEED;
+use sla_core::{AlertSystem, StoreBackend, SystemBuilder};
+use sla_datasets::{ChurnConfig, ChurnEvent, ChurnWorkload};
+use sla_grid::{BoundingBox, Grid, ProbabilityMap, SigmoidParams, ZoneSampler};
+
+fn fixture() -> (Grid, ProbabilityMap, ChurnWorkload) {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let grid = Grid::new(BoundingBox::chicago_downtown(), 8, 8);
+    let probs = ProbabilityMap::sigmoid_synthetic(
+        grid.n_cells(),
+        SigmoidParams { a: 0.9, b: 100.0 },
+        &mut rng,
+    );
+    let sampler = ZoneSampler::new(grid.clone(), &probs);
+    let workload = ChurnConfig {
+        users: 48,
+        epochs: 6,
+        ..ChurnConfig::default()
+    }
+    .generate(&sampler, &mut rng);
+    (grid, probs, workload)
+}
+
+fn build(grid: &Grid, probs: &ProbabilityMap, backend: StoreBackend) -> (AlertSystem, StdRng) {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 1);
+    let system = SystemBuilder::new(grid.clone())
+        .group_bits(48)
+        .store(backend)
+        .build(probs, &mut rng)
+        .expect("valid configuration");
+    (system, rng)
+}
+
+/// Applies one epoch's events; unsubscribes of already-departed users
+/// (possible when an epoch replays more than once) are ignored.
+fn apply_epoch(system: &mut AlertSystem, epoch: &sla_datasets::ChurnEpoch, rng: &mut StdRng) {
+    for event in &epoch.events {
+        match *event {
+            ChurnEvent::Subscribe { user_id, cell } | ChurnEvent::Move { user_id, cell } => {
+                system
+                    .subscribe_cell(user_id, cell, rng)
+                    .expect("workload cells are in range");
+            }
+            ChurnEvent::Unsubscribe { user_id } => {
+                let _ = system.unsubscribe(user_id);
+            }
+        }
+    }
+}
+
+fn bench_churn(c: &mut Criterion) {
+    let (grid, probs, workload) = fixture();
+    let mut g = c.benchmark_group("churn");
+    g.sample_size(10);
+
+    for (name, backend) in [
+        ("contiguous", StoreBackend::Contiguous),
+        ("sharded8", StoreBackend::Sharded { shards: 8 }),
+    ] {
+        let (mut system, mut rng) = build(&grid, &probs, backend);
+        apply_epoch(&mut system, &workload.epochs[0], &mut rng);
+
+        let mut next = 1usize;
+        g.bench_function(format!("epoch_replay_{name}"), |b| {
+            b.iter(|| {
+                let epoch = &workload.epochs[next];
+                next = 1 + next % (workload.epochs.len() - 1);
+                apply_epoch(&mut system, epoch, &mut rng);
+                system.advance_epoch();
+                system
+                    .issue_alert_batch(&epoch.alert_cells, None, &mut rng)
+                    .expect("workload cells are in range")
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_churn);
+criterion_main!(benches);

@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sla_bench::{fig09, SEED};
-use sla_core::{AlertSystem, SystemConfig};
+use sla_core::{StoreBackend, SystemBuilder};
 use sla_encoding::EncoderKind;
 use sla_grid::{BoundingBox, Grid, ProbabilityMap, SigmoidParams, ZoneSampler};
 
@@ -32,18 +32,17 @@ fn bench_live_alert(c: &mut Criterion) {
         &mut rng,
     );
     let sampler = ZoneSampler::new(grid.clone(), &probs);
-    let mut system = AlertSystem::setup(
-        SystemConfig {
-            grid,
-            encoder: EncoderKind::Huffman,
-            group_bits: 48,
-        },
-        &probs,
-        &mut rng,
-    );
+    let mut system = SystemBuilder::new(grid)
+        .encoder(EncoderKind::Huffman)
+        .group_bits(48)
+        .store(StoreBackend::Sharded { shards: 8 })
+        .build(&probs, &mut rng)
+        .expect("valid configuration");
     for user in 0..64u64 {
         let cell = sampler.sample_epicenter_cell(&mut rng).0;
-        system.subscribe_cell(user, cell, &mut rng);
+        system
+            .subscribe_cell(user, cell, &mut rng)
+            .expect("sampled cells are in range");
     }
     let zone = sampler.sample_zone(600.0, &mut rng);
     let cells = zone.cell_indices();
@@ -52,11 +51,11 @@ fn bench_live_alert(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("issue_alert_serial", |b| {
         let mut r = StdRng::seed_from_u64(1);
-        b.iter(|| system.issue_alert(&cells, &mut r));
+        b.iter(|| system.issue_alert(&cells, &mut r).unwrap());
     });
     g.bench_function("issue_alert_batch", |b| {
         let mut r = StdRng::seed_from_u64(1);
-        b.iter(|| system.issue_alert_batch(&cells, None, &mut r));
+        b.iter(|| system.issue_alert_batch(&cells, None, &mut r).unwrap());
     });
     g.finish();
 }

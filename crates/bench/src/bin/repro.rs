@@ -101,20 +101,23 @@ fn run_smoke(out_dir: &std::path::Path) {
     let mut rng = StdRng::seed_from_u64(SEED);
     let grid = sla_grid::Grid::new(sla_grid::BoundingBox::new(0.0, 0.0, 0.1, 0.1), 4, 4);
     let probs = sla_grid::ProbabilityMap::new(vec![1.0 / 16.0; 16]);
-    let mut system = sla_core::AlertSystem::setup(
-        sla_core::SystemConfig {
-            grid,
-            encoder: sla_encoding::EncoderKind::Huffman,
-            group_bits: 32,
-        },
-        &probs,
-        &mut rng,
-    );
+    let mut system = sla_core::SystemBuilder::new(grid)
+        .encoder(sla_encoding::EncoderKind::Huffman)
+        .group_bits(32)
+        .store(sla_core::StoreBackend::Sharded { shards: 4 })
+        .build(&probs, &mut rng)
+        .expect("smoke: valid configuration");
     for cell in 0..16 {
-        system.subscribe_cell(100 + cell as u64, cell, &mut rng);
+        system
+            .subscribe_cell(100 + cell as u64, cell, &mut rng)
+            .expect("smoke: cells are in range");
     }
-    let serial = system.issue_alert(&[2, 3, 6], &mut rng);
-    let batch = system.issue_alert_batch(&[2, 3, 6], Some(4), &mut rng);
+    let serial = system
+        .issue_alert(&[2, 3, 6], &mut rng)
+        .expect("smoke: alert");
+    let batch = system
+        .issue_alert_batch(&[2, 3, 6], Some(4), &mut rng)
+        .expect("smoke: batch alert");
     assert_eq!(serial.notified, vec![102, 103, 106], "smoke: wrong matches");
     assert_eq!(serial.notified, batch.notified, "smoke: batch != serial");
     assert_eq!(
@@ -250,7 +253,8 @@ fn main() {
                 for p in &phases {
                     println!(
                         "phases[{} bit N, l={}]: setup {:.1} µs (+{:.1} µs prepare), \
-                         encrypt {:.1} -> {:.1} µs ({:.2}x), gen_token {:.1} -> {:.1} µs ({:.2}x)",
+                         encrypt {:.1} -> {:.1} µs ({:.2}x), gen_token {:.1} -> {:.1} µs ({:.2}x), \
+                         query {:.2} -> {:.2} µs/pair ({:.2}x, residue-domain batch)",
                         p.modulus_bits,
                         p.width,
                         p.setup_ns / 1e3,
@@ -261,6 +265,9 @@ fn main() {
                         p.gen_token_ns / 1e3,
                         p.gen_token_prepared_ns / 1e3,
                         p.gen_token_speedup(),
+                        p.query_decode_ns / 1e3,
+                        p.query_batch_ns / 1e3,
+                        p.query_speedup(),
                     );
                 }
                 let path = opts.out_dir.join("BENCH_primitives.json");

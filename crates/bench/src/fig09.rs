@@ -1,6 +1,6 @@
 //! **Figure 9** — evaluation on the (synthetic stand-in) Chicago crime
 //! dataset: absolute pairing operations and percentage improvement over
-//! the basic fixed-length scheme [14], as a function of the alert-zone
+//! the basic fixed-length scheme \[14\], as a function of the alert-zone
 //! radius, for Huffman, SGO (gray), and balanced-tree encodings.
 
 use crate::common::zones_to_cells;
@@ -27,7 +27,7 @@ pub struct SweepResult {
 }
 
 impl SweepResult {
-    /// Index of the baseline ([14]) in the lineup.
+    /// Index of the baseline (\[14\]) in the lineup.
     pub fn baseline_idx(&self) -> usize {
         self.encoders
             .iter()

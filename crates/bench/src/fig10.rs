@@ -1,6 +1,6 @@
 //! **Figure 10** — synthetic-dataset evaluation: the twelve panels sweep
 //! sigmoid inflection `a ∈ {0.9, 0.99}` and gradient `b ∈ {10, 100, 200}`,
-//! reporting absolute pairings and improvement vs [14] per radius.
+//! reporting absolute pairings and improvement vs \[14\] per radius.
 
 use crate::common::sigmoid_probs;
 use crate::fig09::{sweep_encoders_with, SweepResult};

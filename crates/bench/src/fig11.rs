@@ -1,6 +1,6 @@
 //! **Figure 11** — mixed workloads: W1 (90 % short / 10 % long) through
 //! W4 (10 % / 90 %), short = 20 m, long = 300 m, for sigmoid
-//! `(a, b) ∈ {(0.9, 100), (0.99, 100)}`; improvement vs [14].
+//! `(a, b) ∈ {(0.9, 100), (0.99, 100)}`; improvement vs \[14\].
 
 use crate::common::sigmoid_probs;
 use crate::fig09::sweep_encoders_with;

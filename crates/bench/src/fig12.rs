@@ -1,5 +1,5 @@
 //! **Figure 12** — varying grid granularity (`a = 0.95`, `b = 20`):
-//! absolute pairings and improvement vs [14] for the Huffman scheme, per
+//! absolute pairings and improvement vs \[14\] for the Huffman scheme, per
 //! grid size and alert radius. Shows that higher granularity raises
 //! absolute cost and shrinks the small-zone improvement (§7.2).
 

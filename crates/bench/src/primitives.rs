@@ -74,6 +74,14 @@ pub struct PhaseTimings {
     pub gen_token_ns: f64,
     /// **GenToken** through the prepared key's tables.
     pub gen_token_prepared_ns: f64,
+    /// **Query** per (token, ciphertext) pair via per-pair
+    /// `query_decode`: one canonical conversion per pair, match or not.
+    pub query_decode_ns: f64,
+    /// **QueryBatch** per pair via `query_decode_batch`: the match
+    /// decision stays in the Montgomery residue domain and the canonical
+    /// conversion is paid only on match (measured on a mostly
+    /// non-matching pool — the exhaustive-matching regime).
+    pub query_batch_ns: f64,
 }
 
 impl PhaseTimings {
@@ -85,6 +93,11 @@ impl PhaseTimings {
     /// Prepared-vs-plain speedup on GenToken.
     pub fn gen_token_speedup(&self) -> f64 {
         self.gen_token_ns / self.gen_token_prepared_ns
+    }
+
+    /// Residue-domain-batch-vs-per-pair speedup on Query.
+    pub fn query_speedup(&self) -> f64 {
+        self.query_decode_ns / self.query_batch_ns
     }
 }
 
@@ -176,6 +189,36 @@ pub fn measure_phases(prime_bits: usize, width: usize, seed: u64) -> PhaseTiming
     let gen_token_ns = time_ns(40, || scheme.gen_token(&sk, &pattern, &mut rng));
     let gen_token_prepared_ns = time_ns(40, || scheme.gen_token_prepared(&psk, &pattern, &mut rng));
 
+    // Query: one token against a pool of 16 (ciphertext, expected
+    // payload) pairs with a single match — the exhaustive-matching
+    // regime, where almost every pair is ⊥. The per-pair path converts
+    // every candidate out of the residue domain; the batch path decides
+    // in-domain and converts on match only.
+    let token = scheme.gen_token(&sk, &pattern, &mut rng);
+    let pool: Vec<(sla_hve::Ciphertext, sla_pairing::GtElem)> = (0..16u64)
+        .map(|i| {
+            let pool_bits: Vec<bool> = if i == 0 {
+                bits.clone()
+            } else {
+                // Flip a non-star position so the token misses.
+                bits.iter().map(|b| !b).collect()
+            };
+            let pool_index = AttributeVector::from_bits(&pool_bits);
+            let pool_msg = scheme.encode_message(i + 1);
+            let ct = scheme.encrypt(&pk, &pool_index, &pool_msg, &mut rng);
+            (ct, pool_msg)
+        })
+        .collect();
+    let per_pair = pool.len() as f64;
+    let query_decode_ns = time_ns(10, || {
+        pool.iter()
+            .map(|(ct, _)| scheme.query_decode(&token, ct))
+            .collect::<Vec<_>>()
+    }) / per_pair;
+    let query_batch_ns = time_ns(10, || {
+        scheme.query_decode_batch(&token, pool.iter().map(|(ct, msg)| (ct, msg)))
+    }) / per_pair;
+
     PhaseTimings {
         modulus_bits: group.params().order_bits(),
         width,
@@ -185,6 +228,8 @@ pub fn measure_phases(prime_bits: usize, width: usize, seed: u64) -> PhaseTiming
         encrypt_prepared_ns,
         gen_token_ns,
         gen_token_prepared_ns,
+        query_decode_ns,
+        query_batch_ns,
     }
 }
 
@@ -218,7 +263,9 @@ pub fn to_json(rows: &[PrimitiveTimings], phases: &[PhaseTimings]) -> String {
             "    {{\"modulus_bits\": {}, \"width\": {}, \"setup_ns\": {:.0}, \
              \"prepare_ns\": {:.0}, \"encrypt_ns\": {:.0}, \"encrypt_prepared_ns\": {:.0}, \
              \"gen_token_ns\": {:.0}, \"gen_token_prepared_ns\": {:.0}, \
-             \"encrypt_speedup\": {:.2}, \"gen_token_speedup\": {:.2}}}{}\n",
+             \"query_decode_ns\": {:.0}, \"query_batch_ns\": {:.0}, \
+             \"encrypt_speedup\": {:.2}, \"gen_token_speedup\": {:.2}, \
+             \"query_speedup\": {:.2}}}{}\n",
             p.modulus_bits,
             p.width,
             p.setup_ns,
@@ -227,8 +274,11 @@ pub fn to_json(rows: &[PrimitiveTimings], phases: &[PhaseTimings]) -> String {
             p.encrypt_prepared_ns,
             p.gen_token_ns,
             p.gen_token_prepared_ns,
+            p.query_decode_ns,
+            p.query_batch_ns,
             p.encrypt_speedup(),
             p.gen_token_speedup(),
+            p.query_speedup(),
             if i + 1 == phases.len() { "" } else { "," },
         ));
     }
@@ -270,11 +320,15 @@ mod tests {
             p.encrypt_prepared_ns,
             p.gen_token_ns,
             p.gen_token_prepared_ns,
+            p.query_decode_ns,
+            p.query_batch_ns,
         ] {
             assert!(v.is_finite() && v > 0.0);
         }
         let json = to_json(&[], &[p]);
         assert!(json.contains("\"phases\""));
         assert!(json.contains("gen_token_speedup"));
+        assert!(json.contains("query_batch_ns"));
+        assert!(json.contains("query_speedup"));
     }
 }

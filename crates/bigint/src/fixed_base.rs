@@ -72,7 +72,7 @@ impl FixedBaseTable {
         }
     }
 
-    /// Builds a table with the [`DEFAULT_WINDOW`] width.
+    /// Builds a table with the default window width.
     pub fn with_default_window(reducer: Arc<Reducer>, base: &BigUint, max_exp_bits: usize) -> Self {
         Self::new(reducer, base, max_exp_bits, DEFAULT_WINDOW)
     }

@@ -27,7 +27,7 @@ impl Default for MillerRabinConfig {
 
 /// Miller–Rabin probabilistic primality test.
 ///
-/// Always performs trial division by [`SMALL_PRIMES`] first; values below
+/// Always performs trial division by the small-prime table first; values below
 /// 2^64 additionally use the deterministic witness set {2, 3, 5, 7, 11, 13,
 /// 17, 19, 23, 29, 31, 37}, which is exact for that range.
 pub fn is_probable_prime<R: Rng>(n: &BigUint, cfg: MillerRabinConfig, rng: &mut R) -> bool {

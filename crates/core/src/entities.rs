@@ -1,6 +1,10 @@
 //! The three parties of the system model (§2.2).
 
 use crate::convert::{codeword_to_pattern, index_to_attribute};
+use crate::error::{SlaError, SlaResult};
+use crate::store::{
+    StoreBackend, StoreStats, StoredSubscription, SubscriptionStore, UpsertOutcome,
+};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use sla_encoding::CellCodebook;
@@ -43,17 +47,20 @@ impl TaKey {
 }
 
 impl TrustedAuthority {
-    /// Creates the TA from setup artifacts.
-    pub fn new(sk: SecretKey, codebook: CellCodebook) -> Self {
-        assert_eq!(
-            sk.width(),
-            codebook.width_bits(),
-            "secret key width must match the codebook"
-        );
-        TrustedAuthority {
+    /// Creates the TA from setup artifacts;
+    /// `Err(SlaError::WidthMismatch)` when the key and codebook widths
+    /// disagree.
+    pub fn new(sk: SecretKey, codebook: CellCodebook) -> SlaResult<Self> {
+        if sk.width() != codebook.width_bits() {
+            return Err(SlaError::WidthMismatch {
+                expected: codebook.width_bits(),
+                actual: sk.width(),
+            });
+        }
+        Ok(TrustedAuthority {
             key: TaKey::Plain(sk),
             codebook,
-        }
+        })
     }
 
     /// Builds the secret key's fixed-base tables; subsequent
@@ -71,14 +78,16 @@ impl TrustedAuthority {
     /// Issues the minimized token set for an alert zone (Fig. 3's
     /// "minimization algorithm" + token encryption), through the prepared
     /// key tables when [`Self::prepare`] has run.
+    /// `Err(SlaError::CellOutOfRange)` on alert cells outside the grid.
     pub fn issue_tokens<G: BilinearGroup, R: Rng>(
         &self,
         scheme: &HveScheme<'_, G>,
         alert_cells: &[usize],
         rng: &mut R,
-    ) -> Vec<Token> {
-        self.codebook
-            .tokens_for(alert_cells)
+    ) -> SlaResult<Vec<Token>> {
+        Ok(self
+            .codebook
+            .try_tokens_for(alert_cells)?
             .iter()
             .map(|cw| {
                 let pattern = codeword_to_pattern(cw);
@@ -87,13 +96,19 @@ impl TrustedAuthority {
                     TaKey::Plain(sk) => scheme.gen_token(sk, &pattern, rng),
                 }
             })
-            .collect()
+            .collect())
     }
 
     /// Analytic pairing cost of an alert against `n_ciphertexts`
     /// ciphertexts — what the SP *will* spend evaluating the tokens.
-    pub fn analytic_pairing_cost(&self, alert_cells: &[usize], n_ciphertexts: u64) -> u64 {
-        self.codebook.pairing_cost(alert_cells, n_ciphertexts)
+    /// `Err(SlaError::CellOutOfRange)` on alert cells outside the grid.
+    pub fn analytic_pairing_cost(
+        &self,
+        alert_cells: &[usize],
+        n_ciphertexts: u64,
+    ) -> SlaResult<u64> {
+        let tokens = self.codebook.try_tokens_for(alert_cells)?;
+        Ok(sla_encoding::minimize::pairing_cost(&tokens, n_ciphertexts))
     }
 }
 
@@ -115,18 +130,17 @@ impl MobileUser {
     }
 
     /// Encrypts the user's location update (Fig. 1: users A and B encrypt
-    /// their indexes with PK).
+    /// their indexes with PK). Errors on cells outside the codebook and
+    /// on ids outside the HVE message domain.
     pub fn encrypt_update<G: BilinearGroup, R: Rng>(
         &self,
         scheme: &HveScheme<'_, G>,
         pk: &PublicKey,
         codebook: &CellCodebook,
         rng: &mut R,
-    ) -> Ciphertext {
-        let index = codebook.index_of(self.cell);
-        let attr = index_to_attribute(index);
-        let msg = scheme.encode_message(self.id);
-        scheme.encrypt(pk, &attr, &msg, rng)
+    ) -> SlaResult<Ciphertext> {
+        let (attr, msg) = self.update_parts(scheme, codebook)?;
+        Ok(scheme.encrypt(pk, &attr, &msg, rng))
     }
 
     /// [`Self::encrypt_update`] through a prepared public key — identical
@@ -138,15 +152,30 @@ impl MobileUser {
         ppk: &PreparedPublicKey,
         codebook: &CellCodebook,
         rng: &mut R,
-    ) -> Ciphertext {
-        let index = codebook.index_of(self.cell);
-        let attr = index_to_attribute(index);
-        let msg = scheme.encode_message(self.id);
-        scheme.encrypt_prepared(ppk, &attr, &msg, rng)
+    ) -> SlaResult<Ciphertext> {
+        let (attr, msg) = self.update_parts(scheme, codebook)?;
+        Ok(scheme.encrypt_prepared(ppk, &attr, &msg, rng))
+    }
+
+    /// Validated attribute/message pair shared by both encrypt paths.
+    fn update_parts<G: BilinearGroup>(
+        &self,
+        scheme: &HveScheme<'_, G>,
+        codebook: &CellCodebook,
+    ) -> SlaResult<(sla_hve::AttributeVector, sla_pairing::GtElem)> {
+        if self.cell >= codebook.n_cells() {
+            return Err(SlaError::CellOutOfRange {
+                cell: self.cell,
+                n_cells: codebook.n_cells(),
+            });
+        }
+        let attr = index_to_attribute(codebook.index_of(self.cell));
+        let msg = scheme.try_encode_message(self.id)?;
+        Ok((attr, msg))
     }
 }
 
-/// A stored subscription at the SP: the submitting user's id (routing
+/// A location update as submitted to the SP: the user's id (routing
 /// metadata) and the opaque ciphertext.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Subscription {
@@ -160,58 +189,218 @@ pub struct Subscription {
 /// notifies matched users. Learns only "user u is inside the alert zone" /
 /// "user u is not" — nothing else (§6).
 ///
+/// ## Lifecycle
+///
+/// The store holds **one ciphertext per user**: [`Self::upsert`] replaces
+/// on re-subscription (a user who moves stops matching alerts on the old
+/// cell), [`Self::unsubscribe`] removes, and [`Self::advance_epoch`]
+/// evicts subscriptions that have not been refreshed within the
+/// configured TTL. [`Self::stats`] snapshots the store and its lifetime
+/// counters.
+///
+/// ## Matching
+///
 /// The stored ciphertexts (and the tokens handed in per alert) keep their
-/// group elements in the engine's Montgomery residue domain, so batch
-/// alert processing pays a single reduction pass per pairing — the
-/// per-operand domain conversions are precomputed once, at encryption /
-/// token-issuance time, and reused across every (token, ciphertext) pair.
-#[derive(Debug, Default)]
+/// group elements in the engine's Montgomery residue domain, and each
+/// record carries its expected payload, so matching is a pure
+/// residue-domain comparison — zero canonical conversions per (token,
+/// ciphertext) pair (see `HveScheme::match_token`).
+#[derive(Debug)]
 pub struct ServiceProvider {
-    store: Vec<Subscription>,
+    store: Box<dyn SubscriptionStore>,
+    epoch: u64,
+    ttl_epochs: Option<u64>,
+    /// HVE width pinned by the first accepted ciphertext; every later
+    /// upsert and every token must agree.
+    width: Option<usize>,
+    inserted: u64,
+    replaced: u64,
+    unsubscribed: u64,
+    evicted: u64,
+}
+
+impl Default for ServiceProvider {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl ServiceProvider {
-    /// An SP with an empty store.
+    /// An SP with an empty contiguous store and no TTL eviction.
     pub fn new() -> Self {
-        ServiceProvider { store: Vec::new() }
+        Self::with_backend(StoreBackend::Contiguous, None)
+            .expect("contiguous backend is always constructible")
     }
 
-    /// Accepts an encrypted location update.
-    pub fn accept_update(&mut self, subscription: Subscription) {
-        self.store.push(subscription);
+    /// An SP over the chosen store backend;
+    /// `ttl_epochs = Some(t)` evicts subscriptions not refreshed within
+    /// `t` epochs. `Err(SlaError::ZeroShardCount)` for a zero-shard
+    /// sharded backend.
+    pub fn with_backend(backend: StoreBackend, ttl_epochs: Option<u64>) -> SlaResult<Self> {
+        let store = backend.build().ok_or(SlaError::ZeroShardCount)?;
+        Ok(ServiceProvider {
+            store,
+            epoch: 0,
+            ttl_epochs,
+            width: None,
+            inserted: 0,
+            replaced: 0,
+            unsubscribed: 0,
+            evicted: 0,
+        })
     }
 
-    /// Number of stored ciphertexts.
+    /// Number of stored ciphertexts (one per live user).
     pub fn n_subscriptions(&self) -> usize {
         self.store.len()
     }
 
-    /// The stored subscriptions.
-    pub fn subscriptions(&self) -> &[Subscription] {
-        &self.store
+    /// The current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
-    /// Evaluates every token against every stored ciphertext and returns
-    /// the ids of users inside the alert zone (the matching of §2.2: all
-    /// non-star bits must match; the decrypted message is the user id).
+    /// Snapshot of the store layout and lifecycle counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            backend: self.store.backend_name(),
+            shards: self.store.shard_count(),
+            subscriptions: self.store.len(),
+            epoch: self.epoch,
+            ttl_epochs: self.ttl_epochs,
+            inserted: self.inserted,
+            replaced: self.replaced,
+            unsubscribed: self.unsubscribed,
+            evicted: self.evicted,
+        }
+    }
+
+    /// Accepts (or refreshes) a user's encrypted location update: a
+    /// re-subscribing user's previous ciphertext is **replaced**, so the
+    /// old location stops matching alerts. The record is stamped with the
+    /// current epoch and carries the precomputed expected payload for
+    /// residue-domain matching.
+    ///
+    /// Errors: `WidthMismatch` when the ciphertext disagrees with the
+    /// scheme or with previously stored material; `MessageOutOfDomain`
+    /// when the user id cannot serve as an HVE payload.
+    pub fn upsert<G: BilinearGroup>(
+        &mut self,
+        scheme: &HveScheme<'_, G>,
+        subscription: Subscription,
+    ) -> SlaResult<UpsertOutcome> {
+        let ct_width = subscription.ciphertext.width();
+        if ct_width != scheme.width() {
+            return Err(SlaError::WidthMismatch {
+                expected: scheme.width(),
+                actual: ct_width,
+            });
+        }
+        if let Some(width) = self.width {
+            if width != ct_width {
+                return Err(SlaError::WidthMismatch {
+                    expected: width,
+                    actual: ct_width,
+                });
+            }
+        }
+        let expected = scheme.try_encode_message(subscription.user_id)?;
+        self.width = Some(ct_width);
+        let outcome = self.store.upsert(StoredSubscription {
+            user_id: subscription.user_id,
+            ciphertext: subscription.ciphertext,
+            expected,
+            epoch: self.epoch,
+        });
+        match outcome {
+            UpsertOutcome::Inserted => self.inserted += 1,
+            UpsertOutcome::Replaced => self.replaced += 1,
+        }
+        Ok(outcome)
+    }
+
+    /// Removes a user's subscription;
+    /// `Err(SlaError::UnknownUser)` when none is stored.
+    pub fn unsubscribe(&mut self, user_id: u64) -> SlaResult<()> {
+        if self.store.remove(user_id) {
+            self.unsubscribed += 1;
+            Ok(())
+        } else {
+            Err(SlaError::UnknownUser { user_id })
+        }
+    }
+
+    /// Advances the service epoch and, when a TTL is configured, evicts
+    /// every subscription whose last upsert is `ttl_epochs` or more
+    /// epochs old (a record upserted at epoch `e` with TTL `t` is evicted
+    /// when the epoch reaches `e + t`). Returns how many were evicted.
+    pub fn advance_epoch(&mut self) -> usize {
+        self.epoch += 1;
+        let Some(ttl) = self.ttl_epochs else {
+            return 0;
+        };
+        let Some(min_epoch) = self.epoch.checked_sub(ttl).map(|e| e + 1) else {
+            return 0;
+        };
+        let evicted = self.store.evict_before(min_epoch);
+        self.evicted += evicted as u64;
+        evicted
+    }
+
+    /// Validates an alert's token set against the system width before any
+    /// pairing is evaluated, so the matching loops below cannot panic on
+    /// user-supplied material.
+    fn validate_tokens<G: BilinearGroup>(
+        &self,
+        scheme: &HveScheme<'_, G>,
+        tokens: &[Token],
+    ) -> SlaResult<()> {
+        if let Some(width) = self.width {
+            if width != scheme.width() {
+                return Err(SlaError::WidthMismatch {
+                    expected: width,
+                    actual: scheme.width(),
+                });
+            }
+        }
+        for token in tokens {
+            if token.pattern().len() != scheme.width() {
+                return Err(SlaError::WidthMismatch {
+                    expected: scheme.width(),
+                    actual: token.pattern().len(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates the token set with an **early exit**: a subscription
+    /// stops evaluating tokens after its first match. This is the
+    /// latency-optimal production call — its pairing count depends on
+    /// *which* users match, so it does not reproduce the paper's
+    /// worst-case cost model; use [`Self::match_alert_exhaustive`] (or
+    /// the batch path) when live counters must equal the analytic
+    /// prediction. Both paths decide each (token, ciphertext) pair with
+    /// the same residue-domain primitive, so the notified set is
+    /// identical.
     pub fn match_alert<G: BilinearGroup>(
         &self,
         scheme: &HveScheme<'_, G>,
         tokens: &[Token],
-    ) -> Vec<u64> {
+    ) -> SlaResult<Vec<u64>> {
+        self.validate_tokens(scheme, tokens)?;
         let mut notified = Vec::new();
-        for sub in &self.store {
-            for token in tokens {
-                if let Some(id) = scheme.query_decode(token, &sub.ciphertext) {
-                    // Sanity: the recovered payload is the submitting
-                    // user's id.
-                    debug_assert_eq!(id, sub.user_id);
-                    notified.push(sub.user_id);
-                    break; // already matched; skip remaining tokens
+        for shard in self.store.shards() {
+            for sub in shard {
+                for token in tokens {
+                    if scheme.match_token(token, &sub.ciphertext, &sub.expected) {
+                        notified.push(sub.user_id);
+                        break; // already matched; skip remaining tokens
+                    }
                 }
             }
         }
-        notified
+        Ok(notified)
     }
 
     /// Like [`Self::match_alert`] but evaluates *every* (token,
@@ -221,15 +410,21 @@ impl ServiceProvider {
         &self,
         scheme: &HveScheme<'_, G>,
         tokens: &[Token],
-    ) -> Vec<u64> {
-        Self::match_chunk_exhaustive(&self.store, scheme, tokens)
+    ) -> SlaResult<Vec<u64>> {
+        self.validate_tokens(scheme, tokens)?;
+        let mut notified = Vec::new();
+        for shard in self.store.shards() {
+            notified.extend(Self::match_chunk_exhaustive(shard, scheme, tokens));
+        }
+        Ok(notified)
     }
 
-    /// Exhaustive matching of one contiguous chunk of the store; the unit
-    /// of work both the serial and the parallel batch paths share, so
-    /// their outcomes are identical by construction.
+    /// Exhaustive matching of one chunk of the store; the unit of work
+    /// the serial and the parallel batch paths share, so their outcomes
+    /// are identical by construction. Decides every pair in the residue
+    /// domain — no canonical conversions.
     fn match_chunk_exhaustive<G: BilinearGroup>(
-        chunk: &[Subscription],
+        chunk: &[StoredSubscription],
         scheme: &HveScheme<'_, G>,
         tokens: &[Token],
     ) -> Vec<u64> {
@@ -237,7 +432,7 @@ impl ServiceProvider {
         for sub in chunk {
             let mut hit = false;
             for token in tokens {
-                if scheme.query_decode(token, &sub.ciphertext) == Some(sub.user_id) {
+                if scheme.match_token(token, &sub.ciphertext, &sub.expected) {
                     hit = true;
                 }
             }
@@ -257,10 +452,11 @@ impl ServiceProvider {
     /// machinery, which is what the equivalence tests exercise.
     pub fn default_batch_chunk_size(&self) -> usize {
         let threads = Self::match_threads();
-        if threads <= 1 || self.store.len() < Self::PARALLEL_MIN_STORE {
-            return self.store.len().max(1);
+        let len = self.store.len();
+        if threads <= 1 || len < Self::PARALLEL_MIN_STORE {
+            return len.max(1);
         }
-        self.store.len().div_ceil(threads * 4).max(1)
+        len.div_ceil(threads * 4).max(1)
     }
 
     #[cfg(feature = "parallel")]
@@ -273,27 +469,30 @@ impl ServiceProvider {
         1
     }
 
-    /// Batch variant of [`Self::match_alert_exhaustive`]: partitions the
-    /// ciphertext store into `chunk_size`-sized chunks and matches them in
+    /// Batch variant of [`Self::match_alert_exhaustive`]: partitions every
+    /// store shard into `chunk_size`-sized chunks and matches them in
     /// parallel (rayon; `parallel` feature, on by default — serial chunks
     /// otherwise).
     ///
-    /// Chunk results are concatenated in store order, so the returned ids
+    /// Chunk results are concatenated in shard order, so the returned ids
     /// are **byte-identical** to the serial path's regardless of thread
     /// count, and the engine's atomic [`sla_pairing::OpCounters`] see
     /// exactly the same number of pairings.
     ///
-    /// # Panics
-    /// Panics if `chunk_size == 0`.
+    /// `Err(SlaError::ZeroChunkSize)` when `chunk_size == 0`.
     pub fn process_alert_batch<G: BilinearGroup + Sync>(
         &self,
         scheme: &HveScheme<'_, G>,
         tokens: &[Token],
         chunk_size: usize,
-    ) -> Vec<u64> {
-        assert!(chunk_size > 0, "chunk size must be positive");
-        let per_chunk: Vec<Vec<u64>> = self.match_chunks(scheme, tokens, chunk_size);
-        per_chunk.into_iter().flatten().collect()
+    ) -> SlaResult<Vec<u64>> {
+        if chunk_size == 0 {
+            return Err(SlaError::ZeroChunkSize);
+        }
+        self.validate_tokens(scheme, tokens)?;
+        let units = self.store.chunked(chunk_size);
+        let per_chunk = Self::match_units(&units, scheme, tokens);
+        Ok(per_chunk.into_iter().flatten().collect())
     }
 
     /// Below this store size [`Self::default_batch_chunk_size`] picks a
@@ -302,28 +501,26 @@ impl ServiceProvider {
     const PARALLEL_MIN_STORE: usize = 256;
 
     #[cfg(feature = "parallel")]
-    fn match_chunks<G: BilinearGroup + Sync>(
-        &self,
+    fn match_units<G: BilinearGroup + Sync>(
+        units: &[&[StoredSubscription]],
         scheme: &HveScheme<'_, G>,
         tokens: &[Token],
-        chunk_size: usize,
     ) -> Vec<Vec<u64>> {
         use rayon::prelude::*;
-        self.store
-            .par_chunks(chunk_size)
+        units
+            .par_iter()
             .map(|chunk| Self::match_chunk_exhaustive(chunk, scheme, tokens))
             .collect()
     }
 
     #[cfg(not(feature = "parallel"))]
-    fn match_chunks<G: BilinearGroup + Sync>(
-        &self,
+    fn match_units<G: BilinearGroup + Sync>(
+        units: &[&[StoredSubscription]],
         scheme: &HveScheme<'_, G>,
         tokens: &[Token],
-        chunk_size: usize,
     ) -> Vec<Vec<u64>> {
-        self.store
-            .chunks(chunk_size)
+        units
+            .iter()
             .map(|chunk| Self::match_chunk_exhaustive(chunk, scheme, tokens))
             .collect()
     }

@@ -1,0 +1,242 @@
+//! [`SlaError`]: the workspace-wide error taxonomy of the service layer.
+//!
+//! Every fallible entry point of the public service API — system
+//! construction, the subscription lifecycle, and alert issuance — returns
+//! a typed [`SlaError`] instead of panicking. Errors raised by the
+//! substrate crates (`sla-grid`, `sla-encoding`, `sla-hve`) convert into
+//! the matching service-level variant via `From`, so `?` composes across
+//! the whole stack.
+
+use sla_encoding::EncodingError;
+use sla_grid::GridError;
+use sla_hve::HveError;
+use std::fmt;
+
+/// `Result` alias over [`SlaError`] used throughout the service API.
+pub type SlaResult<T> = Result<T, SlaError>;
+
+/// Why a service-layer operation could not be performed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum SlaError {
+    /// A cell index outside the configured grid.
+    CellOutOfRange {
+        /// The offending cell.
+        cell: usize,
+        /// Number of cells the grid has.
+        n_cells: usize,
+    },
+    /// The probability map does not cover the grid.
+    ProbabilityMapMismatch {
+        /// Cells in the supplied map.
+        map_cells: usize,
+        /// Cells in the grid.
+        grid_cells: usize,
+    },
+    /// A likelihood score was negative, non-finite, or the whole surface
+    /// was zero/empty.
+    InvalidLikelihoods(GridError),
+    /// The grid or bounding box itself was degenerate.
+    InvalidGrid(GridError),
+    /// The codebook could not be built from the supplied surface.
+    InvalidCodebook(EncodingError),
+    /// An HVE-layer error with no dedicated service-level variant
+    /// (preserved verbatim rather than approximated).
+    Hve(HveError),
+    /// `group_bits` outside the simulation's supported range.
+    InvalidGroupBits {
+        /// The requested per-prime bit length.
+        bits: usize,
+    },
+    /// A sharded store with zero shards.
+    ZeroShardCount,
+    /// An explicit batch chunk size of zero.
+    ZeroChunkSize,
+    /// A token/ciphertext/key width that does not match the system's
+    /// HVE width.
+    WidthMismatch {
+        /// The width this system operates at.
+        expected: usize,
+        /// The width of the offending input.
+        actual: usize,
+    },
+    /// A user id outside the HVE message domain (ids double as encrypted
+    /// payloads, so they must fit in `2^MESSAGE_DOMAIN_BITS`).
+    MessageOutOfDomain {
+        /// The offending user id.
+        id: u64,
+    },
+    /// An operation on a user the store does not hold.
+    UnknownUser {
+        /// The offending user id.
+        user_id: u64,
+    },
+    /// A geographic point outside the grid's bounding box.
+    PointOutsideGrid {
+        /// Latitude of the point.
+        lat: f64,
+        /// Longitude of the point.
+        lon: f64,
+    },
+}
+
+impl fmt::Display for SlaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SlaError::CellOutOfRange { cell, n_cells } => {
+                write!(f, "cell {cell} out of range (grid has {n_cells} cells)")
+            }
+            SlaError::ProbabilityMapMismatch {
+                map_cells,
+                grid_cells,
+            } => write!(
+                f,
+                "probability map covers {map_cells} cells but the grid has {grid_cells}"
+            ),
+            SlaError::InvalidLikelihoods(e) | SlaError::InvalidGrid(e) => e.fmt(f),
+            SlaError::InvalidCodebook(e) => e.fmt(f),
+            SlaError::Hve(e) => e.fmt(f),
+            SlaError::InvalidGroupBits { bits } => write!(
+                f,
+                "group_bits {bits} outside the supported range [{MIN_GROUP_BITS}, {MAX_GROUP_BITS}]"
+            ),
+            SlaError::ZeroShardCount => write!(f, "sharded store needs at least one shard"),
+            SlaError::ZeroChunkSize => write!(f, "batch chunk size must be positive"),
+            SlaError::WidthMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "width mismatch: system width {expected}, input width {actual}"
+                )
+            }
+            SlaError::MessageOutOfDomain { id } => {
+                write!(f, "user id {id} outside the HVE message domain")
+            }
+            SlaError::UnknownUser { user_id } => {
+                write!(f, "user {user_id} has no stored subscription")
+            }
+            SlaError::PointOutsideGrid { lat, lon } => {
+                write!(f, "point ({lat}, {lon}) lies outside the grid")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SlaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SlaError::InvalidLikelihoods(e) | SlaError::InvalidGrid(e) => Some(e),
+            SlaError::InvalidCodebook(e) => Some(e),
+            SlaError::Hve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Smallest per-prime bit length the simulated group accepts through the
+/// builder (below this the message domain no longer fits the order).
+pub const MIN_GROUP_BITS: usize = 24;
+
+/// Largest per-prime bit length the builder accepts (prime generation
+/// cost grows steeply beyond this and the simulation gains nothing).
+pub const MAX_GROUP_BITS: usize = 256;
+
+impl From<GridError> for SlaError {
+    fn from(e: GridError) -> Self {
+        match e {
+            GridError::EmptyProbabilityMap
+            | GridError::InvalidLikelihood { .. }
+            | GridError::AllZeroLikelihoods => SlaError::InvalidLikelihoods(e),
+            GridError::DegenerateBoundingBox { .. } | GridError::ZeroGridDimension { .. } => {
+                SlaError::InvalidGrid(e)
+            }
+            _ => SlaError::InvalidGrid(e),
+        }
+    }
+}
+
+impl From<EncodingError> for SlaError {
+    fn from(e: EncodingError) -> Self {
+        match e {
+            EncodingError::CellOutOfRange { cell, n_cells } => {
+                SlaError::CellOutOfRange { cell, n_cells }
+            }
+            _ => SlaError::InvalidCodebook(e),
+        }
+    }
+}
+
+impl From<HveError> for SlaError {
+    fn from(e: HveError) -> Self {
+        match e {
+            HveError::WidthMismatch { expected, actual } => {
+                SlaError::WidthMismatch { expected, actual }
+            }
+            HveError::MessageOutOfDomain { id } => SlaError::MessageOutOfDomain { id },
+            // ZeroWidth (and any future HveError variant) passes through
+            // verbatim rather than being approximated by a width error.
+            other => SlaError::Hve(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let cases: Vec<(SlaError, &str)> = vec![
+            (
+                SlaError::CellOutOfRange {
+                    cell: 9,
+                    n_cells: 4,
+                },
+                "cell 9 out of range",
+            ),
+            (
+                SlaError::ProbabilityMapMismatch {
+                    map_cells: 3,
+                    grid_cells: 4,
+                },
+                "covers 3 cells",
+            ),
+            (SlaError::ZeroChunkSize, "chunk size"),
+            (
+                SlaError::WidthMismatch {
+                    expected: 5,
+                    actual: 3,
+                },
+                "width mismatch",
+            ),
+            (SlaError::UnknownUser { user_id: 7 }, "user 7"),
+        ];
+        for (err, needle) in cases {
+            assert!(
+                err.to_string().contains(needle),
+                "{err:?} -> {err} missing {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn substrate_errors_convert() {
+        assert_eq!(
+            SlaError::from(EncodingError::CellOutOfRange {
+                cell: 8,
+                n_cells: 5
+            }),
+            SlaError::CellOutOfRange {
+                cell: 8,
+                n_cells: 5
+            }
+        );
+        assert_eq!(
+            SlaError::from(HveError::MessageOutOfDomain { id: 1 << 40 }),
+            SlaError::MessageOutOfDomain { id: 1 << 40 }
+        );
+        assert!(matches!(
+            SlaError::from(GridError::AllZeroLikelihoods),
+            SlaError::InvalidLikelihoods(_)
+        ));
+    }
+}

@@ -14,33 +14,40 @@
 //!   ([`ServiceProvider`]).
 //!
 //! [`AlertSystem`] wires the three parties together over a shared bilinear
-//! group engine, and [`metrics`] provides the *analytic* pairing-cost
-//! evaluation used by the figure experiments (the paper reports pairing
-//! counts; the test-suite proves the analytic counts equal the live
-//! engine's counters).
+//! group engine — built through the fallible [`SystemBuilder`], with a
+//! pluggable [`SubscriptionStore`] and an upsert/unsubscribe/TTL
+//! subscription lifecycle — and [`metrics`] provides the *analytic*
+//! pairing-cost evaluation used by the figure experiments (the paper
+//! reports pairing counts; the test-suite proves the analytic counts
+//! equal the live engine's counters).
+//!
+//! No `panic!`/`assert!` is reachable through the public service API on
+//! user-supplied input: every such path returns a typed [`SlaError`].
 //!
 //! ## Example
 //!
 //! ```
 //! use rand::{rngs::StdRng, SeedableRng};
-//! use sla_core::{AlertSystem, SystemConfig};
+//! use sla_core::{StoreBackend, SystemBuilder};
 //! use sla_encoding::EncoderKind;
 //! use sla_grid::{Grid, ProbabilityMap};
 //!
 //! let mut rng = StdRng::seed_from_u64(1);
 //! let grid = Grid::new(sla_grid::BoundingBox::new(0.0, 0.0, 0.1, 0.1), 2, 2);
 //! let probs = ProbabilityMap::new(vec![0.4, 0.1, 0.3, 0.2]);
-//! let mut system = AlertSystem::setup(
-//!     SystemConfig { grid, encoder: EncoderKind::Huffman, group_bits: 48 },
-//!     &probs,
-//!     &mut rng,
-//! );
+//! let mut system = SystemBuilder::new(grid)
+//!     .encoder(EncoderKind::Huffman)
+//!     .group_bits(48)
+//!     .store(StoreBackend::Sharded { shards: 2 })
+//!     .build(&probs, &mut rng)
+//!     .expect("valid configuration");
 //!
-//! system.subscribe_cell(7, 0, &mut rng);  // user 7 in cell 0
-//! system.subscribe_cell(9, 3, &mut rng);  // user 9 in cell 3
+//! system.subscribe_cell(7, 0, &mut rng).unwrap(); // user 7 in cell 0
+//! system.subscribe_cell(9, 3, &mut rng).unwrap(); // user 9 in cell 3
+//! system.subscribe_cell(9, 1, &mut rng).unwrap(); // user 9 moved
 //!
-//! let outcome = system.issue_alert(&[0, 1], &mut rng);
-//! assert_eq!(outcome.notified, vec![7]);  // only user 7 is inside
+//! let outcome = system.issue_alert(&[0, 1], &mut rng).unwrap();
+//! assert_eq!(outcome.notified, vec![7, 9]); // both now inside
 //! assert_eq!(outcome.pairings_used, outcome.analytic_pairings);
 //! ```
 
@@ -49,9 +56,16 @@
 
 mod convert;
 mod entities;
+mod error;
 pub mod metrics;
+mod store;
 mod system;
 
 pub use convert::{codeword_to_pattern, index_to_attribute};
 pub use entities::{MobileUser, ServiceProvider, Subscription, TrustedAuthority};
-pub use system::{AlertOutcome, AlertSystem, SystemConfig};
+pub use error::{SlaError, SlaResult, MAX_GROUP_BITS, MIN_GROUP_BITS};
+pub use store::{
+    ShardedStore, StoreBackend, StoreStats, StoredSubscription, SubscriptionStore, UpsertOutcome,
+    VecStore,
+};
+pub use system::{AlertOutcome, AlertSystem, SystemBuilder};

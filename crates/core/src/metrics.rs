@@ -3,7 +3,7 @@
 //! The paper's §7 metric is "the number of HVE bilinear map pairing
 //! operations incurred by each technique", presented as absolute counts
 //! and as percentage improvement over the basic fixed-length scheme of
-//! [14]. Evaluating a token with `k` non-star bits against one ciphertext
+//! \[14\]. Evaluating a token with `k` non-star bits against one ciphertext
 //! costs `1 + 2k` pairings (§2.1), so workload costs are computable
 //! without running cryptography; `AlertSystem` tests prove these numbers
 //! equal the live engine's counters.

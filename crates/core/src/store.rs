@@ -1,0 +1,422 @@
+//! Pluggable subscription storage for the Service Provider.
+//!
+//! The paper's system model (§2.2) is a *long-lived* service: users keep
+//! re-submitting encrypted location updates as they move, so the SP's
+//! store needs upsert/remove semantics and a layout that batch matching
+//! can parallelize over. [`SubscriptionStore`] is the seam: the
+//! contiguous backend keeps the original `Vec` simplicity, the
+//! hash-sharded backend buys O(1) upsert/remove and per-shard
+//! parallelism. Matching iterates [`SubscriptionStore::chunked`] units in
+//! a deterministic order for both backends, so serial and batch outcomes
+//! are identical by construction.
+
+use sla_hve::Ciphertext;
+use sla_pairing::GtElem;
+use std::collections::HashMap;
+use std::fmt;
+
+/// One stored location update, as the SP keeps it.
+#[derive(Debug, Clone)]
+pub struct StoredSubscription {
+    /// Routing identifier (who to push the notification to).
+    pub user_id: u64,
+    /// The encrypted location update.
+    pub ciphertext: Ciphertext,
+    /// The expected payload `gt^{user_id + 1}`, precomputed at upsert
+    /// time so alert matching can compare candidates **inside the
+    /// Montgomery residue domain** (zero canonical conversions per pair;
+    /// see `HveScheme::match_token`). Derived from the public generator
+    /// and the routing id the user already disclosed — no extra leakage.
+    pub expected: GtElem,
+    /// Epoch of the most recent upsert (drives TTL eviction).
+    pub epoch: u64,
+}
+
+/// What an upsert did to the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpsertOutcome {
+    /// The user had no stored update; one was added.
+    Inserted,
+    /// The user's previous ciphertext was replaced — the old location no
+    /// longer matches any alert.
+    Replaced,
+}
+
+/// Which storage backend [`crate::SystemBuilder`] assembles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreBackend {
+    /// A single contiguous `Vec` in arrival order: minimal overhead,
+    /// O(n) upsert/remove. Right for small or churn-free populations.
+    Contiguous,
+    /// `shards` hash-buckets keyed by `user_id`: O(1) upsert/remove and
+    /// per-shard parallel batch matching. Right for large populations
+    /// under churn.
+    Sharded {
+        /// Number of hash shards (must be positive).
+        shards: usize,
+    },
+}
+
+impl StoreBackend {
+    /// Builds the backend. `None` only for `Sharded { shards: 0 }`.
+    pub(crate) fn build(self) -> Option<Box<dyn SubscriptionStore>> {
+        match self {
+            StoreBackend::Contiguous => Some(Box::new(VecStore::new())),
+            StoreBackend::Sharded { shards: 0 } => None,
+            StoreBackend::Sharded { shards } => Some(Box::new(ShardedStore::new(shards))),
+        }
+    }
+}
+
+/// Storage seam between the Service Provider and its backing layout.
+///
+/// Implementations must keep a **single record per `user_id`** (upsert
+/// replaces) and expose the records as stable shard slices; everything
+/// the matching paths consume derives from [`SubscriptionStore::shards`],
+/// which is what keeps serial and batch outcomes identical across
+/// backends.
+pub trait SubscriptionStore: fmt::Debug + Send + Sync {
+    /// Short backend name for stats/diagnostics.
+    fn backend_name(&self) -> &'static str;
+
+    /// Number of shards the layout exposes (1 for contiguous).
+    fn shard_count(&self) -> usize;
+
+    /// Number of stored subscriptions.
+    fn len(&self) -> usize;
+
+    /// `true` iff no subscriptions are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts or replaces the record for `record.user_id`.
+    fn upsert(&mut self, record: StoredSubscription) -> UpsertOutcome;
+
+    /// Removes the record for `user_id`; `false` if absent.
+    fn remove(&mut self, user_id: u64) -> bool;
+
+    /// Evicts every record with `epoch < min_epoch`, returning how many
+    /// were dropped.
+    fn evict_before(&mut self, min_epoch: u64) -> usize;
+
+    /// The stored records as one slice per shard, in a deterministic
+    /// order (shards in index order; records in insertion order, with
+    /// removals allowed to backfill).
+    fn shards(&self) -> Vec<&[StoredSubscription]>;
+
+    /// The matching work units: every shard split into `chunk_size`-sized
+    /// chunks, in shard order. Both the serial and the parallel matching
+    /// paths walk exactly this list, which makes their outcomes identical
+    /// by construction.
+    fn chunked(&self, chunk_size: usize) -> Vec<&[StoredSubscription]> {
+        self.shards()
+            .into_iter()
+            .flat_map(|shard| shard.chunks(chunk_size.max(1)))
+            .collect()
+    }
+}
+
+/// The contiguous backend: one `Vec` in arrival order.
+#[derive(Debug, Default)]
+pub struct VecStore {
+    items: Vec<StoredSubscription>,
+}
+
+impl VecStore {
+    /// An empty contiguous store.
+    pub fn new() -> Self {
+        VecStore::default()
+    }
+}
+
+impl SubscriptionStore for VecStore {
+    fn backend_name(&self) -> &'static str {
+        "contiguous"
+    }
+
+    fn shard_count(&self) -> usize {
+        1
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn upsert(&mut self, record: StoredSubscription) -> UpsertOutcome {
+        match self.items.iter_mut().find(|r| r.user_id == record.user_id) {
+            Some(slot) => {
+                *slot = record;
+                UpsertOutcome::Replaced
+            }
+            None => {
+                self.items.push(record);
+                UpsertOutcome::Inserted
+            }
+        }
+    }
+
+    fn remove(&mut self, user_id: u64) -> bool {
+        let before = self.items.len();
+        self.items.retain(|r| r.user_id != user_id);
+        self.items.len() < before
+    }
+
+    fn evict_before(&mut self, min_epoch: u64) -> usize {
+        let before = self.items.len();
+        self.items.retain(|r| r.epoch >= min_epoch);
+        before - self.items.len()
+    }
+
+    fn shards(&self) -> Vec<&[StoredSubscription]> {
+        vec![&self.items]
+    }
+}
+
+/// The hash-sharded backend: `user_id` hashes to a shard, a per-user
+/// index gives O(1) upsert/remove (removal backfills via `swap_remove`).
+#[derive(Debug)]
+pub struct ShardedStore {
+    shards: Vec<Vec<StoredSubscription>>,
+    /// `user_id` → position within its (hash-determined) shard.
+    index: HashMap<u64, usize>,
+}
+
+impl ShardedStore {
+    /// An empty store with `shards` hash buckets.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0` (the builder rejects that earlier with
+    /// `SlaError::ZeroShardCount`).
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "shard count must be positive");
+        ShardedStore {
+            shards: (0..shards).map(|_| Vec::new()).collect(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// Deterministic shard of a user id (Fibonacci multiplicative hash —
+    /// stable across runs and platforms, unlike `RandomState`).
+    fn shard_of(&self, user_id: u64) -> usize {
+        (user_id.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize % self.shards.len()
+    }
+}
+
+impl SubscriptionStore for ShardedStore {
+    fn backend_name(&self) -> &'static str {
+        "sharded"
+    }
+
+    fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    fn upsert(&mut self, record: StoredSubscription) -> UpsertOutcome {
+        let shard = self.shard_of(record.user_id);
+        match self.index.get(&record.user_id) {
+            Some(&pos) => {
+                self.shards[shard][pos] = record;
+                UpsertOutcome::Replaced
+            }
+            None => {
+                self.index.insert(record.user_id, self.shards[shard].len());
+                self.shards[shard].push(record);
+                UpsertOutcome::Inserted
+            }
+        }
+    }
+
+    fn remove(&mut self, user_id: u64) -> bool {
+        let Some(pos) = self.index.remove(&user_id) else {
+            return false;
+        };
+        let shard = self.shard_of(user_id);
+        self.shards[shard].swap_remove(pos);
+        if let Some(moved) = self.shards[shard].get(pos) {
+            self.index.insert(moved.user_id, pos);
+        }
+        true
+    }
+
+    fn evict_before(&mut self, min_epoch: u64) -> usize {
+        let mut evicted = 0;
+        for shard in &mut self.shards {
+            let before = shard.len();
+            shard.retain(|r| {
+                let keep = r.epoch >= min_epoch;
+                if !keep {
+                    self.index.remove(&r.user_id);
+                }
+                keep
+            });
+            if shard.len() < before {
+                evicted += before - shard.len();
+                // retain preserves order but shifts positions; re-index
+                // the survivors of this shard (eviction is rare, O(shard)
+                // is fine).
+                for (pos, r) in shard.iter().enumerate() {
+                    self.index.insert(r.user_id, pos);
+                }
+            }
+        }
+        evicted
+    }
+
+    fn shards(&self) -> Vec<&[StoredSubscription]> {
+        self.shards.iter().map(Vec::as_slice).collect()
+    }
+}
+
+/// Point-in-time snapshot of a Service Provider's store and lifecycle
+/// counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Backend name (`"contiguous"` or `"sharded"`).
+    pub backend: &'static str,
+    /// Number of shards.
+    pub shards: usize,
+    /// Live subscriptions.
+    pub subscriptions: usize,
+    /// Current epoch.
+    pub epoch: u64,
+    /// TTL in epochs, if eviction is enabled.
+    pub ttl_epochs: Option<u64>,
+    /// Lifetime count of first-time inserts.
+    pub inserted: u64,
+    /// Lifetime count of upserts that replaced an existing ciphertext.
+    pub replaced: u64,
+    /// Lifetime count of explicit unsubscribes.
+    pub unsubscribed: u64,
+    /// Lifetime count of TTL evictions.
+    pub evicted: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sla_hve::{AttributeVector, HveScheme};
+    use sla_pairing::SimulatedGroup;
+
+    /// One real (tiny) ciphertext, cloned into every test record — the
+    /// store treats it as opaque bytes.
+    fn fixture_ciphertext() -> Ciphertext {
+        let mut rng = StdRng::seed_from_u64(1);
+        let grp = SimulatedGroup::generate(24, &mut rng);
+        let scheme = HveScheme::new(&grp, 2);
+        let (pk, _) = scheme.setup(&mut rng);
+        let attr = AttributeVector::from_bits(&[true, false]);
+        scheme.encrypt(&pk, &attr, &scheme.encode_message(1), &mut rng)
+    }
+
+    fn record(ct: &Ciphertext, user_id: u64, epoch: u64) -> StoredSubscription {
+        StoredSubscription {
+            user_id,
+            ciphertext: ct.clone(),
+            expected: GtElem::identity(),
+            epoch,
+        }
+    }
+
+    fn ids_in_order(store: &dyn SubscriptionStore) -> Vec<u64> {
+        store
+            .shards()
+            .into_iter()
+            .flatten()
+            .map(|r| r.user_id)
+            .collect()
+    }
+
+    fn backends() -> Vec<Box<dyn SubscriptionStore>> {
+        vec![
+            Box::new(VecStore::new()),
+            Box::new(ShardedStore::new(4)),
+            Box::new(ShardedStore::new(1)),
+        ]
+    }
+
+    #[test]
+    fn upsert_replaces_single_record_per_user() {
+        let ct = fixture_ciphertext();
+        for mut store in backends() {
+            assert_eq!(store.upsert(record(&ct, 7, 0)), UpsertOutcome::Inserted);
+            assert_eq!(store.upsert(record(&ct, 8, 0)), UpsertOutcome::Inserted);
+            assert_eq!(store.upsert(record(&ct, 7, 3)), UpsertOutcome::Replaced);
+            assert_eq!(store.len(), 2, "{}", store.backend_name());
+            let epochs: Vec<u64> = store
+                .shards()
+                .into_iter()
+                .flatten()
+                .filter(|r| r.user_id == 7)
+                .map(|r| r.epoch)
+                .collect();
+            assert_eq!(epochs, vec![3], "{}", store.backend_name());
+        }
+    }
+
+    #[test]
+    fn remove_and_eviction() {
+        let ct = fixture_ciphertext();
+        for mut store in backends() {
+            for id in 0..10 {
+                store.upsert(record(&ct, id, id % 3));
+            }
+            assert!(store.remove(4));
+            assert!(!store.remove(4));
+            assert_eq!(store.len(), 9);
+            // evict epochs 0 (ids 0,3,6,9) — id 4 already gone from epoch-1s
+            let evicted = store.evict_before(1);
+            assert_eq!(evicted, 4, "{}", store.backend_name());
+            assert_eq!(store.len(), 5);
+            let mut left = ids_in_order(store.as_ref());
+            left.sort_unstable();
+            assert_eq!(left, vec![1, 2, 5, 7, 8]);
+            // the survivors are still individually addressable
+            for id in [1, 2, 5, 7, 8] {
+                assert!(store.remove(id), "{}: {id}", store.backend_name());
+            }
+            assert!(store.is_empty());
+        }
+    }
+
+    #[test]
+    fn chunked_covers_every_record_exactly_once() {
+        let ct = fixture_ciphertext();
+        for mut store in backends() {
+            for id in 0..23 {
+                store.upsert(record(&ct, id, 0));
+            }
+            for chunk_size in [1, 4, 7, 100] {
+                let mut seen: Vec<u64> = store
+                    .chunked(chunk_size)
+                    .into_iter()
+                    .flatten()
+                    .map(|r| r.user_id)
+                    .collect();
+                assert_eq!(seen.len(), 23, "{}", store.backend_name());
+                assert_eq!(seen, ids_in_order(store.as_ref()), "chunking reorders");
+                seen.sort_unstable();
+                assert_eq!(seen, (0..23).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_distribution_is_deterministic_and_total() {
+        let mut a = ShardedStore::new(8);
+        let mut b = ShardedStore::new(8);
+        let ct = fixture_ciphertext();
+        for id in 0..100 {
+            a.upsert(record(&ct, id, 0));
+            b.upsert(record(&ct, id, 0));
+        }
+        assert_eq!(ids_in_order(&a), ids_in_order(&b));
+        assert!(a.shards().iter().filter(|s| !s.is_empty()).count() > 1);
+    }
+}

@@ -1,23 +1,121 @@
-//! [`AlertSystem`]: owns the bilinear group and wires the three parties
-//! together for end-to-end runs.
+//! [`SystemBuilder`] / [`AlertSystem`]: owns the bilinear group and wires
+//! the three parties together for long-lived service runs.
 
 use crate::entities::{MobileUser, ServiceProvider, Subscription, TrustedAuthority};
+use crate::error::{SlaError, SlaResult, MAX_GROUP_BITS, MIN_GROUP_BITS};
+use crate::store::{StoreBackend, StoreStats, UpsertOutcome};
 use rand::Rng;
 use sla_encoding::{CellCodebook, EncoderKind};
 use sla_grid::{Grid, Point, ProbabilityMap};
 use sla_hve::{HveScheme, PreparedPublicKey, PublicKey};
 use sla_pairing::{BilinearGroup, SimulatedGroup};
 
-/// System-wide configuration.
+/// Fallible, defaults-first constructor for [`AlertSystem`].
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use sla_core::{AlertSystem, StoreBackend, SystemBuilder};
+/// use sla_encoding::EncoderKind;
+/// use sla_grid::{BoundingBox, Grid, ProbabilityMap};
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let grid = Grid::new(BoundingBox::new(0.0, 0.0, 0.1, 0.1), 2, 2);
+/// let probs = ProbabilityMap::new(vec![0.4, 0.1, 0.3, 0.2]);
+/// let mut system = SystemBuilder::new(grid)
+///     .encoder(EncoderKind::Huffman)
+///     .group_bits(48)
+///     .store(StoreBackend::Sharded { shards: 4 })
+///     .ttl_epochs(24)
+///     .build(&probs, &mut rng)
+///     .expect("valid configuration");
+/// system.subscribe_cell(7, 0, &mut rng).unwrap();
+/// ```
 #[derive(Debug, Clone)]
-pub struct SystemConfig {
-    /// The spatial grid.
-    pub grid: Grid,
+pub struct SystemBuilder {
+    grid: Grid,
+    encoder: EncoderKind,
+    group_bits: usize,
+    store: StoreBackend,
+    ttl_epochs: Option<u64>,
+}
+
+impl SystemBuilder {
+    /// Starts a builder over `grid` with the paper's defaults: Huffman
+    /// encoding, 48-bit prime factors, a contiguous store, no TTL.
+    pub fn new(grid: Grid) -> Self {
+        SystemBuilder {
+            grid,
+            encoder: EncoderKind::Huffman,
+            group_bits: 48,
+            store: StoreBackend::Contiguous,
+            ttl_epochs: None,
+        }
+    }
+
     /// The cell-encoding scheme (the paper's proposal or a baseline).
-    pub encoder: EncoderKind,
-    /// Bit length of each prime factor of the group order (48–64 is ample
-    /// for simulation; see `sla-pairing` docs).
-    pub group_bits: usize,
+    pub fn encoder(mut self, encoder: EncoderKind) -> Self {
+        self.encoder = encoder;
+        self
+    }
+
+    /// Bit length of each prime factor of the group order (validated at
+    /// [`Self::build`] against `[MIN_GROUP_BITS, MAX_GROUP_BITS]`).
+    pub fn group_bits(mut self, bits: usize) -> Self {
+        self.group_bits = bits;
+        self
+    }
+
+    /// The Service Provider's subscription-store backend.
+    pub fn store(mut self, backend: StoreBackend) -> Self {
+        self.store = backend;
+        self
+    }
+
+    /// Enables TTL eviction: a subscription not refreshed within
+    /// `epochs` service epochs is dropped by
+    /// [`AlertSystem::advance_epoch`].
+    pub fn ttl_epochs(mut self, epochs: u64) -> Self {
+        self.ttl_epochs = Some(epochs);
+        self
+    }
+
+    /// Runs system initialization (Fig. 3): build the codebook from the
+    /// probability map, generate the group and the HVE key pair, prepare
+    /// the fixed-base tables for both keys, and assemble the Service
+    /// Provider over the chosen store backend.
+    ///
+    /// Every misconfiguration returns a typed [`SlaError`]:
+    /// `ProbabilityMapMismatch` when the surface does not cover the grid,
+    /// `InvalidCodebook`/`InvalidLikelihoods` for unusable surfaces,
+    /// `InvalidGroupBits` and `ZeroShardCount` for bad parameters.
+    pub fn build<R: Rng>(self, probs: &ProbabilityMap, rng: &mut R) -> SlaResult<AlertSystem> {
+        if probs.len() != self.grid.n_cells() {
+            return Err(SlaError::ProbabilityMapMismatch {
+                map_cells: probs.len(),
+                grid_cells: self.grid.n_cells(),
+            });
+        }
+        if !(MIN_GROUP_BITS..=MAX_GROUP_BITS).contains(&self.group_bits) {
+            return Err(SlaError::InvalidGroupBits {
+                bits: self.group_bits,
+            });
+        }
+        let sp = ServiceProvider::with_backend(self.store, self.ttl_epochs)?;
+        let codebook = CellCodebook::try_build(self.encoder, probs.raw())?;
+        let group = SimulatedGroup::generate(self.group_bits, rng);
+        let scheme = HveScheme::try_new(&group, codebook.width_bits())?;
+        let (pk, sk) = scheme.setup(rng);
+        let ppk = scheme.prepare_public_key(&pk);
+        let mut ta = TrustedAuthority::new(sk, codebook)?;
+        ta.prepare(&scheme);
+        Ok(AlertSystem {
+            group,
+            grid: self.grid,
+            ppk,
+            ta,
+            sp,
+        })
+    }
 }
 
 /// Result of issuing one alert.
@@ -39,10 +137,14 @@ pub struct AlertOutcome {
 
 /// The assembled system: group engine + TA + SP + codebook.
 ///
+/// Build one through [`SystemBuilder`] (or [`AlertSystem::builder`]).
 /// Setup also builds the fixed-base tables for both halves of the key
 /// pair (the prepared public key lives here, the prepared secret key in
 /// the TA), so every subscription encryption and every token issuance
 /// reuses the per-base precomputation.
+///
+/// Every entry point that takes user-supplied input is fallible — no
+/// panic is reachable through the public service API.
 #[derive(Debug)]
 pub struct AlertSystem {
     group: SimulatedGroup,
@@ -55,32 +157,9 @@ pub struct AlertSystem {
 }
 
 impl AlertSystem {
-    /// Runs system initialization (Fig. 3): build the codebook from the
-    /// probability map, generate the group and the HVE key pair, and
-    /// prepare the fixed-base tables for both keys.
-    ///
-    /// # Panics
-    /// Panics if the probability map does not cover the grid.
-    pub fn setup<R: Rng>(config: SystemConfig, probs: &ProbabilityMap, rng: &mut R) -> Self {
-        assert_eq!(
-            probs.len(),
-            config.grid.n_cells(),
-            "probability map must cover the grid"
-        );
-        let codebook = CellCodebook::build(config.encoder, probs.raw());
-        let group = SimulatedGroup::generate(config.group_bits, rng);
-        let scheme = HveScheme::new(&group, codebook.width_bits());
-        let (pk, sk) = scheme.setup(rng);
-        let ppk = scheme.prepare_public_key(&pk);
-        let mut ta = TrustedAuthority::new(sk, codebook);
-        ta.prepare(&scheme);
-        AlertSystem {
-            group,
-            grid: config.grid,
-            ppk,
-            ta,
-            sp: ServiceProvider::new(),
-        }
+    /// Starts a [`SystemBuilder`] over `grid`.
+    pub fn builder(grid: Grid) -> SystemBuilder {
+        SystemBuilder::new(grid)
     }
 
     /// The grid.
@@ -103,40 +182,84 @@ impl AlertSystem {
         self.group.counters()
     }
 
-    /// Number of stored location updates.
+    /// Number of stored location updates (one per live user).
     pub fn n_subscriptions(&self) -> usize {
         self.sp.n_subscriptions()
+    }
+
+    /// The current service epoch.
+    pub fn epoch(&self) -> u64 {
+        self.sp.epoch()
+    }
+
+    /// Snapshot of the SP's store layout and lifecycle counters.
+    pub fn store_stats(&self) -> StoreStats {
+        self.sp.stats()
     }
 
     fn scheme(&self) -> HveScheme<'_, SimulatedGroup> {
         HveScheme::new(&self.group, self.codebook().width_bits())
     }
 
-    /// A user at `cell` encrypts and submits a location update.
+    /// A user at `cell` encrypts and submits a location update; a
+    /// re-subscribing user's previous ciphertext is **replaced** (the old
+    /// location stops matching alerts).
     ///
-    /// # Panics
-    /// Panics if `cell` is out of range.
-    pub fn subscribe_cell<R: Rng>(&mut self, user_id: u64, cell: usize, rng: &mut R) {
-        assert!(cell < self.grid.n_cells(), "cell out of range");
+    /// Errors: `CellOutOfRange`, `MessageOutOfDomain` (ids double as HVE
+    /// payloads and must fit the message domain).
+    pub fn subscribe_cell<R: Rng>(
+        &mut self,
+        user_id: u64,
+        cell: usize,
+        rng: &mut R,
+    ) -> SlaResult<UpsertOutcome> {
+        if cell >= self.grid.n_cells() {
+            return Err(SlaError::CellOutOfRange {
+                cell,
+                n_cells: self.grid.n_cells(),
+            });
+        }
         let user = MobileUser::new(user_id, cell);
-        let scheme = self.scheme();
-        let ct = user.encrypt_update_prepared(&scheme, &self.ppk, self.ta.codebook(), rng);
-        self.sp.accept_update(Subscription {
-            user_id,
-            ciphertext: ct,
-        });
+        // Field-disjoint borrow of the engine so the SP stays mutable.
+        let scheme = HveScheme::new(&self.group, self.ta.codebook().width_bits());
+        let ct = user.encrypt_update_prepared(&scheme, &self.ppk, self.ta.codebook(), rng)?;
+        self.sp.upsert(
+            &scheme,
+            Subscription {
+                user_id,
+                ciphertext: ct,
+            },
+        )
     }
 
-    /// A user at a geographic point subscribes; returns `false` (no-op)
-    /// when the point lies outside the grid.
-    pub fn subscribe_point<R: Rng>(&mut self, user_id: u64, point: &Point, rng: &mut R) -> bool {
+    /// A user at a geographic point subscribes;
+    /// `Err(SlaError::PointOutsideGrid)` when the point lies outside the
+    /// grid.
+    pub fn subscribe_point<R: Rng>(
+        &mut self,
+        user_id: u64,
+        point: &Point,
+        rng: &mut R,
+    ) -> SlaResult<UpsertOutcome> {
         match self.grid.cell_of(point) {
-            Some(cell) => {
-                self.subscribe_cell(user_id, cell.0, rng);
-                true
-            }
-            None => false,
+            Some(cell) => self.subscribe_cell(user_id, cell.0, rng),
+            None => Err(SlaError::PointOutsideGrid {
+                lat: point.lat,
+                lon: point.lon,
+            }),
         }
+    }
+
+    /// Removes a user's subscription;
+    /// `Err(SlaError::UnknownUser)` when none is stored.
+    pub fn unsubscribe(&mut self, user_id: u64) -> SlaResult<()> {
+        self.sp.unsubscribe(user_id)
+    }
+
+    /// Advances the service epoch, evicting expired subscriptions when
+    /// the builder configured a TTL. Returns how many were evicted.
+    pub fn advance_epoch(&mut self) -> usize {
+        self.sp.advance_epoch()
     }
 
     /// Shared alert pipeline: token issuance, analytic cost, counter
@@ -152,33 +275,40 @@ impl AlertSystem {
             &ServiceProvider,
             &HveScheme<'_, SimulatedGroup>,
             &[sla_hve::Token],
-        ) -> Vec<u64>,
-    ) -> AlertOutcome {
+        ) -> SlaResult<Vec<u64>>,
+    ) -> SlaResult<AlertOutcome> {
         let scheme = self.scheme();
-        let tokens = self.ta.issue_tokens(&scheme, alert_cells, rng);
+        let tokens = self.ta.issue_tokens(&scheme, alert_cells, rng)?;
         let non_star_bits: u64 = tokens.iter().map(|t| t.non_star_count() as u64).sum();
-        let analytic = self
-            .ta
-            .analytic_pairing_cost(alert_cells, self.sp.n_subscriptions() as u64);
+        // The analytic model `Σ_tokens (1 + 2·|J|) · n` evaluated on the
+        // tokens already in hand, so the alert does not pay minimization
+        // a second time.
+        let analytic = (tokens.len() as u64 + 2 * non_star_bits) * self.sp.n_subscriptions() as u64;
 
         let before = self.group.counters().snapshot();
-        let mut notified = match_fn(&self.sp, &scheme, &tokens);
+        let mut notified = match_fn(&self.sp, &scheme, &tokens)?;
         let delta = self.group.counters().snapshot() - before;
         notified.sort_unstable();
 
-        AlertOutcome {
+        Ok(AlertOutcome {
             notified,
             tokens_issued: tokens.len(),
             non_star_bits,
             pairings_used: delta.pairings,
             analytic_pairings: analytic,
-        }
+        })
     }
 
     /// Issues an alert for a set of cells: the TA minimizes and signs
     /// tokens, the SP evaluates them exhaustively (the cost model's
     /// regime), and matched users are notified.
-    pub fn issue_alert<R: Rng>(&mut self, alert_cells: &[usize], rng: &mut R) -> AlertOutcome {
+    ///
+    /// `Err(SlaError::CellOutOfRange)` on alert cells outside the grid.
+    pub fn issue_alert<R: Rng>(
+        &mut self,
+        alert_cells: &[usize],
+        rng: &mut R,
+    ) -> SlaResult<AlertOutcome> {
         self.issue_alert_with(alert_cells, rng, |sp, scheme, tokens| {
             sp.match_alert_exhaustive(scheme, tokens)
         })
@@ -186,25 +316,26 @@ impl AlertSystem {
 
     /// Analytic pairing cost of an alert against the current store,
     /// without performing any cryptography.
-    pub fn analytic_cost(&self, alert_cells: &[usize]) -> u64 {
+    pub fn analytic_cost(&self, alert_cells: &[usize]) -> SlaResult<u64> {
         self.ta
             .analytic_pairing_cost(alert_cells, self.sp.n_subscriptions() as u64)
     }
 
     /// Batch variant of [`Self::issue_alert`]: the SP evaluates the token
-    /// set over chunks of the ciphertext store in parallel via
+    /// set over chunks of every store shard in parallel via
     /// [`ServiceProvider::process_alert_batch`].
     ///
-    /// `chunk_size` of `None` picks a per-core default. The outcome is
-    /// **identical** to [`Self::issue_alert`] for the same tokens — same
-    /// `notified`, `tokens_issued`, `pairings_used` — which the
-    /// `batch_matching` integration tests assert.
+    /// `chunk_size` of `None` picks a per-core default;
+    /// `Err(SlaError::ZeroChunkSize)` for an explicit `Some(0)`. The
+    /// outcome is **identical** to [`Self::issue_alert`] for the same
+    /// tokens — same `notified`, `tokens_issued`, `pairings_used` — which
+    /// the `batch_matching` integration tests assert.
     pub fn issue_alert_batch<R: Rng>(
         &mut self,
         alert_cells: &[usize],
         chunk_size: Option<usize>,
         rng: &mut R,
-    ) -> AlertOutcome {
+    ) -> SlaResult<AlertOutcome> {
         self.issue_alert_with(alert_cells, rng, |sp, scheme, tokens| {
             let chunk = chunk_size.unwrap_or_else(|| sp.default_batch_chunk_size());
             sp.process_alert_batch(scheme, tokens, chunk)
@@ -223,15 +354,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0xa1e47);
         let grid = Grid::new(BoundingBox::new(0.0, 0.0, 0.1, 0.1), 2, 3);
         let probs = ProbabilityMap::new(vec![0.3, 0.1, 0.25, 0.05, 0.2, 0.1]);
-        let system = AlertSystem::setup(
-            SystemConfig {
-                grid,
-                encoder,
-                group_bits: 40,
-            },
-            &probs,
-            &mut rng,
-        );
+        let system = SystemBuilder::new(grid)
+            .encoder(encoder)
+            .group_bits(40)
+            .build(&probs, &mut rng)
+            .expect("valid configuration");
         (system, rng)
     }
 
@@ -247,9 +374,11 @@ mod tests {
             let (mut system, mut rng) = small_system(encoder);
             // users 0..6, one per cell
             for cell in 0..6 {
-                system.subscribe_cell(100 + cell as u64, cell, &mut rng);
+                system
+                    .subscribe_cell(100 + cell as u64, cell, &mut rng)
+                    .unwrap();
             }
-            let outcome = system.issue_alert(&[1, 4], &mut rng);
+            let outcome = system.issue_alert(&[1, 4], &mut rng).unwrap();
             assert_eq!(outcome.notified, vec![101, 104], "{:?}", encoder);
             assert_eq!(
                 outcome.pairings_used, outcome.analytic_pairings,
@@ -261,7 +390,7 @@ mod tests {
     #[test]
     fn alert_on_empty_store_costs_nothing() {
         let (mut system, mut rng) = small_system(EncoderKind::Huffman);
-        let outcome = system.issue_alert(&[0], &mut rng);
+        let outcome = system.issue_alert(&[0], &mut rng).unwrap();
         assert!(outcome.notified.is_empty());
         assert_eq!(outcome.pairings_used, 0);
         assert_eq!(outcome.analytic_pairings, 0);
@@ -272,10 +401,10 @@ mod tests {
     fn multiple_users_same_cell() {
         let (mut system, mut rng) = small_system(EncoderKind::Huffman);
         for id in [1u64, 2, 3] {
-            system.subscribe_cell(id, 2, &mut rng);
+            system.subscribe_cell(id, 2, &mut rng).unwrap();
         }
-        system.subscribe_cell(4, 0, &mut rng);
-        let outcome = system.issue_alert(&[2], &mut rng);
+        system.subscribe_cell(4, 0, &mut rng).unwrap();
+        let outcome = system.issue_alert(&[2], &mut rng).unwrap();
         assert_eq!(outcome.notified, vec![1, 2, 3]);
     }
 
@@ -283,10 +412,16 @@ mod tests {
     fn subscribe_by_point() {
         let (mut system, mut rng) = small_system(EncoderKind::Huffman);
         let inside = system.grid().cell_center(sla_grid::CellId(5));
-        assert!(system.subscribe_point(42, &inside, &mut rng));
-        assert!(!system.subscribe_point(43, &Point::new(50.0, 50.0), &mut rng));
+        assert_eq!(
+            system.subscribe_point(42, &inside, &mut rng),
+            Ok(UpsertOutcome::Inserted)
+        );
+        assert!(matches!(
+            system.subscribe_point(43, &Point::new(50.0, 50.0), &mut rng),
+            Err(SlaError::PointOutsideGrid { .. })
+        ));
         assert_eq!(system.n_subscriptions(), 1);
-        let outcome = system.issue_alert(&[5], &mut rng);
+        let outcome = system.issue_alert(&[5], &mut rng).unwrap();
         assert_eq!(outcome.notified, vec![42]);
     }
 
@@ -294,9 +429,9 @@ mod tests {
     fn full_zone_alert_notifies_everyone() {
         let (mut system, mut rng) = small_system(EncoderKind::Huffman);
         for cell in 0..6 {
-            system.subscribe_cell(cell as u64, cell, &mut rng);
+            system.subscribe_cell(cell as u64, cell, &mut rng).unwrap();
         }
-        let outcome = system.issue_alert(&[0, 1, 2, 3, 4, 5], &mut rng);
+        let outcome = system.issue_alert(&[0, 1, 2, 3, 4, 5], &mut rng).unwrap();
         assert_eq!(outcome.notified, vec![0, 1, 2, 3, 4, 5]);
         // whole grid minimizes to very few tokens (root subtree(s))
         assert!(outcome.tokens_issued <= 2, "{}", outcome.tokens_issued);
@@ -308,19 +443,75 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let grid = Grid::new(BoundingBox::new(0.0, 0.0, 0.1, 0.1), 2, 2);
         let probs = ProbabilityMap::new(vec![0.4, 0.1, 0.3, 0.2]);
-        let mut system = AlertSystem::setup(
-            SystemConfig {
-                grid,
-                encoder: EncoderKind::Huffman,
-                group_bits: 48,
-            },
-            &probs,
-            &mut rng,
-        );
-        system.subscribe_cell(7, 0, &mut rng);
-        system.subscribe_cell(9, 3, &mut rng);
-        let outcome = system.issue_alert(&[0, 1], &mut rng);
+        let mut system = AlertSystem::builder(grid)
+            .group_bits(48)
+            .build(&probs, &mut rng)
+            .unwrap();
+        system.subscribe_cell(7, 0, &mut rng).unwrap();
+        system.subscribe_cell(9, 3, &mut rng).unwrap();
+        let outcome = system.issue_alert(&[0, 1], &mut rng).unwrap();
         assert_eq!(outcome.notified, vec![7]);
         assert_eq!(outcome.pairings_used, outcome.analytic_pairings);
+    }
+
+    #[test]
+    fn builder_rejects_bad_configurations() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let grid = Grid::new(BoundingBox::new(0.0, 0.0, 0.1, 0.1), 2, 2);
+        let probs3 = ProbabilityMap::new(vec![0.5, 0.3, 0.2]);
+        assert_eq!(
+            SystemBuilder::new(grid.clone())
+                .build(&probs3, &mut rng)
+                .unwrap_err(),
+            SlaError::ProbabilityMapMismatch {
+                map_cells: 3,
+                grid_cells: 4
+            }
+        );
+        let probs4 = ProbabilityMap::new(vec![0.4, 0.1, 0.3, 0.2]);
+        assert_eq!(
+            SystemBuilder::new(grid.clone())
+                .group_bits(8)
+                .build(&probs4, &mut rng)
+                .unwrap_err(),
+            SlaError::InvalidGroupBits { bits: 8 }
+        );
+        assert_eq!(
+            SystemBuilder::new(grid)
+                .store(StoreBackend::Sharded { shards: 0 })
+                .build(&probs4, &mut rng)
+                .unwrap_err(),
+            SlaError::ZeroShardCount
+        );
+    }
+
+    #[test]
+    fn upsert_moves_a_user_between_cells() {
+        for backend in [
+            StoreBackend::Contiguous,
+            StoreBackend::Sharded { shards: 3 },
+        ] {
+            let mut rng = StdRng::seed_from_u64(0xa1e47);
+            let grid = Grid::new(BoundingBox::new(0.0, 0.0, 0.1, 0.1), 2, 3);
+            let probs = ProbabilityMap::new(vec![0.3, 0.1, 0.25, 0.05, 0.2, 0.1]);
+            let mut system = SystemBuilder::new(grid)
+                .group_bits(40)
+                .store(backend)
+                .build(&probs, &mut rng)
+                .unwrap();
+            assert_eq!(
+                system.subscribe_cell(9, 1, &mut rng),
+                Ok(UpsertOutcome::Inserted)
+            );
+            assert_eq!(
+                system.subscribe_cell(9, 4, &mut rng),
+                Ok(UpsertOutcome::Replaced)
+            );
+            assert_eq!(system.n_subscriptions(), 1, "{backend:?}");
+            let old = system.issue_alert(&[1], &mut rng).unwrap();
+            assert!(old.notified.is_empty(), "{backend:?}: stale match");
+            let new = system.issue_alert(&[4], &mut rng).unwrap();
+            assert_eq!(new.notified, vec![9], "{backend:?}");
+        }
     }
 }

@@ -19,7 +19,8 @@
 //!   batch gradient descent) trained with the same protocol, producing the
 //!   per-cell likelihood surface the encoders consume.
 //! * [`workload`] — the paper's alert workloads: radius sweeps (Fig. 9/10),
-//!   mixed short/long workloads W1–W4 (Fig. 11).
+//!   mixed short/long workloads W1–W4 (Fig. 11), and multi-epoch
+//!   subscription-churn workloads for the service lifecycle.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,4 +31,6 @@ pub mod workload;
 
 pub use crime::{CrimeCategory, CrimeDataset, CrimeGeneratorConfig, CrimeIncident};
 pub use logreg::{CrimeRiskModel, LogisticRegression, TrainConfig};
-pub use workload::{MixedWorkload, RadiusSweep, Workload};
+pub use workload::{
+    ChurnConfig, ChurnEpoch, ChurnEvent, ChurnWorkload, MixedWorkload, RadiusSweep, Workload,
+};

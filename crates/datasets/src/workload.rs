@@ -111,6 +111,169 @@ impl MixedWorkload {
     }
 }
 
+/// One subscription-lifecycle event in a churn epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnEvent {
+    /// A new (or returning) user subscribes at `cell`.
+    Subscribe {
+        /// The user.
+        user_id: u64,
+        /// The cell they subscribe at.
+        cell: usize,
+    },
+    /// An active user moves: re-subscribes at a different cell (the SP
+    /// must replace the old ciphertext).
+    Move {
+        /// The user.
+        user_id: u64,
+        /// The cell they move to.
+        cell: usize,
+    },
+    /// An active user leaves the service.
+    Unsubscribe {
+        /// The user.
+        user_id: u64,
+    },
+}
+
+/// One epoch of a churn workload: the lifecycle events to apply, then one
+/// alert to issue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnEpoch {
+    /// Lifecycle events, in application order.
+    pub events: Vec<ChurnEvent>,
+    /// The epoch's alert zone (cell indices).
+    pub alert_cells: Vec<usize>,
+}
+
+/// A multi-epoch subscription-churn workload: users move, leave and
+/// return across epochs while alerts keep firing — the long-lived regime
+/// of the paper's system model (§2.2) that the one-shot radius sweeps
+/// above do not exercise. Drives the lifecycle integration tests and the
+/// `churn` bench group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnWorkload {
+    /// Label used in result tables.
+    pub label: String,
+    /// The epochs, in order.
+    pub epochs: Vec<ChurnEpoch>,
+}
+
+impl ChurnWorkload {
+    /// Plaintext ground truth: each live user's cell after applying every
+    /// event of epochs `0..=epoch_index`, sorted by user id. Lets a
+    /// consumer check encrypted matching against reality without keeping
+    /// its own mirror.
+    pub fn positions_after(&self, epoch_index: usize) -> Vec<(u64, usize)> {
+        let mut positions = std::collections::BTreeMap::new();
+        for epoch in &self.epochs[..=epoch_index] {
+            for event in &epoch.events {
+                match *event {
+                    ChurnEvent::Subscribe { user_id, cell }
+                    | ChurnEvent::Move { user_id, cell } => {
+                        positions.insert(user_id, cell);
+                    }
+                    ChurnEvent::Unsubscribe { user_id } => {
+                        positions.remove(&user_id);
+                    }
+                }
+            }
+        }
+        positions.into_iter().collect()
+    }
+
+    /// Total number of lifecycle events across all epochs.
+    pub fn n_events(&self) -> usize {
+        self.epochs.iter().map(|e| e.events.len()).sum()
+    }
+}
+
+/// Generator parameters for [`ChurnWorkload`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnConfig {
+    /// Size of the initial population (user ids `0..users`).
+    pub users: u64,
+    /// Number of epochs after the initial subscription wave.
+    pub epochs: usize,
+    /// Per-epoch probability that an active user moves to a new cell.
+    pub move_fraction: f64,
+    /// Per-epoch probability that an active user unsubscribes.
+    pub unsubscribe_fraction: f64,
+    /// Per-epoch probability that a departed user re-subscribes.
+    pub resubscribe_fraction: f64,
+    /// Radius of each epoch's alert zone, in meters.
+    pub alert_radius_m: f64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            users: 40,
+            epochs: 5,
+            move_fraction: 0.30,
+            unsubscribe_fraction: 0.10,
+            resubscribe_fraction: 0.50,
+            alert_radius_m: 600.0,
+        }
+    }
+}
+
+impl ChurnConfig {
+    /// Generates the workload: epoch 0 subscribes the whole population,
+    /// every later epoch mixes moves / unsubscribes / re-subscriptions
+    /// (cells drawn from the sampler's popularity surface) and carries
+    /// one alert zone. Deterministic for a seeded `rng`.
+    pub fn generate<R: Rng>(&self, sampler: &ZoneSampler, rng: &mut R) -> ChurnWorkload {
+        let mut active = vec![true; self.users as usize];
+        let mut epochs = Vec::with_capacity(self.epochs + 1);
+
+        let initial: Vec<ChurnEvent> = (0..self.users)
+            .map(|user_id| ChurnEvent::Subscribe {
+                user_id,
+                cell: sampler.sample_epicenter_cell(rng).0,
+            })
+            .collect();
+        epochs.push(ChurnEpoch {
+            events: initial,
+            alert_cells: sampler.sample_zone(self.alert_radius_m, rng).cell_indices(),
+        });
+
+        for _ in 0..self.epochs {
+            let mut events = Vec::new();
+            for user_id in 0..self.users {
+                let idx = user_id as usize;
+                if active[idx] {
+                    let draw: f64 = rng.gen();
+                    if draw < self.unsubscribe_fraction {
+                        active[idx] = false;
+                        events.push(ChurnEvent::Unsubscribe { user_id });
+                    } else if draw < self.unsubscribe_fraction + self.move_fraction {
+                        events.push(ChurnEvent::Move {
+                            user_id,
+                            cell: sampler.sample_epicenter_cell(rng).0,
+                        });
+                    }
+                } else if rng.gen::<f64>() < self.resubscribe_fraction {
+                    active[idx] = true;
+                    events.push(ChurnEvent::Subscribe {
+                        user_id,
+                        cell: sampler.sample_epicenter_cell(rng).0,
+                    });
+                }
+            }
+            epochs.push(ChurnEpoch {
+                events,
+                alert_cells: sampler.sample_zone(self.alert_radius_m, rng).cell_indices(),
+            });
+        }
+
+        ChurnWorkload {
+            label: format!("churn-u{}-e{}", self.users, self.epochs),
+            epochs,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,6 +314,66 @@ mod tests {
         // W1 is mostly small zones; W4 mostly large.
         assert!(w1.mean_zone_cells() < w4.mean_zone_cells());
         assert_eq!(w1.zones.len(), 400);
+    }
+
+    #[test]
+    fn churn_workload_is_seeded_and_consistent() {
+        let s = sampler();
+        let config = ChurnConfig::default();
+        let a = config.generate(&s, &mut StdRng::seed_from_u64(11));
+        let b = config.generate(&s, &mut StdRng::seed_from_u64(11));
+        assert_eq!(a, b, "seeded generation must be deterministic");
+
+        assert_eq!(a.epochs.len(), config.epochs + 1);
+        assert_eq!(a.epochs[0].events.len(), config.users as usize);
+        assert!(a.n_events() >= config.users as usize);
+        for epoch in &a.epochs {
+            assert!(
+                !epoch.alert_cells.is_empty(),
+                "every epoch carries an alert"
+            );
+        }
+
+        // Ground truth stays within the population and the grid, and
+        // churn actually changes it.
+        let first = a.positions_after(0);
+        assert_eq!(first.len(), config.users as usize);
+        let last = a.positions_after(a.epochs.len() - 1);
+        assert!(!last.is_empty());
+        assert_ne!(first, last, "churn should move the population");
+        for &(user, cell) in &last {
+            assert!(user < config.users);
+            assert!(cell < Grid::chicago_downtown_32().n_cells());
+        }
+    }
+
+    #[test]
+    fn churn_events_respect_lifecycle_state() {
+        // No Move/Unsubscribe for inactive users, no Subscribe for active
+        // ones — replay and check.
+        let s = sampler();
+        let w = ChurnConfig {
+            users: 25,
+            epochs: 8,
+            ..ChurnConfig::default()
+        }
+        .generate(&s, &mut StdRng::seed_from_u64(5));
+        let mut active = std::collections::HashSet::new();
+        for epoch in &w.epochs {
+            for event in &epoch.events {
+                match *event {
+                    ChurnEvent::Subscribe { user_id, .. } => {
+                        assert!(active.insert(user_id), "subscribe of active user {user_id}");
+                    }
+                    ChurnEvent::Move { user_id, .. } => {
+                        assert!(active.contains(&user_id), "move of inactive user {user_id}");
+                    }
+                    ChurnEvent::Unsubscribe { user_id } => {
+                        assert!(active.remove(&user_id), "unsubscribe of inactive {user_id}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

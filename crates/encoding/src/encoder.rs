@@ -4,6 +4,7 @@
 use crate::balanced::build_balanced_tree;
 use crate::code::{BitString, Codeword};
 use crate::coding_tree::CodingScheme;
+use crate::error::EncodingError;
 use crate::fixed::{gray_sgo_assignment, natural_assignment, unused_codes};
 use crate::huffman::{build_bary_huffman_tree, build_huffman_tree};
 use crate::minimize::minimize_to_patterns;
@@ -14,10 +15,10 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum EncoderKind {
     /// Fixed-length natural binary codes with boolean minimization —
-    /// the baseline of [14] (all cells equally likely).
+    /// the baseline of \[14\] (all cells equally likely).
     BasicFixed,
     /// Fixed-length gray-code assignment ranked by probability with
-    /// boolean minimization — approximates the SGO of [23].
+    /// boolean minimization — approximates the SGO of \[23\].
     GraySgo,
     /// Variable-length balanced tree (probability-agnostic) with
     /// deterministic minimization — the paper's sanity baseline.
@@ -83,9 +84,36 @@ impl CellCodebook {
     /// alerted. Probabilities need not be normalized.
     ///
     /// # Panics
-    /// Panics if `probs` is empty or invalid for the chosen scheme.
+    /// Panics if `probs` is empty or invalid for the chosen scheme; use
+    /// [`Self::try_build`] for a fallible version.
     pub fn build(kind: EncoderKind, probs: &[f64]) -> Self {
         assert!(!probs.is_empty(), "at least one cell required");
+        Self::build_validated(kind, probs)
+    }
+
+    /// Fallible [`Self::build`]: rejects empty/invalid probability
+    /// surfaces and degenerate B-ary arities with the matching
+    /// [`EncodingError`] instead of panicking.
+    pub fn try_build(kind: EncoderKind, probs: &[f64]) -> Result<Self, EncodingError> {
+        if probs.is_empty() {
+            return Err(EncodingError::EmptyProbabilities);
+        }
+        for (cell, &value) in probs.iter().enumerate() {
+            if !(value.is_finite() && value >= 0.0) {
+                return Err(EncodingError::InvalidProbability { cell, value });
+            }
+        }
+        if let EncoderKind::BaryHuffman(arity) = kind {
+            if arity < 2 {
+                return Err(EncodingError::InvalidArity { arity });
+            }
+        }
+        Ok(Self::build_validated(kind, probs))
+    }
+
+    /// Shared body of [`Self::build`]/[`Self::try_build`] on validated
+    /// inputs.
+    fn build_validated(kind: EncoderKind, probs: &[f64]) -> Self {
         match kind {
             EncoderKind::BasicFixed | EncoderKind::GraySgo => {
                 let indexes = if kind == EncoderKind::BasicFixed {
@@ -160,10 +188,33 @@ impl CellCodebook {
     }
 
     /// Generates minimized token patterns for an alert set.
+    ///
+    /// # Panics
+    /// Panics on out-of-range cells; use [`Self::try_tokens_for`] for a
+    /// fallible version.
     pub fn tokens_for(&self, alert_cells: &[usize]) -> Vec<Codeword> {
         for &c in alert_cells {
             assert!(c < self.n_cells(), "cell {c} out of range");
         }
+        self.tokens_for_validated(alert_cells)
+    }
+
+    /// Fallible [`Self::tokens_for`]: `Err(EncodingError::CellOutOfRange)`
+    /// on the first out-of-range alert cell.
+    pub fn try_tokens_for(&self, alert_cells: &[usize]) -> Result<Vec<Codeword>, EncodingError> {
+        for &cell in alert_cells {
+            if cell >= self.n_cells() {
+                return Err(EncodingError::CellOutOfRange {
+                    cell,
+                    n_cells: self.n_cells(),
+                });
+            }
+        }
+        Ok(self.tokens_for_validated(alert_cells))
+    }
+
+    /// Shared body of the token generators on validated cells.
+    fn tokens_for_validated(&self, alert_cells: &[usize]) -> Vec<Codeword> {
         match &self.strategy {
             TokenStrategy::Tree(scheme) => minimize_to_patterns(scheme, alert_cells),
             TokenStrategy::Boolean {
@@ -296,6 +347,32 @@ mod tests {
         let t1 = cb.tokens_for(&[0, 2, 4]);
         let t2 = back.tokens_for(&[0, 2, 4]);
         assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn try_build_and_try_tokens_for_return_typed_errors() {
+        assert_eq!(
+            CellCodebook::try_build(EncoderKind::Huffman, &[]).unwrap_err(),
+            EncodingError::EmptyProbabilities
+        );
+        assert!(matches!(
+            CellCodebook::try_build(EncoderKind::Huffman, &[0.5, f64::NAN]),
+            Err(EncodingError::InvalidProbability { cell: 1, .. })
+        ));
+        assert_eq!(
+            CellCodebook::try_build(EncoderKind::BaryHuffman(1), &FIG4_PROBS).unwrap_err(),
+            EncodingError::InvalidArity { arity: 1 }
+        );
+
+        let cb = CellCodebook::try_build(EncoderKind::Huffman, &FIG4_PROBS).unwrap();
+        assert_eq!(
+            cb.try_tokens_for(&[1, 9]).unwrap_err(),
+            EncodingError::CellOutOfRange {
+                cell: 9,
+                n_cells: 5
+            }
+        );
+        assert_eq!(cb.try_tokens_for(&[1, 2]).unwrap(), cb.tokens_for(&[1, 2]));
     }
 
     #[test]

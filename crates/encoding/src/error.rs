@@ -1,0 +1,49 @@
+//! Typed errors for the fallible codebook entry points.
+
+use std::fmt;
+
+/// Why a codebook could not be built or queried.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum EncodingError {
+    /// A codebook over zero cells.
+    EmptyProbabilities,
+    /// A negative or non-finite likelihood score.
+    InvalidProbability {
+        /// Offending cell index.
+        cell: usize,
+        /// Offending value.
+        value: f64,
+    },
+    /// A B-ary Huffman arity below 2.
+    InvalidArity {
+        /// The requested arity.
+        arity: usize,
+    },
+    /// An alert cell outside the codebook's domain.
+    CellOutOfRange {
+        /// The offending cell.
+        cell: usize,
+        /// Number of cells the codebook covers.
+        n_cells: usize,
+    },
+}
+
+impl fmt::Display for EncodingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodingError::EmptyProbabilities => write!(f, "at least one cell required"),
+            EncodingError::InvalidProbability { cell, value } => {
+                write!(f, "invalid probability {value} at cell {cell}")
+            }
+            EncodingError::InvalidArity { arity } => {
+                write!(f, "Huffman arity must be >= 2 (got {arity})")
+            }
+            EncodingError::CellOutOfRange { cell, n_cells } => {
+                write!(f, "cell {cell} out of range (codebook covers {n_cells})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodingError {}

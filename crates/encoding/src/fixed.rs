@@ -1,12 +1,12 @@
 //! Fixed-length encodings — the baselines the paper compares against.
 //!
-//! * **Natural** ([14], "basic HVE"): cell `i` gets the `⌈log2 n⌉`-bit
+//! * **Natural** (\[14\], "basic HVE"): cell `i` gets the `⌈log2 n⌉`-bit
 //!   binary representation of `i`; all cells are implicitly treated as
 //!   equally likely.
-//! * **Gray/SGO** (approximating [23], the "scaled gray optimizer"): cells
+//! * **Gray/SGO** (approximating \[23\], the "scaled gray optimizer"): cells
 //!   are ranked by alert probability and assigned codes along a Gray-code
 //!   walk, so cells with similar likelihood sit at Hamming distance 1 in
-//!   code space. This realizes the objective of [23]'s hypercube graph
+//!   code space. This realizes the objective of \[23\]'s hypercube graph
 //!   embedding — probability-similar cells get aggregation-friendly codes —
 //!   with a deterministic, reproducible construction (see DESIGN.md §5).
 //!

@@ -17,9 +17,9 @@
 //!   coding tree (star-padded), §4 expansion and granularity refinement.
 //! * [`minimize`] — Algorithm 3: deterministic token minimization.
 //! * [`qm`] — Quine–McCluskey boolean minimization (the aggregation used
-//!   by the fixed-length baselines [14]/[23]).
+//!   by the fixed-length baselines \[14\]/\[23\]).
 //! * [`fixed`] — fixed-length natural and gray/SGO code assignments.
-//! * [`encoder`] — the [`CellCodebook`](encoder::CellCodebook) facade
+//! * [`encoder`] — the [`CellCodebook`] facade
 //!   unifying all five schemes behind one API.
 //! * [`theory`] — Thm 1 (Poisson alert counts), Thm 3/4 (depth bounds),
 //!   §5 length-excess analysis, Fig. 13 statistics.
@@ -46,6 +46,7 @@ pub mod balanced;
 pub mod code;
 pub mod coding_tree;
 pub mod encoder;
+mod error;
 pub mod fixed;
 pub mod huffman;
 pub mod minimize;
@@ -56,4 +57,5 @@ pub mod theory;
 pub use code::{BitString, Codeword, Symbol};
 pub use coding_tree::{CharWord, CodingScheme};
 pub use encoder::{CellCodebook, EncoderKind};
+pub use error::EncodingError;
 pub use prefix_tree::{Node, NodeId, PrefixTree};

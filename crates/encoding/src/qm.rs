@@ -1,6 +1,6 @@
 //! Quine–McCluskey boolean minimization.
 //!
-//! The fixed-length baselines ([14] "basic HVE" and [23] SGO) aggregate
+//! The fixed-length baselines (\[14\] "basic HVE" and \[23\] SGO) aggregate
 //! alert-cell codes by boolean minimization ("binary expression
 //! minimization", §2.2 — e.g. `{100, 000} → *00`; §3.3 — `{0000, 0010,
 //! 0110, 0100} → 0**0`). Karnaugh maps are the by-hand method the papers

@@ -1,0 +1,64 @@
+//! Typed errors for the fallible spatial-substrate constructors.
+
+use std::fmt;
+
+/// Why a grid-layer value could not be constructed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum GridError {
+    /// A bounding box with `min >= max` on either axis.
+    DegenerateBoundingBox {
+        /// Southern edge.
+        min_lat: f64,
+        /// Western edge.
+        min_lon: f64,
+        /// Northern edge.
+        max_lat: f64,
+        /// Eastern edge.
+        max_lon: f64,
+    },
+    /// A grid with zero rows or zero columns.
+    ZeroGridDimension {
+        /// Requested rows.
+        rows: usize,
+        /// Requested columns.
+        cols: usize,
+    },
+    /// A probability map over zero cells.
+    EmptyProbabilityMap,
+    /// A negative or non-finite likelihood score.
+    InvalidLikelihood {
+        /// Offending cell index.
+        cell: usize,
+        /// Offending value.
+        value: f64,
+    },
+    /// Every likelihood is zero, so no codebook can be built.
+    AllZeroLikelihoods,
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridError::DegenerateBoundingBox {
+                min_lat,
+                min_lon,
+                max_lat,
+                max_lon,
+            } => write!(
+                f,
+                "degenerate bounding box [{min_lat}, {max_lat}] x [{min_lon}, {max_lon}]"
+            ),
+            GridError::ZeroGridDimension { rows, cols } => {
+                write!(f, "grid must have cells (got {rows} rows x {cols} cols)")
+            }
+            GridError::EmptyProbabilityMap => write!(f, "probability map needs at least one cell"),
+            GridError::InvalidLikelihood { cell, value } => {
+                write!(f, "invalid likelihood {value} at cell {cell}")
+            }
+            GridError::AllZeroLikelihoods => write!(f, "all-zero likelihoods"),
+        }
+    }
+}
+
+impl std::error::Error for GridError {}

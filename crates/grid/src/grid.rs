@@ -1,5 +1,6 @@
 //! Uniform grid partitioning with geographic coordinates.
 
+use crate::error::GridError;
 use serde::{Deserialize, Serialize};
 
 /// Mean Earth radius in meters (spherical approximation).
@@ -47,15 +48,34 @@ impl BoundingBox {
     /// Creates a bounding box.
     ///
     /// # Panics
-    /// Panics if the box is degenerate or inverted.
+    /// Panics if the box is degenerate or inverted; use
+    /// [`Self::try_new`] for a fallible version.
     pub fn new(min_lat: f64, min_lon: f64, max_lat: f64, max_lon: f64) -> Self {
-        assert!(min_lat < max_lat && min_lon < max_lon, "degenerate bbox");
-        BoundingBox {
+        Self::try_new(min_lat, min_lon, max_lat, max_lon).expect("degenerate bbox")
+    }
+
+    /// Fallible [`Self::new`]: `Err(GridError::DegenerateBoundingBox)`
+    /// when either axis is empty or inverted (NaN bounds included).
+    pub fn try_new(
+        min_lat: f64,
+        min_lon: f64,
+        max_lat: f64,
+        max_lon: f64,
+    ) -> Result<Self, GridError> {
+        if !(min_lat < max_lat && min_lon < max_lon) {
+            return Err(GridError::DegenerateBoundingBox {
+                min_lat,
+                min_lon,
+                max_lat,
+                max_lon,
+            });
+        }
+        Ok(BoundingBox {
             min_lat,
             min_lon,
             max_lat,
             max_lon,
-        }
+        })
     }
 
     /// The bounding box of the city of Chicago (used by the real-data
@@ -106,10 +126,19 @@ impl Grid {
     /// Creates a grid.
     ///
     /// # Panics
-    /// Panics if `rows` or `cols` is zero.
+    /// Panics if `rows` or `cols` is zero; use [`Self::try_new`] for a
+    /// fallible version.
     pub fn new(bbox: BoundingBox, rows: usize, cols: usize) -> Self {
-        assert!(rows > 0 && cols > 0, "grid must have cells");
-        Grid { bbox, rows, cols }
+        Self::try_new(bbox, rows, cols).expect("grid must have cells")
+    }
+
+    /// Fallible [`Self::new`]: `Err(GridError::ZeroGridDimension)` when
+    /// `rows` or `cols` is zero.
+    pub fn try_new(bbox: BoundingBox, rows: usize, cols: usize) -> Result<Self, GridError> {
+        if rows == 0 || cols == 0 {
+            return Err(GridError::ZeroGridDimension { rows, cols });
+        }
+        Ok(Grid { bbox, rows, cols })
     }
 
     /// The paper's default evaluation grid: 32×32 over Chicago.
@@ -314,6 +343,24 @@ mod tests {
         assert_eq!(g.neighbors(CellId(4)).len(), 4); // center
         assert_eq!(g.neighbors(CellId(0)).len(), 2); // corner
         assert_eq!(g.neighbors(CellId(1)).len(), 3); // edge
+    }
+
+    #[test]
+    fn try_constructors_return_typed_errors() {
+        assert!(matches!(
+            BoundingBox::try_new(1.0, 0.0, 1.0, 1.0),
+            Err(GridError::DegenerateBoundingBox { .. })
+        ));
+        assert!(matches!(
+            BoundingBox::try_new(0.0, f64::NAN, 1.0, 1.0),
+            Err(GridError::DegenerateBoundingBox { .. })
+        ));
+        let bbox = BoundingBox::try_new(0.0, 0.0, 0.1, 0.1).unwrap();
+        assert_eq!(
+            Grid::try_new(bbox, 0, 4).unwrap_err(),
+            GridError::ZeroGridDimension { rows: 0, cols: 4 }
+        );
+        assert!(Grid::try_new(bbox, 2, 2).is_ok());
     }
 
     #[test]

@@ -17,10 +17,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod error;
 mod grid;
 mod prob;
 mod zone;
 
+pub use error::GridError;
 pub use grid::{BoundingBox, CellId, Grid, Point};
 pub use prob::{ProbabilityMap, SigmoidParams, MIN_LIKELIHOOD};
 pub use zone::{AlertZone, ZoneSampler};

@@ -3,6 +3,7 @@
 //! number between zero and one is generated ... then fed into the sigmoid
 //! activation function").
 
+use crate::error::GridError;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -61,21 +62,38 @@ impl ProbabilityMap {
     ///
     /// # Panics
     /// Panics if empty, or if any value is negative/non-finite, or all are
-    /// zero.
+    /// zero; use [`Self::try_new`] for a fallible version.
     pub fn new(probs: Vec<f64>) -> Self {
-        assert!(!probs.is_empty(), "at least one cell required");
-        for (i, &p) in probs.iter().enumerate() {
-            assert!(
-                p.is_finite() && p >= 0.0,
-                "invalid likelihood {p} at cell {i}"
-            );
+        match Self::try_new(probs) {
+            Ok(pm) => pm,
+            // Preserve the pre-redesign panic messages the unit tests pin.
+            Err(GridError::InvalidLikelihood { cell, value }) => {
+                panic!("invalid likelihood {value} at cell {cell}")
+            }
+            Err(GridError::AllZeroLikelihoods) => panic!("all-zero likelihoods"),
+            Err(_) => panic!("at least one cell required"),
         }
-        assert!(probs.iter().any(|&p| p > 0.0), "all-zero likelihoods");
-        ProbabilityMap { probs }
+    }
+
+    /// Fallible [`Self::new`]: rejects empty inputs, negative/non-finite
+    /// scores, and all-zero surfaces with the matching [`GridError`].
+    pub fn try_new(probs: Vec<f64>) -> Result<Self, GridError> {
+        if probs.is_empty() {
+            return Err(GridError::EmptyProbabilityMap);
+        }
+        for (cell, &value) in probs.iter().enumerate() {
+            if !(value.is_finite() && value >= 0.0) {
+                return Err(GridError::InvalidLikelihood { cell, value });
+            }
+        }
+        if !probs.iter().any(|&p| p > 0.0) {
+            return Err(GridError::AllZeroLikelihoods);
+        }
+        Ok(ProbabilityMap { probs })
     }
 
     /// Uniform likelihoods (the implicit assumption of the basic scheme
-    /// [14]).
+    /// \[14\]).
     pub fn uniform(n: usize) -> Self {
         assert!(n > 0);
         ProbabilityMap {
@@ -208,6 +226,23 @@ mod tests {
     #[should_panic(expected = "invalid likelihood")]
     fn rejects_negative() {
         ProbabilityMap::new(vec![0.5, -0.1]);
+    }
+
+    #[test]
+    fn try_new_returns_typed_errors() {
+        assert_eq!(
+            ProbabilityMap::try_new(Vec::new()).unwrap_err(),
+            GridError::EmptyProbabilityMap
+        );
+        assert!(matches!(
+            ProbabilityMap::try_new(vec![0.5, -0.1]),
+            Err(GridError::InvalidLikelihood { cell: 1, .. })
+        ));
+        assert_eq!(
+            ProbabilityMap::try_new(vec![0.0, 0.0]).unwrap_err(),
+            GridError::AllZeroLikelihoods
+        );
+        assert!(ProbabilityMap::try_new(vec![0.2, 0.8]).is_ok());
     }
 
     #[test]

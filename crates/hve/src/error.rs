@@ -1,0 +1,46 @@
+//! Typed errors for the fallible HVE entry points.
+
+use crate::scheme::MESSAGE_DOMAIN_BITS;
+use std::fmt;
+
+/// Why an HVE operation could not be performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HveError {
+    /// The scheme width `l` must be positive.
+    ZeroWidth,
+    /// An attribute, pattern, ciphertext or key does not have the
+    /// scheme's width.
+    WidthMismatch {
+        /// The scheme's configured width `l`.
+        expected: usize,
+        /// The width of the offending input.
+        actual: usize,
+    },
+    /// A message identifier lies outside the valid domain
+    /// `[0, 2^MESSAGE_DOMAIN_BITS)`.
+    MessageOutOfDomain {
+        /// The offending identifier.
+        id: u64,
+    },
+}
+
+impl fmt::Display for HveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HveError::ZeroWidth => write!(f, "HVE width must be positive"),
+            HveError::WidthMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "width mismatch: scheme width {expected}, input width {actual}"
+                )
+            }
+            HveError::MessageOutOfDomain { id } => write!(
+                f,
+                "message id {id} outside the valid domain [0, 2^{MESSAGE_DOMAIN_BITS})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HveError {}

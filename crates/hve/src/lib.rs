@@ -49,11 +49,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod error;
 mod keys;
 mod prepared;
 mod scheme;
 mod vector;
 
+pub use error::HveError;
 pub use keys::{Ciphertext, PublicKey, SecretKey, Token};
 pub use prepared::{PreparedPublicKey, PreparedSecretKey};
 pub use scheme::{HveScheme, MESSAGE_DOMAIN_BITS};

@@ -1,6 +1,7 @@
 //! The four HVE phases: Setup, Encrypt, GenToken, Query (§2.1 of the
 //! paper, following Boneh–Waters TCC 2007).
 
+use crate::error::HveError;
 use crate::keys::{Ciphertext, PublicKey, SecretKey, Token};
 use crate::prepared::{PreparedPublicKey, PreparedSecretKey};
 use crate::vector::{AttributeVector, SearchPattern};
@@ -29,10 +30,19 @@ impl<'g, G: BilinearGroup> HveScheme<'g, G> {
     /// Creates a scheme of width `l` (attribute bit length) over `group`.
     ///
     /// # Panics
-    /// Panics if `width == 0`.
+    /// Panics if `width == 0`; use [`Self::try_new`] for a fallible
+    /// version.
     pub fn new(group: &'g G, width: usize) -> Self {
-        assert!(width > 0, "HVE width must be positive");
-        HveScheme { group, width }
+        Self::try_new(group, width).expect("HVE width must be positive")
+    }
+
+    /// Fallible [`Self::new`]: `Err(HveError::ZeroWidth)` when
+    /// `width == 0`.
+    pub fn try_new(group: &'g G, width: usize) -> Result<Self, HveError> {
+        if width == 0 {
+            return Err(HveError::ZeroWidth);
+        }
+        Ok(HveScheme { group, width })
     }
 
     /// The configured width `l`.
@@ -303,29 +313,98 @@ impl<'g, G: BilinearGroup> HveScheme<'g, G> {
 
     /// Convenience: query and decode; `Some(id)` on match, `None` (⊥)
     /// otherwise (up to negligible false-positive probability).
+    ///
+    /// Pays one residue → canonical conversion per call, match or not
+    /// (the decode must inspect the canonical log). When the expected
+    /// payload is known in advance — the alert protocol's SP stores the
+    /// submitting user's id next to each ciphertext — prefer
+    /// [`Self::match_token`] / [`Self::query_decode_batch`], which decide
+    /// in the residue domain and convert only on match.
     pub fn query_decode(&self, token: &Token, ct: &Ciphertext) -> Option<u64> {
         self.decode_message(&self.query(token, ct))
+    }
+
+    /// **Residue-domain match decision**: evaluates the token and compares
+    /// the candidate against the `expected` message element entirely
+    /// inside the engine's Montgomery residue domain — zero canonical
+    /// conversions, matching or not.
+    ///
+    /// `expected` is the known payload (`encode_message(id)` for the
+    /// stored routing id); on a pattern match the query output *is* that
+    /// element, so residue equality is exact — this is not a probabilistic
+    /// shortcut, it decides the same predicate as
+    /// `query_decode(token, ct) == Some(id)` (up to the same negligible
+    /// false-positive probability ⊥ already carries).
+    ///
+    /// Cost: exactly `1 + 2·|J|` pairings, like [`Self::query`].
+    ///
+    /// # Panics
+    /// Panics if token and ciphertext widths differ.
+    pub fn match_token(&self, token: &Token, ct: &Ciphertext, expected: &GtElem) -> bool {
+        self.group.eq_gt(&self.query(token, ct), expected)
+    }
+
+    /// Batch [`Self::query_decode`] against `(ciphertext, expected)`
+    /// pairs: each candidate is compared in the residue domain and the
+    /// canonical conversion is paid **only on match** — non-matching
+    /// pairs perform zero `from_residue` passes, which the op-counter
+    /// tests pin (`CounterSnapshot::canonicalizations`).
+    ///
+    /// Returns exactly what per-pair [`Self::query_decode`] returns for
+    /// every pair in which `expected` is the encrypted payload (the alert
+    /// protocol's invariant: the SP derives it from the stored routing
+    /// id).
+    ///
+    /// # Panics
+    /// Panics if any ciphertext's width differs from the token's.
+    pub fn query_decode_batch<'a, I>(&self, token: &Token, pairs: I) -> Vec<Option<u64>>
+    where
+        I: IntoIterator<Item = (&'a Ciphertext, &'a GtElem)>,
+    {
+        pairs
+            .into_iter()
+            .map(|(ct, expected)| {
+                let candidate = self.query(token, ct);
+                if self.group.eq_gt(&candidate, expected) {
+                    self.decode_message(&candidate)
+                } else {
+                    None
+                }
+            })
+            .collect()
     }
 
     /// Embeds an identifier from the valid message domain
     /// (`id < 2^MESSAGE_DOMAIN_BITS`) into `GT` as `gt^{id+1}`.
     ///
     /// # Panics
-    /// Panics if `id >= 2^MESSAGE_DOMAIN_BITS`.
+    /// Panics if `id >= 2^MESSAGE_DOMAIN_BITS`; use
+    /// [`Self::try_encode_message`] for a fallible version.
     pub fn encode_message(&self, id: u64) -> GtElem {
-        assert!(
-            id < 1u64 << MESSAGE_DOMAIN_BITS,
-            "message id outside valid domain"
-        );
+        self.try_encode_message(id)
+            .expect("message id outside valid domain")
+    }
+
+    /// Fallible [`Self::encode_message`]:
+    /// `Err(HveError::MessageOutOfDomain)` when
+    /// `id >= 2^MESSAGE_DOMAIN_BITS`.
+    pub fn try_encode_message(&self, id: u64) -> Result<GtElem, HveError> {
+        if id >= 1u64 << MESSAGE_DOMAIN_BITS {
+            return Err(HveError::MessageOutOfDomain { id });
+        }
         // +1 keeps the identity element out of the valid domain.
-        self.group
-            .pow_gt(&self.gt_generator(), &BigUint::from_u64(id + 1))
+        Ok(self
+            .group
+            .pow_gt(&self.gt_generator(), &BigUint::from_u64(id + 1)))
     }
 
     /// Inverse of [`Self::encode_message`]; `None` when the element lies
     /// outside the valid message domain (the ⊥ outcome).
+    ///
+    /// This is a **conversion boundary**: the element's canonical log is
+    /// requested through the engine, which meters one canonicalization.
     pub fn decode_message(&self, m: &GtElem) -> Option<u64> {
-        let log = m.discrete_log();
+        let log = self.group.gt_canonical(m);
         let id_plus_1 = log.to_u64()?;
         if id_plus_1 == 0 || id_plus_1 > 1u64 << MESSAGE_DOMAIN_BITS {
             return None;
@@ -593,6 +672,94 @@ mod tests {
         );
         // and the prepared material still decrypts
         assert_eq!(scheme.query_decode(&tk_prep, &ct_prep), Some(99));
+    }
+
+    #[test]
+    fn try_constructors_return_typed_errors() {
+        let (grp, _) = fixture(1);
+        assert_eq!(
+            HveScheme::try_new(&grp, 0).unwrap_err(),
+            HveError::ZeroWidth
+        );
+        let scheme = HveScheme::try_new(&grp, 3).unwrap();
+        assert_eq!(scheme.width(), 3);
+        let big = 1u64 << MESSAGE_DOMAIN_BITS;
+        assert_eq!(
+            scheme.try_encode_message(big).unwrap_err(),
+            HveError::MessageOutOfDomain { id: big }
+        );
+        assert!(scheme.try_encode_message(big - 1).is_ok());
+    }
+
+    #[test]
+    fn match_token_is_conversion_free_and_agrees_with_query_decode() {
+        let (grp, mut rng) = fixture(5);
+        let scheme = HveScheme::new(&grp, 5);
+        let (pk, sk) = scheme.setup(&mut rng);
+
+        let index: AttributeVector = "11010".parse().unwrap();
+        let msg = scheme.encode_message(7);
+        let ct = scheme.encrypt(&pk, &index, &msg, &mut rng);
+        let hit = scheme.gen_token(&sk, &"1*01*".parse().unwrap(), &mut rng);
+        let miss = scheme.gen_token(&sk, &"0*01*".parse().unwrap(), &mut rng);
+
+        let before = grp.counters().snapshot();
+        assert!(scheme.match_token(&hit, &ct, &msg));
+        assert!(!scheme.match_token(&miss, &ct, &msg));
+        let delta = grp.counters().snapshot() - before;
+        assert_eq!(
+            delta.canonicalizations, 0,
+            "match_token must decide in the residue domain"
+        );
+        assert_eq!(scheme.query_decode(&hit, &ct), Some(7));
+        assert_eq!(scheme.query_decode(&miss, &ct), None);
+    }
+
+    #[test]
+    fn query_decode_batch_converts_only_on_match() {
+        // The ROADMAP's batch-query conversion hoisting: per-pair
+        // query_decode pays one canonicalization per (token, ciphertext)
+        // pair; the batch API pays one per *match* and zero on non-match,
+        // with identical results.
+        let (grp, mut rng) = fixture(4);
+        let scheme = HveScheme::new(&grp, 4);
+        let (pk, sk) = scheme.setup(&mut rng);
+
+        let population: Vec<(Ciphertext, GtElem, u64)> = (0..16u64)
+            .map(|bits| {
+                let index: AttributeVector = format!("{bits:04b}").parse().unwrap();
+                let msg = scheme.encode_message(bits);
+                let ct = scheme.encrypt(&pk, &index, &msg, &mut rng);
+                (ct, msg, bits)
+            })
+            .collect();
+        // Pattern 1*0* matches indexes {1000, 1001, 1100, 1101}.
+        let tk = scheme.gen_token(&sk, &"1*0*".parse().unwrap(), &mut rng);
+
+        let serial: Vec<Option<u64>> = population
+            .iter()
+            .map(|(ct, _, _)| scheme.query_decode(&tk, ct))
+            .collect();
+        let n_matches = serial.iter().flatten().count() as u64;
+        assert_eq!(n_matches, 4);
+
+        let before = grp.counters().snapshot();
+        let batch = scheme.query_decode_batch(&tk, population.iter().map(|(ct, msg, _)| (ct, msg)));
+        let delta = grp.counters().snapshot() - before;
+
+        assert_eq!(batch, serial, "batch must equal per-pair query_decode");
+        assert_eq!(
+            delta.canonicalizations, n_matches,
+            "batch decode must convert on matches only (0 for non-matches)"
+        );
+        // And the per-pair path really pays one conversion per pair.
+        let before = grp.counters().snapshot();
+        let _: Vec<Option<u64>> = population
+            .iter()
+            .map(|(ct, _, _)| scheme.query_decode(&tk, ct))
+            .collect();
+        let delta = grp.counters().snapshot() - before;
+        assert_eq!(delta.canonicalizations, population.len() as u64);
     }
 
     #[test]

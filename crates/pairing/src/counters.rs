@@ -16,6 +16,7 @@ pub struct OpCounters {
     g_exps: AtomicU64,
     gt_mults: AtomicU64,
     gt_exps: AtomicU64,
+    canonicalizations: AtomicU64,
 }
 
 impl OpCounters {
@@ -38,6 +39,9 @@ impl OpCounters {
     }
     pub(crate) fn record_gt_exp(&self) {
         self.gt_exps.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_canonicalization(&self) {
+        self.canonicalizations.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Total bilinear pairings evaluated so far.
@@ -65,6 +69,13 @@ impl OpCounters {
         self.gt_exps.load(Ordering::Relaxed)
     }
 
+    /// Total residue-domain → canonical conversions requested through the
+    /// engine (the `from_residue` passes a Montgomery-domain element pays
+    /// when its canonical log is actually needed, e.g. message decoding).
+    pub fn canonicalizations(&self) -> u64 {
+        self.canonicalizations.load(Ordering::Relaxed)
+    }
+
     /// Resets every counter to zero.
     pub fn reset(&self) {
         self.pairings.store(0, Ordering::Relaxed);
@@ -72,6 +83,7 @@ impl OpCounters {
         self.g_exps.store(0, Ordering::Relaxed);
         self.gt_mults.store(0, Ordering::Relaxed);
         self.gt_exps.store(0, Ordering::Relaxed);
+        self.canonicalizations.store(0, Ordering::Relaxed);
     }
 
     /// A point-in-time copy of all counters.
@@ -82,6 +94,7 @@ impl OpCounters {
             g_exps: self.g_exps(),
             gt_mults: self.gt_mults(),
             gt_exps: self.gt_exps(),
+            canonicalizations: self.canonicalizations(),
         }
     }
 }
@@ -100,6 +113,8 @@ pub struct CounterSnapshot {
     pub gt_mults: u64,
     /// Exponentiations in `GT`.
     pub gt_exps: u64,
+    /// Residue → canonical conversions.
+    pub canonicalizations: u64,
 }
 
 impl std::ops::Sub for CounterSnapshot {
@@ -111,6 +126,7 @@ impl std::ops::Sub for CounterSnapshot {
             g_exps: self.g_exps - rhs.g_exps,
             gt_mults: self.gt_mults - rhs.gt_mults,
             gt_exps: self.gt_exps - rhs.gt_exps,
+            canonicalizations: self.canonicalizations - rhs.canonicalizations,
         }
     }
 }

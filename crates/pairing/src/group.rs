@@ -51,6 +51,27 @@ pub trait BilinearGroup {
     /// The bilinear map `e : G × G → GT`.
     fn pair(&self, a: &GElem, b: &GElem) -> GtElem;
 
+    /// The canonical discrete log of a `GT` element, metered as one
+    /// canonicalization in [`OpCounters`]. This is the **conversion
+    /// boundary** out of the engine's residue domain: every call pays
+    /// (at most) one `from_residue` pass, so consumers that only need a
+    /// match/no-match decision should use [`BilinearGroup::eq_gt`] and
+    /// convert on match only.
+    fn gt_canonical(&self, a: &GtElem) -> BigUint {
+        self.counters().record_canonicalization();
+        a.discrete_log()
+    }
+
+    /// Equality of two `GT` elements decided **inside the residue
+    /// domain** — the comparison never converts an engine-produced
+    /// element back to canonical form, so it is safe on the hottest
+    /// matching paths. (Canonical-form operands — deserialized material —
+    /// are lifted *into* the domain instead, which for Montgomery moduli
+    /// is a single CIOS pass.)
+    fn eq_gt(&self, a: &GtElem, b: &GtElem) -> bool {
+        a == b
+    }
+
     /// Prepares a base in `G` for repeated exponentiation (key material,
     /// generators). Engines may attach per-base precomputation; the
     /// default is a plain wrapper with no speedup.
@@ -109,7 +130,7 @@ pub trait BilinearGroup {
 /// it produces **inside the residue domain**: a pairing is one domain
 /// product (a single CIOS pass), the group law is one division-free
 /// `mod_add`, and nothing converts back per operation. It also builds
-/// [fixed-base precomputations](crate::table) for the four generators, so
+/// fixed-base precomputations for the four generators, so
 /// `pow_g`/`pow_gt` on `g`, `g_p`, `g_q` or `gt` (and on any base wrapped
 /// via [`BilinearGroup::prepare_g`]) cost a single reduction pass.
 /// Canonical conversion happens at `discrete_log()`/serde only; operation
@@ -262,6 +283,13 @@ impl BilinearGroup for SimulatedGroup {
     fn inv_gt(&self, a: &GtElem) -> GtElem {
         let ra = self.residue_of(&a.0);
         self.gt_elem(BigUint::zero().mod_sub(&ra, &self.params.n))
+    }
+
+    fn eq_gt(&self, a: &GtElem, b: &GtElem) -> bool {
+        // Both operands are compared as residues of this engine's domain:
+        // engine-produced elements are borrowed as-is, canonical ones are
+        // lifted in. No from_residue pass on either side.
+        self.residue_of(&a.0) == self.residue_of(&b.0)
     }
 
     fn pair(&self, a: &GElem, b: &GElem) -> GtElem {
@@ -480,6 +508,40 @@ mod tests {
         let e = grp.random_zn(&mut rng);
         let plain = PreparedG::unprepared(a.clone());
         assert_eq!(grp.pow_prepared_g(&plain, &e), grp.pow_g(&a, &e));
+    }
+
+    #[test]
+    fn eq_gt_is_conversion_free_and_agrees_with_partial_eq() {
+        let (grp, mut rng) = setup();
+        let a = grp.random_gp(&mut rng);
+        let b = grp.random_gp(&mut rng);
+        let x = grp.pair(&a, &b);
+        let y = grp.pair(&b, &a);
+        let z = grp.mul_gt(&x, &x);
+
+        let before = grp.counters().snapshot();
+        assert!(grp.eq_gt(&x, &y));
+        assert!(!grp.eq_gt(&x, &z));
+        // Canonical-form operand (post-serde state) still compares right.
+        let x_canonical = GtElem::canonical(x.discrete_log());
+        assert!(grp.eq_gt(&x, &x_canonical));
+        let delta = grp.counters().snapshot() - before;
+        assert_eq!(
+            delta.canonicalizations, 0,
+            "eq_gt must never leave the residue domain"
+        );
+    }
+
+    #[test]
+    fn gt_canonical_is_metered() {
+        let (grp, mut rng) = setup();
+        let a = grp.random_gp(&mut rng);
+        let x = grp.pair(&a, &a);
+        let before = grp.counters().snapshot();
+        let log = grp.gt_canonical(&x);
+        let delta = grp.counters().snapshot() - before;
+        assert_eq!(log, x.discrete_log());
+        assert_eq!(delta.canonicalizations, 1);
     }
 
     #[test]

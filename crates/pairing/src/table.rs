@@ -87,7 +87,7 @@ impl FixedBaseMul {
 ///
 /// Obtained from [`BilinearGroup::prepare_g`](crate::BilinearGroup::prepare_g);
 /// engines that precompute (the simulated engine does) attach a
-/// [`FixedBaseMul`], others fall back to the plain element. Exponentiating
+/// `FixedBaseMul` table, others fall back to the plain element. Exponentiating
 /// through a prepared base is metered exactly like
 /// [`pow_g`](crate::BilinearGroup::pow_g).
 #[derive(Debug, Clone)]

@@ -4,7 +4,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use secure_location_alerts::core::{AlertSystem, SystemConfig};
+use secure_location_alerts::core::{StoreBackend, SystemBuilder};
 use secure_location_alerts::encoding::EncoderKind;
 use secure_location_alerts::grid::{BoundingBox, Grid, ProbabilityMap, SigmoidParams, ZoneSampler};
 use std::time::Instant;
@@ -18,18 +18,17 @@ fn main() {
         &mut rng,
     );
     let sampler = ZoneSampler::new(grid.clone(), &probs);
-    let mut system = AlertSystem::setup(
-        SystemConfig {
-            grid,
-            encoder: EncoderKind::Huffman,
-            group_bits: 48,
-        },
-        &probs,
-        &mut rng,
-    );
+    let mut system = SystemBuilder::new(grid)
+        .encoder(EncoderKind::Huffman)
+        .group_bits(48)
+        .store(StoreBackend::Sharded { shards: 8 })
+        .build(&probs, &mut rng)
+        .expect("valid configuration");
     for user in 0..64u64 {
         let cell = sampler.sample_epicenter_cell(&mut rng).0;
-        system.subscribe_cell(user, cell, &mut rng);
+        system
+            .subscribe_cell(user, cell, &mut rng)
+            .expect("sampled cells are in range");
     }
     let zone = sampler.sample_zone(600.0, &mut rng);
     let cells = zone.cell_indices();
@@ -45,7 +44,8 @@ fn main() {
                 system.issue_alert(&cells, &mut rngs[mi])
             } else {
                 system.issue_alert_batch(&cells, None, &mut rngs[mi])
-            };
+            }
+            .expect("zone cells are in range");
             totals[mi] += t.elapsed().as_nanos();
             outcomes.push((o.notified, o.pairings_used, o.tokens_issued));
         }

@@ -11,7 +11,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use secure_location_alerts::core::{AlertSystem, SystemConfig};
+use secure_location_alerts::core::SystemBuilder;
 use secure_location_alerts::encoding::EncoderKind;
 use secure_location_alerts::grid::{Grid, ProbabilityMap, SigmoidParams, ZoneSampler};
 
@@ -32,22 +32,20 @@ fn main() {
         &mut rng,
     );
 
-    let mut system = AlertSystem::setup(
-        SystemConfig {
-            grid: grid.clone(),
-            encoder: EncoderKind::Huffman,
-            group_bits: 48,
-        },
-        &probs,
-        &mut rng,
-    );
+    let mut system = SystemBuilder::new(grid.clone())
+        .encoder(EncoderKind::Huffman)
+        .group_bits(48)
+        .build(&probs, &mut rng)
+        .expect("valid configuration");
 
     // 60 subscribers scattered across town, biased toward popular cells.
     let sampler = ZoneSampler::new(grid.clone(), &probs);
     let mut user_cells = Vec::new();
     for user in 0..60u64 {
         let cell = sampler.sample_epicenter_cell(&mut rng).0;
-        system.subscribe_cell(user, cell, &mut rng);
+        system
+            .subscribe_cell(user, cell, &mut rng)
+            .expect("sampled cells are in range");
         user_cells.push((user, cell));
     }
 
@@ -62,7 +60,9 @@ fn main() {
     let mut total_pairings = 0u64;
     let mut exposed: Vec<u64> = Vec::new();
     for &site in &visited {
-        let outcome = system.issue_alert(&[site], &mut rng);
+        let outcome = system
+            .issue_alert(&[site], &mut rng)
+            .expect("sites are in range");
         total_pairings += outcome.pairings_used;
         exposed.extend(&outcome.notified);
     }
@@ -85,21 +85,22 @@ fn main() {
     );
 
     // Compare against the fixed-length baseline on the same trajectory.
-    let mut baseline = AlertSystem::setup(
-        SystemConfig {
-            grid,
-            encoder: EncoderKind::BasicFixed,
-            group_bits: 48,
-        },
-        &probs,
-        &mut rng,
-    );
+    let mut baseline = SystemBuilder::new(grid)
+        .encoder(EncoderKind::BasicFixed)
+        .group_bits(48)
+        .build(&probs, &mut rng)
+        .expect("valid configuration");
     for &(user, cell) in &user_cells {
-        baseline.subscribe_cell(user, cell, &mut rng);
+        baseline
+            .subscribe_cell(user, cell, &mut rng)
+            .expect("sampled cells are in range");
     }
     let mut baseline_pairings = 0u64;
     for &site in &visited {
-        baseline_pairings += baseline.issue_alert(&[site], &mut rng).pairings_used;
+        baseline_pairings += baseline
+            .issue_alert(&[site], &mut rng)
+            .expect("sites are in range")
+            .pairings_used;
     }
 
     let gain =

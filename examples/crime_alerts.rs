@@ -8,7 +8,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use secure_location_alerts::core::{AlertSystem, SystemConfig};
+use secure_location_alerts::core::SystemBuilder;
 use secure_location_alerts::datasets::{
     CrimeDataset, CrimeGeneratorConfig, CrimeRiskModel, TrainConfig,
 };
@@ -42,21 +42,19 @@ fn main() {
     //    coarser live grid keeps the cryptographic demo snappy.
     let live_grid = Grid::new(*grid.bbox(), 8, 8);
     let live_probs = coarsen(&probs, 32, 8);
-    let mut system = AlertSystem::setup(
-        SystemConfig {
-            grid: live_grid.clone(),
-            encoder: EncoderKind::Huffman,
-            group_bits: 48,
-        },
-        &live_probs,
-        &mut rng,
-    );
+    let mut system = SystemBuilder::new(live_grid.clone())
+        .encoder(EncoderKind::Huffman)
+        .group_bits(48)
+        .build(&live_probs, &mut rng)
+        .expect("valid configuration");
 
     // 3. Subscribers concentrated where people actually are.
     let sampler = ZoneSampler::new(live_grid.clone(), &live_probs);
     for user in 0..40u64 {
         let cell = sampler.sample_epicenter_cell(&mut rng).0;
-        system.subscribe_cell(user, cell, &mut rng);
+        system
+            .subscribe_cell(user, cell, &mut rng)
+            .expect("sampled cells are in range");
     }
 
     // 4. An incident is reported near a hotspot: alert everyone within
@@ -70,7 +68,9 @@ fn main() {
         zone.len()
     );
 
-    let outcome = system.issue_alert(&zone.cell_indices(), &mut rng);
+    let outcome = system
+        .issue_alert(&zone.cell_indices(), &mut rng)
+        .expect("zone cells are in range");
     println!(
         "tokens: {}, pairings: {}",
         outcome.tokens_issued, outcome.pairings_used

@@ -6,7 +6,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use secure_location_alerts::core::{AlertSystem, SystemConfig};
+use secure_location_alerts::core::{StoreBackend, SystemBuilder};
 use secure_location_alerts::encoding::EncoderKind;
 use secure_location_alerts::grid::{BoundingBox, Grid, ProbabilityMap};
 
@@ -23,15 +23,14 @@ fn main() {
     let probs = ProbabilityMap::new(likelihoods);
 
     // 2. System initialization (Fig. 3): Huffman codebook + HVE keys.
-    let mut system = AlertSystem::setup(
-        SystemConfig {
-            grid,
-            encoder: EncoderKind::Huffman,
-            group_bits: 48,
-        },
-        &probs,
-        &mut rng,
-    );
+    //    The builder validates the configuration (probability-map/grid
+    //    coverage, group size, store shape) instead of panicking.
+    let mut system = SystemBuilder::new(grid)
+        .encoder(EncoderKind::Huffman)
+        .group_bits(48)
+        .store(StoreBackend::Sharded { shards: 4 })
+        .build(&probs, &mut rng)
+        .expect("valid configuration");
     println!(
         "codebook: {} cells, HVE width {} bits",
         system.codebook().n_cells(),
@@ -41,13 +40,24 @@ fn main() {
     // 3. Users submit encrypted location updates. The SP never sees the
     //    cells in cleartext.
     for (user, cell) in [(101u64, 5usize), (102, 6), (103, 12), (104, 0)] {
-        system.subscribe_cell(user, cell, &mut rng);
+        system
+            .subscribe_cell(user, cell, &mut rng)
+            .expect("cell is in range");
         println!("user {user} encrypted an update for cell {cell}");
     }
 
+    // User 103 moves into the popular block: re-subscribing *replaces*
+    // the stored ciphertext, so the old cell no longer matches.
+    system
+        .subscribe_cell(103, 9, &mut rng)
+        .expect("cell is in range");
+    println!("user 103 moved to cell 9 (old ciphertext replaced)");
+
     // 4. An event occurs in the popular block: the TA issues minimized
     //    tokens, the SP matches ciphertexts, matching users are notified.
-    let outcome = system.issue_alert(&[5, 6, 9, 10], &mut rng);
+    let outcome = system
+        .issue_alert(&[5, 6, 9, 10], &mut rng)
+        .expect("alert cells are in range");
     println!("\nalert zone {{5,6,9,10}}:");
     println!("  tokens issued      : {}", outcome.tokens_issued);
     println!("  non-star bits      : {}", outcome.non_star_bits);
@@ -55,6 +65,8 @@ fn main() {
     println!("  analytic model     : {}", outcome.analytic_pairings);
     println!("  notified users     : {:?}", outcome.notified);
 
-    assert_eq!(outcome.notified, vec![101, 102]);
+    println!("  store              : {:?}", system.store_stats());
+
+    assert_eq!(outcome.notified, vec![101, 102, 103]);
     assert_eq!(outcome.pairings_used, outcome.analytic_pairings);
 }

@@ -28,23 +28,38 @@
 //!
 //! ## Quickstart
 //!
+//! The service is assembled through the fallible [`core::SystemBuilder`]
+//! and exposes a full subscription lifecycle: `subscribe_cell` upserts
+//! (re-subscribing replaces the stored ciphertext), `unsubscribe`
+//! removes, and `advance_epoch` drives TTL eviction. Every entry point
+//! taking user input returns a typed [`core::SlaError`] instead of
+//! panicking.
+//!
 //! ```
 //! use rand::{rngs::StdRng, SeedableRng};
-//! use secure_location_alerts::core::{AlertSystem, SystemConfig};
+//! use secure_location_alerts::core::{StoreBackend, SystemBuilder};
 //! use secure_location_alerts::encoding::EncoderKind;
 //! use secure_location_alerts::grid::{BoundingBox, Grid, ProbabilityMap};
 //!
 //! let mut rng = StdRng::seed_from_u64(42);
 //! let grid = Grid::new(BoundingBox::new(0.0, 0.0, 0.1, 0.1), 4, 4);
 //! let probs = ProbabilityMap::uniform(16);
-//! let mut system = AlertSystem::setup(
-//!     SystemConfig { grid, encoder: EncoderKind::Huffman, group_bits: 48 },
-//!     &probs,
-//!     &mut rng,
-//! );
-//! system.subscribe_cell(1, 5, &mut rng);
-//! let outcome = system.issue_alert(&[5, 6], &mut rng);
+//! let mut system = SystemBuilder::new(grid)
+//!     .encoder(EncoderKind::Huffman)
+//!     .group_bits(48)
+//!     .store(StoreBackend::Sharded { shards: 4 })
+//!     .build(&probs, &mut rng)
+//!     .expect("valid configuration");
+//!
+//! system.subscribe_cell(1, 5, &mut rng).unwrap();
+//! system.subscribe_cell(2, 5, &mut rng).unwrap();
+//! system.subscribe_cell(2, 12, &mut rng).unwrap(); // user 2 moved away
+//!
+//! let outcome = system.issue_alert(&[5, 6], &mut rng).unwrap();
 //! assert_eq!(outcome.notified, vec![1]);
+//!
+//! system.unsubscribe(1).unwrap();
+//! assert_eq!(system.n_subscriptions(), 1);
 //! ```
 
 pub use sla_bigint as bigint;

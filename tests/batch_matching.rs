@@ -5,7 +5,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use secure_location_alerts::core::{AlertOutcome, AlertSystem, SystemConfig};
+use secure_location_alerts::core::{AlertOutcome, AlertSystem, StoreBackend, SystemBuilder};
 use secure_location_alerts::encoding::EncoderKind;
 use secure_location_alerts::grid::{BoundingBox, Grid, ProbabilityMap, SigmoidParams, ZoneSampler};
 
@@ -18,18 +18,15 @@ fn populated_system(encoder: EncoderKind, users: u64) -> (AlertSystem, ZoneSampl
         &mut rng,
     );
     let sampler = ZoneSampler::new(grid.clone(), &probs);
-    let mut system = AlertSystem::setup(
-        SystemConfig {
-            grid,
-            encoder,
-            group_bits: 40,
-        },
-        &probs,
-        &mut rng,
-    );
+    let mut system = SystemBuilder::new(grid)
+        .encoder(encoder)
+        .group_bits(40)
+        .store(StoreBackend::Sharded { shards: 4 })
+        .build(&probs, &mut rng)
+        .expect("valid configuration");
     for user in 0..users {
         let cell = sampler.sample_epicenter_cell(&mut rng).0;
-        system.subscribe_cell(user, cell, &mut rng);
+        system.subscribe_cell(user, cell, &mut rng).unwrap();
     }
     (system, sampler, rng)
 }
@@ -51,12 +48,14 @@ fn batch_outcome_identical_to_serial_for_every_chunk_size() {
     let zone = sampler.sample_zone(900.0, &mut rng);
     let cells = zone.cell_indices();
 
-    let serial = system.issue_alert(&cells, &mut rng);
+    let serial = system.issue_alert(&cells, &mut rng).unwrap();
     assert_eq!(serial.pairings_used, serial.analytic_pairings);
     assert!(!serial.notified.is_empty(), "zone should catch someone");
 
     for chunk in [1usize, 2, 3, 7, 16, 40, 1_000] {
-        let batch = system.issue_alert_batch(&cells, Some(chunk), &mut rng);
+        let batch = system
+            .issue_alert_batch(&cells, Some(chunk), &mut rng)
+            .unwrap();
         assert_eq!(
             fingerprint(&batch),
             fingerprint(&serial),
@@ -65,7 +64,7 @@ fn batch_outcome_identical_to_serial_for_every_chunk_size() {
     }
 
     // Default (per-core) chunk size too.
-    let batch = system.issue_alert_batch(&cells, None, &mut rng);
+    let batch = system.issue_alert_batch(&cells, None, &mut rng).unwrap();
     assert_eq!(fingerprint(&batch), fingerprint(&serial));
 }
 
@@ -78,10 +77,10 @@ fn batch_identical_to_serial_on_large_store() {
     let zone = sampler.sample_zone(700.0, &mut rng);
     let cells = zone.cell_indices();
 
-    let serial = system.issue_alert(&cells, &mut rng);
+    let serial = system.issue_alert(&cells, &mut rng).unwrap();
     assert_eq!(serial.pairings_used, serial.analytic_pairings);
     for chunk in [Some(17), Some(64), None] {
-        let batch = system.issue_alert_batch(&cells, chunk, &mut rng);
+        let batch = system.issue_alert_batch(&cells, chunk, &mut rng).unwrap();
         assert_eq!(
             fingerprint(&batch),
             fingerprint(&serial),
@@ -102,7 +101,9 @@ fn batch_holds_analytic_invariant_across_encoders() {
         let (mut system, sampler, mut rng) = populated_system(encoder, 25);
         for _ in 0..3 {
             let zone = sampler.sample_zone(700.0, &mut rng);
-            let outcome = system.issue_alert_batch(&zone.cell_indices(), None, &mut rng);
+            let outcome = system
+                .issue_alert_batch(&zone.cell_indices(), None, &mut rng)
+                .unwrap();
             assert_eq!(
                 outcome.pairings_used, outcome.analytic_pairings,
                 "{encoder:?}: batch path must keep the analytic-pairings invariant"
@@ -116,16 +117,12 @@ fn batch_on_empty_store_is_a_noop() {
     let mut rng = StdRng::seed_from_u64(3);
     let grid = Grid::new(BoundingBox::chicago_downtown(), 4, 4);
     let probs = ProbabilityMap::uniform(grid.n_cells());
-    let mut system = AlertSystem::setup(
-        SystemConfig {
-            grid,
-            encoder: EncoderKind::Huffman,
-            group_bits: 40,
-        },
-        &probs,
-        &mut rng,
-    );
-    let outcome = system.issue_alert_batch(&[0, 1], None, &mut rng);
+    let mut system = AlertSystem::builder(grid)
+        .encoder(EncoderKind::Huffman)
+        .group_bits(40)
+        .build(&probs, &mut rng)
+        .unwrap();
+    let outcome = system.issue_alert_batch(&[0, 1], None, &mut rng).unwrap();
     assert!(outcome.notified.is_empty());
     assert_eq!(outcome.pairings_used, 0);
     assert_eq!(outcome.analytic_pairings, 0);
@@ -144,26 +141,22 @@ fn batch_matches_ground_truth_membership() {
         &mut rng,
     );
     let sampler = ZoneSampler::new(grid.clone(), &probs);
-    let mut system = AlertSystem::setup(
-        SystemConfig {
-            grid,
-            encoder: EncoderKind::Huffman,
-            group_bits: 40,
-        },
-        &probs,
-        &mut rng,
-    );
+    let mut system = AlertSystem::builder(grid)
+        .encoder(EncoderKind::Huffman)
+        .group_bits(40)
+        .build(&probs, &mut rng)
+        .unwrap();
     let population: Vec<(u64, usize)> = (0..30u64)
         .map(|u| (u, sampler.sample_epicenter_cell(&mut rng).0))
         .collect();
     for &(user, cell) in &population {
-        system.subscribe_cell(user, cell, &mut rng);
+        system.subscribe_cell(user, cell, &mut rng).unwrap();
     }
 
     for _ in 0..3 {
         let zone = sampler.sample_zone(800.0, &mut rng);
         let cells = zone.cell_indices();
-        let batch = system.issue_alert_batch(&cells, Some(5), &mut rng);
+        let batch = system.issue_alert_batch(&cells, Some(5), &mut rng).unwrap();
         let mut expected: Vec<u64> = population
             .iter()
             .filter(|(_, c)| cells.contains(c))

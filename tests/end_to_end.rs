@@ -4,7 +4,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use secure_location_alerts::core::{AlertSystem, SystemConfig};
+use secure_location_alerts::core::SystemBuilder;
 use secure_location_alerts::datasets::{
     CrimeDataset, CrimeGeneratorConfig, CrimeRiskModel, TrainConfig,
 };
@@ -61,22 +61,18 @@ fn all_encoders_agree_on_notifications() {
         EncoderKind::BaryHuffman(3),
     ] {
         let mut sys_rng = StdRng::seed_from_u64(6);
-        let mut system = AlertSystem::setup(
-            SystemConfig {
-                grid: grid.clone(),
-                encoder,
-                group_bits: 40,
-            },
-            &probs,
-            &mut sys_rng,
-        );
+        let mut system = SystemBuilder::new(grid.clone())
+            .encoder(encoder)
+            .group_bits(40)
+            .build(&probs, &mut sys_rng)
+            .expect("valid configuration");
         for &(user, cell) in &population {
-            system.subscribe_cell(user, cell, &mut sys_rng);
+            system.subscribe_cell(user, cell, &mut sys_rng).unwrap();
         }
         let results: Vec<Vec<u64>> = zones
             .iter()
             .map(|z| {
-                let outcome = system.issue_alert(&z.cell_indices(), &mut sys_rng);
+                let outcome = system.issue_alert(&z.cell_indices(), &mut sys_rng).unwrap();
                 assert_eq!(
                     outcome.pairings_used, outcome.analytic_pairings,
                     "{encoder:?}: analytic cost model must match live counters"
@@ -100,25 +96,21 @@ fn notifications_match_plaintext_ground_truth() {
     let mut rng = StdRng::seed_from_u64(9);
     let sampler = ZoneSampler::new(grid.clone(), &probs);
 
-    let mut system = AlertSystem::setup(
-        SystemConfig {
-            grid: grid.clone(),
-            encoder: EncoderKind::Huffman,
-            group_bits: 40,
-        },
-        &probs,
-        &mut rng,
-    );
+    let mut system = SystemBuilder::new(grid.clone())
+        .encoder(EncoderKind::Huffman)
+        .group_bits(40)
+        .build(&probs, &mut rng)
+        .expect("valid configuration");
     let population: Vec<(u64, usize)> = (0..25u64)
         .map(|u| (u, sampler.sample_epicenter_cell(&mut rng).0))
         .collect();
     for &(user, cell) in &population {
-        system.subscribe_cell(user, cell, &mut rng);
+        system.subscribe_cell(user, cell, &mut rng).unwrap();
     }
 
     for _ in 0..4 {
         let zone = sampler.sample_zone(900.0, &mut rng);
-        let outcome = system.issue_alert(&zone.cell_indices(), &mut rng);
+        let outcome = system.issue_alert(&zone.cell_indices(), &mut rng).unwrap();
         let mut expected: Vec<u64> = population
             .iter()
             .filter(|(_, c)| zone.cell_indices().contains(c))
@@ -153,24 +145,20 @@ fn huffman_cheaper_on_compact_zones_live() {
     let mut costs = Vec::new();
     for encoder in [EncoderKind::Huffman, EncoderKind::BasicFixed] {
         let mut rng = StdRng::seed_from_u64(11);
-        let mut system = AlertSystem::setup(
-            SystemConfig {
-                grid: grid.clone(),
-                encoder,
-                group_bits: 40,
-            },
-            &probs,
-            &mut rng,
-        );
+        let mut system = SystemBuilder::new(grid.clone())
+            .encoder(encoder)
+            .group_bits(40)
+            .build(&probs, &mut rng)
+            .expect("valid configuration");
         for user in 0..10u64 {
             let cell = sampler.sample_epicenter_cell(&mut rng).0;
-            system.subscribe_cell(user, cell, &mut rng);
+            system.subscribe_cell(user, cell, &mut rng).unwrap();
         }
         // 6 compact (single-cell) zones at popular spots
         let mut total = 0u64;
         for _ in 0..6 {
             let cell = sampler.sample_epicenter_cell(&mut rng).0;
-            total += system.issue_alert(&[cell], &mut rng).pairings_used;
+            total += system.issue_alert(&[cell], &mut rng).unwrap().pairings_used;
         }
         costs.push(total);
     }

@@ -1,0 +1,497 @@
+//! Service-lifecycle integration: upsert/unsubscribe/TTL semantics over
+//! both store backends, serial-vs-batch equivalence under churn, and the
+//! typed error taxonomy of every former panic site.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use secure_location_alerts::core::{
+    AlertOutcome, AlertSystem, ServiceProvider, SlaError, StoreBackend, Subscription,
+    SystemBuilder, UpsertOutcome,
+};
+use secure_location_alerts::datasets::{ChurnConfig, ChurnEvent};
+use secure_location_alerts::encoding::EncoderKind;
+use secure_location_alerts::grid::{
+    BoundingBox, Grid, Point, ProbabilityMap, SigmoidParams, ZoneSampler,
+};
+use secure_location_alerts::hve::{AttributeVector, HveScheme};
+use secure_location_alerts::pairing::SimulatedGroup;
+
+const BACKENDS: [StoreBackend; 3] = [
+    StoreBackend::Contiguous,
+    StoreBackend::Sharded { shards: 1 },
+    StoreBackend::Sharded { shards: 5 },
+];
+
+fn small_grid_system(backend: StoreBackend, seed: u64) -> (AlertSystem, StdRng) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let grid = Grid::new(BoundingBox::new(0.0, 0.0, 0.1, 0.1), 3, 3);
+    let probs = ProbabilityMap::new(vec![0.2, 0.1, 0.05, 0.15, 0.1, 0.1, 0.1, 0.1, 0.1]);
+    let system = SystemBuilder::new(grid)
+        .group_bits(40)
+        .store(backend)
+        .build(&probs, &mut rng)
+        .expect("valid configuration");
+    (system, rng)
+}
+
+/// The fields serial and batch must reproduce identically.
+fn fingerprint(o: &AlertOutcome) -> (Vec<u64>, usize, u64, u64) {
+    (
+        o.notified.clone(),
+        o.tokens_issued,
+        o.pairings_used,
+        o.analytic_pairings,
+    )
+}
+
+/// Acceptance: after `upsert` at a new cell, an alert on the old cell
+/// does NOT notify the user and an alert on the new cell does — for both
+/// store backends, on the serial and the batch path, with identical
+/// `notified` and `pairings_used`.
+#[test]
+fn upsert_moves_user_on_both_backends_serial_and_batch() {
+    for backend in BACKENDS {
+        let (mut system, mut rng) = small_grid_system(backend, 0xc4a2);
+        // Bystanders on the old and new cells keep both alerts non-empty.
+        system.subscribe_cell(50, 2, &mut rng).unwrap();
+        system.subscribe_cell(51, 7, &mut rng).unwrap();
+
+        assert_eq!(
+            system.subscribe_cell(9, 2, &mut rng),
+            Ok(UpsertOutcome::Inserted)
+        );
+        assert_eq!(
+            system.subscribe_cell(9, 7, &mut rng),
+            Ok(UpsertOutcome::Replaced),
+            "{backend:?}"
+        );
+        assert_eq!(
+            system.n_subscriptions(),
+            3,
+            "{backend:?}: one record per user"
+        );
+
+        let old_serial = system.issue_alert(&[2], &mut rng).unwrap();
+        let old_batch = system.issue_alert_batch(&[2], Some(2), &mut rng).unwrap();
+        assert_eq!(
+            old_serial.notified,
+            vec![50],
+            "{backend:?}: stale ciphertext must not match"
+        );
+        assert_eq!(
+            fingerprint(&old_serial),
+            fingerprint(&old_batch),
+            "{backend:?}: serial/batch diverged on the old cell"
+        );
+
+        let new_serial = system.issue_alert(&[7], &mut rng).unwrap();
+        let new_batch = system.issue_alert_batch(&[7], Some(2), &mut rng).unwrap();
+        assert_eq!(new_serial.notified, vec![9, 51], "{backend:?}");
+        assert_eq!(
+            fingerprint(&new_serial),
+            fingerprint(&new_batch),
+            "{backend:?}: serial/batch diverged on the new cell"
+        );
+        assert_eq!(new_serial.pairings_used, new_serial.analytic_pairings);
+    }
+}
+
+#[test]
+fn unsubscribe_removes_and_unknown_user_errors() {
+    for backend in BACKENDS {
+        let (mut system, mut rng) = small_grid_system(backend, 0x5b5);
+        system.subscribe_cell(1, 4, &mut rng).unwrap();
+        system.subscribe_cell(2, 4, &mut rng).unwrap();
+
+        system.unsubscribe(1).unwrap();
+        assert_eq!(
+            system.unsubscribe(1),
+            Err(SlaError::UnknownUser { user_id: 1 }),
+            "{backend:?}"
+        );
+        assert_eq!(system.n_subscriptions(), 1);
+        let outcome = system.issue_alert(&[4], &mut rng).unwrap();
+        assert_eq!(outcome.notified, vec![2], "{backend:?}");
+
+        let stats = system.store_stats();
+        assert_eq!(stats.unsubscribed, 1);
+        assert_eq!(stats.subscriptions, 1);
+    }
+}
+
+#[test]
+fn ttl_eviction_drops_stale_subscriptions_and_refresh_renews() {
+    for backend in BACKENDS {
+        let mut rng = StdRng::seed_from_u64(0x77e);
+        let grid = Grid::new(BoundingBox::new(0.0, 0.0, 0.1, 0.1), 2, 2);
+        let probs = ProbabilityMap::uniform(4);
+        let mut system = SystemBuilder::new(grid)
+            .group_bits(40)
+            .store(backend)
+            .ttl_epochs(2)
+            .build(&probs, &mut rng)
+            .unwrap();
+
+        // Epoch 0: users 1 and 2 subscribe.
+        system.subscribe_cell(1, 0, &mut rng).unwrap();
+        system.subscribe_cell(2, 0, &mut rng).unwrap();
+        assert_eq!(
+            system.advance_epoch(),
+            0,
+            "{backend:?}: TTL 2, nothing stale yet"
+        );
+
+        // Epoch 1: user 1 refreshes, user 3 arrives; user 2 goes stale.
+        system.subscribe_cell(1, 0, &mut rng).unwrap();
+        system.subscribe_cell(3, 0, &mut rng).unwrap();
+        assert_eq!(
+            system.advance_epoch(),
+            1,
+            "{backend:?}: user 2 (epoch 0) expires at epoch 2"
+        );
+        let outcome = system.issue_alert(&[0], &mut rng).unwrap();
+        assert_eq!(outcome.notified, vec![1, 3], "{backend:?}");
+
+        // Epoch 3: nobody refreshed since epoch 1 — everyone expires.
+        assert_eq!(system.advance_epoch(), 2, "{backend:?}");
+        assert_eq!(system.n_subscriptions(), 0);
+        let stats = system.store_stats();
+        assert_eq!(stats.evicted, 3, "{backend:?}");
+        assert_eq!(stats.epoch, 3);
+    }
+}
+
+/// Churn acceptance: replaying the same churn workload over both
+/// backends, the encrypted system tracks the plaintext ground truth at
+/// every epoch, serial and batch paths agree pairing-for-pairing, and
+/// both backends notify identical user sets at identical pairing cost.
+#[test]
+fn churn_workload_replays_identically_across_backends_and_paths() {
+    let mut gen_rng = StdRng::seed_from_u64(0xc0de);
+    let grid = Grid::new(BoundingBox::chicago_downtown(), 8, 8);
+    let probs = ProbabilityMap::sigmoid_synthetic(
+        grid.n_cells(),
+        SigmoidParams { a: 0.9, b: 100.0 },
+        &mut gen_rng,
+    );
+    let sampler = ZoneSampler::new(grid.clone(), &probs);
+    let workload = ChurnConfig {
+        users: 24,
+        epochs: 4,
+        ..ChurnConfig::default()
+    }
+    .generate(&sampler, &mut gen_rng);
+
+    let mut per_backend: Vec<Vec<(Vec<u64>, u64)>> = Vec::new();
+    for backend in [
+        StoreBackend::Contiguous,
+        StoreBackend::Sharded { shards: 4 },
+    ] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut system = SystemBuilder::new(grid.clone())
+            .group_bits(40)
+            .store(backend)
+            .build(&probs, &mut rng)
+            .unwrap();
+
+        let mut outcomes = Vec::new();
+        for (epoch_index, epoch) in workload.epochs.iter().enumerate() {
+            for event in &epoch.events {
+                match *event {
+                    ChurnEvent::Subscribe { user_id, cell }
+                    | ChurnEvent::Move { user_id, cell } => {
+                        system.subscribe_cell(user_id, cell, &mut rng).unwrap();
+                    }
+                    ChurnEvent::Unsubscribe { user_id } => {
+                        system.unsubscribe(user_id).unwrap();
+                    }
+                }
+            }
+
+            let serial = system.issue_alert(&epoch.alert_cells, &mut rng).unwrap();
+            let batch = system
+                .issue_alert_batch(&epoch.alert_cells, Some(3), &mut rng)
+                .unwrap();
+            assert_eq!(
+                fingerprint(&serial),
+                fingerprint(&batch),
+                "{backend:?}: serial/batch diverged at epoch {epoch_index}"
+            );
+            assert_eq!(serial.pairings_used, serial.analytic_pairings);
+
+            // Plaintext ground truth from the workload itself.
+            let expected: Vec<u64> = workload
+                .positions_after(epoch_index)
+                .into_iter()
+                .filter(|(_, cell)| epoch.alert_cells.contains(cell))
+                .map(|(user, _)| user)
+                .collect();
+            assert_eq!(
+                serial.notified, expected,
+                "{backend:?}: encrypted matching diverged from ground truth at epoch {epoch_index}"
+            );
+
+            outcomes.push((serial.notified, serial.pairings_used));
+            system.advance_epoch();
+        }
+        per_backend.push(outcomes);
+    }
+    assert_eq!(
+        per_backend[0], per_backend[1],
+        "store backends must produce identical notified sets and pairing counts"
+    );
+}
+
+/// Satellite: every former panic site returns its specific `SlaError`.
+#[test]
+fn error_taxonomy_covers_every_former_panic_site() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let grid = Grid::new(BoundingBox::new(0.0, 0.0, 0.1, 0.1), 2, 2);
+
+    // Probability-map/grid mismatch (was: assert in AlertSystem::setup).
+    let wrong = ProbabilityMap::new(vec![0.5, 0.5]);
+    assert_eq!(
+        SystemBuilder::new(grid.clone())
+            .build(&wrong, &mut rng)
+            .unwrap_err(),
+        SlaError::ProbabilityMapMismatch {
+            map_cells: 2,
+            grid_cells: 4
+        }
+    );
+
+    // Group-bits and store-shape validation (new with the builder).
+    let probs = ProbabilityMap::uniform(4);
+    assert_eq!(
+        SystemBuilder::new(grid.clone())
+            .group_bits(4)
+            .build(&probs, &mut rng)
+            .unwrap_err(),
+        SlaError::InvalidGroupBits { bits: 4 }
+    );
+    assert_eq!(
+        SystemBuilder::new(grid.clone())
+            .store(StoreBackend::Sharded { shards: 0 })
+            .build(&probs, &mut rng)
+            .unwrap_err(),
+        SlaError::ZeroShardCount
+    );
+
+    let mut system = SystemBuilder::new(grid)
+        .group_bits(40)
+        .build(&probs, &mut rng)
+        .unwrap();
+
+    // Out-of-range cell (was: assert in subscribe_cell / panic in
+    // tokens_for during issue_alert).
+    assert_eq!(
+        system.subscribe_cell(1, 99, &mut rng).unwrap_err(),
+        SlaError::CellOutOfRange {
+            cell: 99,
+            n_cells: 4
+        }
+    );
+    assert_eq!(
+        system.issue_alert(&[0, 99], &mut rng).unwrap_err(),
+        SlaError::CellOutOfRange {
+            cell: 99,
+            n_cells: 4
+        }
+    );
+    assert_eq!(
+        system.analytic_cost(&[99]).unwrap_err(),
+        SlaError::CellOutOfRange {
+            cell: 99,
+            n_cells: 4
+        }
+    );
+
+    // Point outside the grid (was: silent `false`).
+    assert!(matches!(
+        system.subscribe_point(1, &Point::new(50.0, 50.0), &mut rng),
+        Err(SlaError::PointOutsideGrid { .. })
+    ));
+
+    // User id outside the HVE message domain (was: assert deep inside
+    // encode_message).
+    let big_id = 1u64 << 40;
+    assert_eq!(
+        system.subscribe_cell(big_id, 0, &mut rng).unwrap_err(),
+        SlaError::MessageOutOfDomain { id: big_id }
+    );
+
+    // Zero chunk size (was: assert in process_alert_batch).
+    system.subscribe_cell(1, 0, &mut rng).unwrap();
+    assert_eq!(
+        system
+            .issue_alert_batch(&[0], Some(0), &mut rng)
+            .unwrap_err(),
+        SlaError::ZeroChunkSize
+    );
+}
+
+/// Satellite: width mismatches surface as typed errors from the SP
+/// instead of panicking inside the pairing evaluation.
+#[test]
+fn width_mismatch_is_a_typed_error_at_the_service_provider() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let group = SimulatedGroup::generate(40, &mut rng);
+    let scheme5 = HveScheme::new(&group, 5);
+    let scheme3 = HveScheme::new(&group, 3);
+    let (pk5, _) = scheme5.setup(&mut rng);
+    let (_, sk3) = scheme3.setup(&mut rng);
+
+    let ct5 = scheme5.encrypt(
+        &pk5,
+        &AttributeVector::from_bits(&[true, false, true, false, true]),
+        &scheme5.encode_message(7),
+        &mut rng,
+    );
+
+    let mut sp = ServiceProvider::new();
+    // Ciphertext narrower than the scheme is rejected at upsert.
+    assert_eq!(
+        sp.upsert(
+            &scheme3,
+            Subscription {
+                user_id: 7,
+                ciphertext: ct5.clone(),
+            },
+        )
+        .unwrap_err(),
+        SlaError::WidthMismatch {
+            expected: 3,
+            actual: 5
+        }
+    );
+    sp.upsert(
+        &scheme5,
+        Subscription {
+            user_id: 7,
+            ciphertext: ct5,
+        },
+    )
+    .unwrap();
+
+    // A token of the wrong width is rejected before any pairing runs.
+    let tk3 = scheme3.gen_token(&sk3, &"1*0".parse().unwrap(), &mut rng);
+    assert_eq!(
+        sp.match_alert(&scheme5, std::slice::from_ref(&tk3))
+            .unwrap_err(),
+        SlaError::WidthMismatch {
+            expected: 5,
+            actual: 3
+        }
+    );
+    assert_eq!(
+        sp.process_alert_batch(&scheme5, std::slice::from_ref(&tk3), 4)
+            .unwrap_err(),
+        SlaError::WidthMismatch {
+            expected: 5,
+            actual: 3
+        }
+    );
+    // And a scheme of the wrong width cannot query stored material.
+    assert_eq!(
+        sp.match_alert_exhaustive(&scheme3, &[tk3]).unwrap_err(),
+        SlaError::WidthMismatch {
+            expected: 5,
+            actual: 3
+        }
+    );
+    // Zero chunk size at the SP level too.
+    assert_eq!(
+        sp.process_alert_batch(&scheme5, &[], 0).unwrap_err(),
+        SlaError::ZeroChunkSize
+    );
+}
+
+/// The early-exit matcher notifies exactly the exhaustive path's user
+/// set (it shares the residue-domain match primitive) — its contract
+/// after dropping the old `debug_assert_eq` on decoded ids.
+#[test]
+fn early_exit_match_agrees_with_exhaustive_path() {
+    let mut rng = StdRng::seed_from_u64(0xea);
+    let grid = Grid::new(BoundingBox::chicago_downtown(), 8, 8);
+    let probs = ProbabilityMap::sigmoid_synthetic(
+        grid.n_cells(),
+        SigmoidParams { a: 0.9, b: 100.0 },
+        &mut rng,
+    );
+    let sampler = ZoneSampler::new(grid.clone(), &probs);
+
+    let group = SimulatedGroup::generate(40, &mut rng);
+    let cb =
+        secure_location_alerts::encoding::CellCodebook::build(EncoderKind::Huffman, probs.raw());
+    let scheme = HveScheme::new(&group, cb.width_bits());
+    let (pk, sk) = scheme.setup(&mut rng);
+    let ppk = scheme.prepare_public_key(&pk);
+
+    let mut sp = ServiceProvider::with_backend(StoreBackend::Sharded { shards: 3 }, None).unwrap();
+    let mut population = Vec::new();
+    for user in 0..30u64 {
+        let cell = sampler.sample_epicenter_cell(&mut rng).0;
+        let user_obj = secure_location_alerts::core::MobileUser::new(user, cell);
+        let ct = user_obj
+            .encrypt_update_prepared(&scheme, &ppk, &cb, &mut rng)
+            .unwrap();
+        sp.upsert(
+            &scheme,
+            Subscription {
+                user_id: user,
+                ciphertext: ct,
+            },
+        )
+        .unwrap();
+        population.push((user, cell));
+    }
+
+    for _ in 0..3 {
+        let zone = sampler.sample_zone(900.0, &mut rng);
+        let tokens: Vec<_> = cb
+            .tokens_for(&zone.cell_indices())
+            .iter()
+            .map(|cw| {
+                scheme.gen_token(
+                    &sk,
+                    &secure_location_alerts::core::codeword_to_pattern(cw),
+                    &mut rng,
+                )
+            })
+            .collect();
+        let mut early = sp.match_alert(&scheme, &tokens).unwrap();
+        let mut exhaustive = sp.match_alert_exhaustive(&scheme, &tokens).unwrap();
+        early.sort_unstable();
+        exhaustive.sort_unstable();
+        assert_eq!(early, exhaustive, "early-exit and exhaustive must agree");
+
+        let mut expected: Vec<u64> = population
+            .iter()
+            .filter(|(_, c)| zone.cell_indices().contains(c))
+            .map(|(u, _)| *u)
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(early, expected);
+    }
+}
+
+/// Store stats reflect the full lifecycle.
+#[test]
+fn store_stats_snapshot_counts_the_lifecycle() {
+    let (mut system, mut rng) = small_grid_system(StoreBackend::Sharded { shards: 5 }, 0x57a75);
+    system.subscribe_cell(1, 0, &mut rng).unwrap();
+    system.subscribe_cell(2, 1, &mut rng).unwrap();
+    system.subscribe_cell(1, 2, &mut rng).unwrap(); // move
+    system.unsubscribe(2).unwrap();
+
+    let stats = system.store_stats();
+    assert_eq!(stats.backend, "sharded");
+    assert_eq!(stats.shards, 5);
+    assert_eq!(stats.subscriptions, 1);
+    assert_eq!(stats.inserted, 2);
+    assert_eq!(stats.replaced, 1);
+    assert_eq!(stats.unsubscribed, 1);
+    assert_eq!(stats.evicted, 0);
+    assert_eq!(stats.ttl_epochs, None);
+    assert_eq!(stats.epoch, 0);
+}
