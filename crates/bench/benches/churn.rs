@@ -1,8 +1,11 @@
 //! `churn` bench group: subscription lifecycle under load. Replays the
 //! datasets churn workload (moves / unsubscribes / re-subscriptions plus
-//! one alert per epoch) against both store backends — the contiguous
+//! one alert per epoch) against every store backend — the contiguous
 //! `Vec` pays O(n) upserts, the sharded store O(1) plus per-shard
-//! parallel matching.
+//! parallel matching, the concurrent store per-shard `RwLock`s. The
+//! `churn_while_matching` entry overlaps writer threads with a running
+//! batch match on the concurrent backend — the regime the exclusive
+//! backends cannot serve at all.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
@@ -65,6 +68,7 @@ fn bench_churn(c: &mut Criterion) {
     for (name, backend) in [
         ("contiguous", StoreBackend::Contiguous),
         ("sharded8", StoreBackend::Sharded { shards: 8 }),
+        ("concurrent8", StoreBackend::ConcurrentSharded { shards: 8 }),
     ] {
         let (mut system, mut rng) = build(&grid, &probs, backend);
         apply_epoch(&mut system, &workload.epochs[0], &mut rng);
@@ -85,5 +89,69 @@ fn bench_churn(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_churn);
+/// The churn-while-matching regime: `WRITERS` threads replay an epoch's
+/// writer streams through `subscribe_cell_shared`/`unsubscribe_shared`
+/// while the measuring thread runs the epoch's batch match concurrently.
+/// Only the `ConcurrentSharded` backend can serve this shape.
+fn bench_churn_while_matching(c: &mut Criterion) {
+    const WRITERS: usize = 4;
+    let (grid, probs, workload) = fixture();
+    let mut g = c.benchmark_group("churn");
+    g.sample_size(10);
+
+    let (system, mut rng) = {
+        let mut rng = StdRng::seed_from_u64(SEED ^ 2);
+        let system = SystemBuilder::new(grid.clone())
+            .group_bits(48)
+            .store(StoreBackend::ConcurrentSharded { shards: 8 })
+            .build(&probs, &mut rng)
+            .expect("valid configuration");
+        (system, rng)
+    };
+    // Seed the population, then interleave epoch replays with matching.
+    for event in &workload.epochs[0].events {
+        if let ChurnEvent::Subscribe { user_id, cell } = *event {
+            system
+                .subscribe_cell_shared(user_id, cell, &mut rng)
+                .expect("workload cells are in range");
+        }
+    }
+
+    let mut next = 1usize;
+    g.bench_function(format!("while_matching_concurrent8_w{WRITERS}"), |b| {
+        b.iter(|| {
+            let epoch = &workload.epochs[next];
+            next = 1 + next % (workload.epochs.len() - 1);
+            let streams = epoch.writer_streams(WRITERS);
+            std::thread::scope(|scope| {
+                for (w, stream) in streams.iter().enumerate() {
+                    let system = &system;
+                    scope.spawn(move || {
+                        let mut rng = StdRng::seed_from_u64(SEED ^ (0x100 + w as u64));
+                        for event in stream {
+                            match *event {
+                                ChurnEvent::Subscribe { user_id, cell }
+                                | ChurnEvent::Move { user_id, cell } => {
+                                    system
+                                        .subscribe_cell_shared(user_id, cell, &mut rng)
+                                        .expect("workload cells are in range");
+                                }
+                                ChurnEvent::Unsubscribe { user_id } => {
+                                    let _ = system.unsubscribe_shared(user_id);
+                                }
+                            }
+                        }
+                    });
+                }
+                let mut match_rng = StdRng::seed_from_u64(SEED ^ 3);
+                system
+                    .issue_alert_batch(&epoch.alert_cells, Some(8), &mut match_rng)
+                    .expect("workload cells are in range")
+            })
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_churn, bench_churn_while_matching);
 criterion_main!(benches);

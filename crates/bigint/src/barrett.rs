@@ -66,11 +66,22 @@ impl BarrettCtx {
             return x % &self.n; // outside Barrett's input range
         }
         // q̂ = ⌊ ⌊x / b^{k-1}⌋ · µ / b^{k+1} ⌋  underestimates the true
-        // quotient by at most 2, so r = x - q̂·N lands in [0, 3N).
+        // quotient by at most 2 (HAC Theorem 14.43, given x < b^{2k} and
+        // µ = ⌊b^{2k}/N⌋), so r = x - q̂·N lands in [0, 3N) and at most
+        // two correcting subtractions can ever run.
         let q = (&x.shr_bits(64 * (self.k - 1)) * &self.mu).shr_bits(64 * (self.k + 1));
         let mut r = x - &(&q * &self.n);
+        let mut corrections = 0u32;
         while r >= self.n {
             r = &r - &self.n;
+            corrections += 1;
+            debug_assert!(
+                corrections <= 2,
+                "Barrett correction bound violated: q̂ underestimated by more than 2 \
+                 (x bits = {}, k = {})",
+                x.bit_len(),
+                self.k
+            );
         }
         r
     }

@@ -1,0 +1,65 @@
+//! Property tests for Barrett reduction: `BarrettCtx::reduce` must agree
+//! with `%` across the **entire** documented input range `[0, 2^{128k})`
+//! (`k` = limb count of the modulus), and the q̂-underestimate bound the
+//! correction loop relies on (≤ 2 subtractions) is enforced by a
+//! `debug_assert!` that these tests exercise — any modulus/input pair
+//! violating HAC Theorem 14.43 would abort the run.
+
+use proptest::prelude::*;
+use sla_bigint::{BarrettCtx, BigUint};
+
+/// A modulus > 1 from raw limbs (bumps degenerate 0/1 values to 2).
+fn modulus_from(limbs: Vec<u64>) -> BigUint {
+    let n = BigUint::from_limbs(limbs);
+    if n.is_zero() || n.is_one() {
+        BigUint::from_u64(2)
+    } else {
+        n
+    }
+}
+
+proptest! {
+    #[test]
+    fn reduce_matches_remainder_across_full_range(
+        n_limbs in prop::collection::vec(any::<u64>(), 1..4),
+        x_limbs in prop::collection::vec(any::<u64>(), 0..8),
+    ) {
+        let n = modulus_from(n_limbs);
+        let k = n.limbs().len();
+        let ctx = BarrettCtx::new(&n).expect("n > 1");
+        // Clamp x into [0, 2^{128k}): keep at most 2k limbs.
+        let x = BigUint::from_limbs(
+            x_limbs.into_iter().take(2 * k).collect::<Vec<_>>(),
+        );
+        prop_assert_eq!(ctx.reduce(&x), &x % &n, "n = {:?}", n);
+    }
+
+    #[test]
+    fn reduce_matches_remainder_at_range_boundary(
+        n_limbs in prop::collection::vec(any::<u64>(), 1..4),
+    ) {
+        // x = 2^{128k} - 1: the largest in-range input, where the q̂
+        // underestimate is most stressed.
+        let n = modulus_from(n_limbs);
+        let k = n.limbs().len();
+        let ctx = BarrettCtx::new(&n).expect("n > 1");
+        let max = &BigUint::one().shl_bits(128 * k) - &BigUint::one();
+        prop_assert_eq!(ctx.reduce(&max), &max % &n, "n = {:?}", n);
+        // And one past the boundary takes the documented cold path.
+        let past = BigUint::one().shl_bits(128 * k);
+        prop_assert_eq!(ctx.reduce(&past), &past % &n, "n = {:?}", n);
+    }
+
+    #[test]
+    fn mod_mul_matches_naive_across_limb_counts(
+        n_limbs in prop::collection::vec(any::<u64>(), 1..4),
+        a_limbs in prop::collection::vec(any::<u64>(), 0..4),
+        b_limbs in prop::collection::vec(any::<u64>(), 0..4),
+    ) {
+        let n = modulus_from(n_limbs);
+        let ctx = BarrettCtx::new(&n).expect("n > 1");
+        let a = BigUint::from_limbs(a_limbs);
+        let b = BigUint::from_limbs(b_limbs);
+        prop_assert_eq!(ctx.mod_mul(&a, &b), a.mod_mul(&b, &n), "n = {:?}", n);
+    }
+}

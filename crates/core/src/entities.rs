@@ -3,7 +3,8 @@
 use crate::convert::{codeword_to_pattern, index_to_attribute};
 use crate::error::{SlaError, SlaResult};
 use crate::store::{
-    StoreBackend, StoreStats, StoredSubscription, SubscriptionStore, UpsertOutcome,
+    ConcurrentSubscriptionStore, StoreBackend, StoreHandle, StoreStats, StoredSubscription,
+    UpsertOutcome,
 };
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -12,6 +13,8 @@ use sla_hve::{
     Ciphertext, HveScheme, PreparedPublicKey, PreparedSecretKey, PublicKey, SecretKey, Token,
 };
 use sla_pairing::BilinearGroup;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 /// The Trusted Authority: holds the HVE secret key and the codebook's
 /// coding tree; issues minimized search tokens for alert zones. "The TA
@@ -205,18 +208,31 @@ pub struct Subscription {
 /// record carries its expected payload, so matching is a pure
 /// residue-domain comparison — zero canonical conversions per (token,
 /// ciphertext) pair (see `HveScheme::match_token`).
+///
+/// ## Concurrency
+///
+/// All matching paths take `&self`. With the
+/// `StoreBackend::ConcurrentSharded` backend, [`Self::upsert_shared`] and
+/// [`Self::unsubscribe_shared`] also take `&self`, so writer threads can
+/// churn the store **while** a batch match runs: matching holds one
+/// shard's read lock at a time, mutation one shard's write lock — never
+/// more than one lock per operation, so no interleaving can deadlock (see
+/// the [`ConcurrentSubscriptionStore`] consistency model for what the
+/// notified set means under concurrent churn). On the exclusive backends
+/// the shared entry points return [`SlaError::StoreNotConcurrent`].
 #[derive(Debug)]
 pub struct ServiceProvider {
-    store: Box<dyn SubscriptionStore>,
+    store: StoreHandle,
     epoch: u64,
     ttl_epochs: Option<u64>,
     /// HVE width pinned by the first accepted ciphertext; every later
-    /// upsert and every token must agree.
-    width: Option<usize>,
-    inserted: u64,
-    replaced: u64,
-    unsubscribed: u64,
-    evicted: u64,
+    /// upsert and every token must agree. A `OnceLock` so concurrent
+    /// first upserts race safely (one pins, the others validate).
+    width: OnceLock<usize>,
+    inserted: AtomicU64,
+    replaced: AtomicU64,
+    unsubscribed: AtomicU64,
+    evicted: AtomicU64,
 }
 
 impl Default for ServiceProvider {
@@ -242,15 +258,17 @@ impl ServiceProvider {
             store,
             epoch: 0,
             ttl_epochs,
-            width: None,
-            inserted: 0,
-            replaced: 0,
-            unsubscribed: 0,
-            evicted: 0,
+            width: OnceLock::new(),
+            inserted: AtomicU64::new(0),
+            replaced: AtomicU64::new(0),
+            unsubscribed: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
         })
     }
 
-    /// Number of stored ciphertexts (one per live user).
+    /// Number of stored ciphertexts (one per live user). Exact when
+    /// quiescent; may transiently lag under concurrent churn on the
+    /// concurrent backend.
     pub fn n_subscriptions(&self) -> usize {
         self.store.len()
     }
@@ -258,6 +276,12 @@ impl ServiceProvider {
     /// The current epoch.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// `true` iff the store backend supports shared-reference mutation
+    /// ([`Self::upsert_shared`] / [`Self::unsubscribe_shared`]).
+    pub fn supports_shared_mutation(&self) -> bool {
+        matches!(self.store, StoreHandle::Concurrent(_))
     }
 
     /// Snapshot of the store layout and lifecycle counters.
@@ -268,10 +292,93 @@ impl ServiceProvider {
             subscriptions: self.store.len(),
             epoch: self.epoch,
             ttl_epochs: self.ttl_epochs,
-            inserted: self.inserted,
-            replaced: self.replaced,
-            unsubscribed: self.unsubscribed,
-            evicted: self.evicted,
+            inserted: self.inserted.load(Ordering::Relaxed),
+            replaced: self.replaced.load(Ordering::Relaxed),
+            unsubscribed: self.unsubscribed.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Every stored `(user_id, epoch)` pair, sorted — a cheap
+    /// content fingerprint for diagnostics and the cross-backend
+    /// equivalence tests (ciphertexts are deliberately not exposed).
+    pub fn subscription_epochs(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::with_capacity(self.store.len());
+        match &self.store {
+            StoreHandle::Exclusive(store) => {
+                for shard in store.shards() {
+                    out.extend(shard.iter().map(|r| (r.user_id, r.epoch)));
+                }
+            }
+            StoreHandle::Concurrent(store) => {
+                for shard in 0..store.shard_count() {
+                    store.read_shard(shard, &mut |records| {
+                        out.extend(records.iter().map(|r| (r.user_id, r.epoch)));
+                    });
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Validation shared by both upsert paths: width agreement with the
+    /// scheme and with previously pinned material, then assembly of the
+    /// stored record (expected payload + epoch stamp).
+    fn validated_record<G: BilinearGroup>(
+        &self,
+        scheme: &HveScheme<'_, G>,
+        subscription: Subscription,
+    ) -> SlaResult<StoredSubscription> {
+        let ct_width = subscription.ciphertext.width();
+        if ct_width != scheme.width() {
+            return Err(SlaError::WidthMismatch {
+                expected: scheme.width(),
+                actual: ct_width,
+            });
+        }
+        if let Some(&width) = self.width.get() {
+            if width != ct_width {
+                return Err(SlaError::WidthMismatch {
+                    expected: width,
+                    actual: ct_width,
+                });
+            }
+        }
+        let expected = scheme.try_encode_message(subscription.user_id)?;
+        // Pin only after the last fallible step, so a *rejected* upsert
+        // (e.g. MessageOutOfDomain) leaves the width unpinned — exactly
+        // the pre-concurrency behavior. Concurrent first upserts race
+        // safely: one initializes, the others validate against it.
+        let pinned = *self.width.get_or_init(|| ct_width);
+        if pinned != ct_width {
+            return Err(SlaError::WidthMismatch {
+                expected: pinned,
+                actual: ct_width,
+            });
+        }
+        Ok(StoredSubscription {
+            user_id: subscription.user_id,
+            ciphertext: subscription.ciphertext,
+            expected,
+            epoch: self.epoch,
+        })
+    }
+
+    /// Bumps the lifetime counter matching an upsert outcome.
+    fn note_upsert(&self, outcome: UpsertOutcome) {
+        match outcome {
+            UpsertOutcome::Inserted => self.inserted.fetch_add(1, Ordering::Relaxed),
+            UpsertOutcome::Replaced => self.replaced.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    /// The concurrent store, or `Err(SlaError::StoreNotConcurrent)` on an
+    /// exclusive backend.
+    fn concurrent_store(&self) -> SlaResult<&dyn ConcurrentSubscriptionStore> {
+        match &self.store {
+            StoreHandle::Concurrent(store) => Ok(store.as_ref()),
+            StoreHandle::Exclusive(_) => Err(SlaError::StoreNotConcurrent),
         }
     }
 
@@ -289,33 +396,27 @@ impl ServiceProvider {
         scheme: &HveScheme<'_, G>,
         subscription: Subscription,
     ) -> SlaResult<UpsertOutcome> {
-        let ct_width = subscription.ciphertext.width();
-        if ct_width != scheme.width() {
-            return Err(SlaError::WidthMismatch {
-                expected: scheme.width(),
-                actual: ct_width,
-            });
-        }
-        if let Some(width) = self.width {
-            if width != ct_width {
-                return Err(SlaError::WidthMismatch {
-                    expected: width,
-                    actual: ct_width,
-                });
-            }
-        }
-        let expected = scheme.try_encode_message(subscription.user_id)?;
-        self.width = Some(ct_width);
-        let outcome = self.store.upsert(StoredSubscription {
-            user_id: subscription.user_id,
-            ciphertext: subscription.ciphertext,
-            expected,
-            epoch: self.epoch,
-        });
-        match outcome {
-            UpsertOutcome::Inserted => self.inserted += 1,
-            UpsertOutcome::Replaced => self.replaced += 1,
-        }
+        let record = self.validated_record(scheme, subscription)?;
+        let outcome = self.store.upsert(record);
+        self.note_upsert(outcome);
+        Ok(outcome)
+    }
+
+    /// [`Self::upsert`] through a shared reference — the entry point
+    /// writer threads use while a batch match is running. Takes only the
+    /// target shard's write lock.
+    ///
+    /// `Err(SlaError::StoreNotConcurrent)` unless the SP was built over
+    /// `StoreBackend::ConcurrentSharded`.
+    pub fn upsert_shared<G: BilinearGroup>(
+        &self,
+        scheme: &HveScheme<'_, G>,
+        subscription: Subscription,
+    ) -> SlaResult<UpsertOutcome> {
+        let store = self.concurrent_store()?;
+        let record = self.validated_record(scheme, subscription)?;
+        let outcome = store.upsert(record);
+        self.note_upsert(outcome);
         Ok(outcome)
     }
 
@@ -323,7 +424,21 @@ impl ServiceProvider {
     /// `Err(SlaError::UnknownUser)` when none is stored.
     pub fn unsubscribe(&mut self, user_id: u64) -> SlaResult<()> {
         if self.store.remove(user_id) {
-            self.unsubscribed += 1;
+            self.unsubscribed.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        } else {
+            Err(SlaError::UnknownUser { user_id })
+        }
+    }
+
+    /// [`Self::unsubscribe`] through a shared reference (see
+    /// [`Self::upsert_shared`]).
+    ///
+    /// `Err(SlaError::StoreNotConcurrent)` on an exclusive backend,
+    /// `Err(SlaError::UnknownUser)` when no subscription is stored.
+    pub fn unsubscribe_shared(&self, user_id: u64) -> SlaResult<()> {
+        if self.concurrent_store()?.remove(user_id) {
+            self.unsubscribed.fetch_add(1, Ordering::Relaxed);
             Ok(())
         } else {
             Err(SlaError::UnknownUser { user_id })
@@ -333,7 +448,10 @@ impl ServiceProvider {
     /// Advances the service epoch and, when a TTL is configured, evicts
     /// every subscription whose last upsert is `ttl_epochs` or more
     /// epochs old (a record upserted at epoch `e` with TTL `t` is evicted
-    /// when the epoch reaches `e + t`). Returns how many were evicted.
+    /// when the epoch reaches `e + t` — equivalently, the
+    /// `epoch >= min_epoch` retain bound is the contract: a record
+    /// *exactly* `ttl_epochs` old is dropped). Returns how many were
+    /// evicted.
     pub fn advance_epoch(&mut self) -> usize {
         self.epoch += 1;
         let Some(ttl) = self.ttl_epochs else {
@@ -343,7 +461,7 @@ impl ServiceProvider {
             return 0;
         };
         let evicted = self.store.evict_before(min_epoch);
-        self.evicted += evicted as u64;
+        self.evicted.fetch_add(evicted as u64, Ordering::Relaxed);
         evicted
     }
 
@@ -355,7 +473,7 @@ impl ServiceProvider {
         scheme: &HveScheme<'_, G>,
         tokens: &[Token],
     ) -> SlaResult<()> {
-        if let Some(width) = self.width {
+        if let Some(&width) = self.width.get() {
             if width != scheme.width() {
                 return Err(SlaError::WidthMismatch {
                     expected: width,
@@ -390,13 +508,25 @@ impl ServiceProvider {
     ) -> SlaResult<Vec<u64>> {
         self.validate_tokens(scheme, tokens)?;
         let mut notified = Vec::new();
-        for shard in self.store.shards() {
-            for sub in shard {
+        let mut early_exit_chunk = |chunk: &[StoredSubscription]| {
+            for sub in chunk {
                 for token in tokens {
                     if scheme.match_token(token, &sub.ciphertext, &sub.expected) {
                         notified.push(sub.user_id);
                         break; // already matched; skip remaining tokens
                     }
+                }
+            }
+        };
+        match &self.store {
+            StoreHandle::Exclusive(store) => {
+                for shard in store.shards() {
+                    early_exit_chunk(shard);
+                }
+            }
+            StoreHandle::Concurrent(store) => {
+                for shard in 0..store.shard_count() {
+                    store.read_shard(shard, &mut early_exit_chunk);
                 }
             }
         }
@@ -413,8 +543,19 @@ impl ServiceProvider {
     ) -> SlaResult<Vec<u64>> {
         self.validate_tokens(scheme, tokens)?;
         let mut notified = Vec::new();
-        for shard in self.store.shards() {
-            notified.extend(Self::match_chunk_exhaustive(shard, scheme, tokens));
+        match &self.store {
+            StoreHandle::Exclusive(store) => {
+                for shard in store.shards() {
+                    notified.extend(Self::match_chunk_exhaustive(shard, scheme, tokens));
+                }
+            }
+            StoreHandle::Concurrent(store) => {
+                for shard in 0..store.shard_count() {
+                    store.read_shard(shard, &mut |records| {
+                        notified.extend(Self::match_chunk_exhaustive(records, scheme, tokens));
+                    });
+                }
+            }
         }
         Ok(notified)
     }
@@ -474,10 +615,17 @@ impl ServiceProvider {
     /// parallel (rayon; `parallel` feature, on by default — serial chunks
     /// otherwise).
     ///
-    /// Chunk results are concatenated in shard order, so the returned ids
-    /// are **byte-identical** to the serial path's regardless of thread
-    /// count, and the engine's atomic [`sla_pairing::OpCounters`] see
-    /// exactly the same number of pairings.
+    /// Chunk results are concatenated in shard order, so on a quiescent
+    /// store the returned ids are **byte-identical** to the serial path's
+    /// regardless of thread count, and the engine's atomic
+    /// [`sla_pairing::OpCounters`] see exactly the same number of
+    /// pairings.
+    ///
+    /// On the concurrent backend the parallel unit is a **shard**: each
+    /// worker takes one shard's read lock, walks that shard's chunks, and
+    /// releases — writers to other shards proceed in parallel, writers to
+    /// the locked shard wait for at most one shard scan (see the
+    /// [`ConcurrentSubscriptionStore`] consistency model).
     ///
     /// `Err(SlaError::ZeroChunkSize)` when `chunk_size == 0`.
     pub fn process_alert_batch<G: BilinearGroup + Sync>(
@@ -490,9 +638,72 @@ impl ServiceProvider {
             return Err(SlaError::ZeroChunkSize);
         }
         self.validate_tokens(scheme, tokens)?;
-        let units = self.store.chunked(chunk_size);
-        let per_chunk = Self::match_units(&units, scheme, tokens);
-        Ok(per_chunk.into_iter().flatten().collect())
+        match &self.store {
+            StoreHandle::Exclusive(store) => {
+                let units = store.chunked(chunk_size);
+                let per_chunk = Self::match_units(&units, scheme, tokens);
+                Ok(per_chunk.into_iter().flatten().collect())
+            }
+            StoreHandle::Concurrent(store) => {
+                let shard_ids: Vec<usize> = (0..store.shard_count()).collect();
+                let per_shard = Self::match_shards_locked(
+                    store.as_ref(),
+                    &shard_ids,
+                    scheme,
+                    tokens,
+                    chunk_size,
+                );
+                Ok(per_shard.into_iter().flatten().collect())
+            }
+        }
+    }
+
+    /// Exhaustively matches one shard of the concurrent store under its
+    /// read lock, chunk by chunk in order — the per-worker unit of the
+    /// concurrent batch path.
+    fn match_one_shard_locked<G: BilinearGroup>(
+        store: &dyn ConcurrentSubscriptionStore,
+        shard: usize,
+        scheme: &HveScheme<'_, G>,
+        tokens: &[Token],
+        chunk_size: usize,
+    ) -> Vec<u64> {
+        let mut notified = Vec::new();
+        store.read_shard(shard, &mut |records| {
+            for chunk in records.chunks(chunk_size) {
+                notified.extend(Self::match_chunk_exhaustive(chunk, scheme, tokens));
+            }
+        });
+        notified
+    }
+
+    #[cfg(feature = "parallel")]
+    fn match_shards_locked<G: BilinearGroup + Sync>(
+        store: &dyn ConcurrentSubscriptionStore,
+        shard_ids: &[usize],
+        scheme: &HveScheme<'_, G>,
+        tokens: &[Token],
+        chunk_size: usize,
+    ) -> Vec<Vec<u64>> {
+        use rayon::prelude::*;
+        shard_ids
+            .par_iter()
+            .map(|&shard| Self::match_one_shard_locked(store, shard, scheme, tokens, chunk_size))
+            .collect()
+    }
+
+    #[cfg(not(feature = "parallel"))]
+    fn match_shards_locked<G: BilinearGroup + Sync>(
+        store: &dyn ConcurrentSubscriptionStore,
+        shard_ids: &[usize],
+        scheme: &HveScheme<'_, G>,
+        tokens: &[Token],
+        chunk_size: usize,
+    ) -> Vec<Vec<u64>> {
+        shard_ids
+            .iter()
+            .map(|&shard| Self::match_one_shard_locked(store, shard, scheme, tokens, chunk_size))
+            .collect()
     }
 
     /// Below this store size [`Self::default_batch_chunk_size`] picks a

@@ -65,7 +65,7 @@ pub use convert::{codeword_to_pattern, index_to_attribute};
 pub use entities::{MobileUser, ServiceProvider, Subscription, TrustedAuthority};
 pub use error::{SlaError, SlaResult, MAX_GROUP_BITS, MIN_GROUP_BITS};
 pub use store::{
-    ShardedStore, StoreBackend, StoreStats, StoredSubscription, SubscriptionStore, UpsertOutcome,
-    VecStore,
+    ConcurrentShardedStore, ConcurrentSubscriptionStore, ShardedStore, StoreBackend, StoreStats,
+    StoredSubscription, SubscriptionStore, UpsertOutcome, VecStore,
 };
 pub use system::{AlertOutcome, AlertSystem, SystemBuilder};

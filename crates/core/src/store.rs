@@ -3,17 +3,29 @@
 //! The paper's system model (§2.2) is a *long-lived* service: users keep
 //! re-submitting encrypted location updates as they move, so the SP's
 //! store needs upsert/remove semantics and a layout that batch matching
-//! can parallelize over. [`SubscriptionStore`] is the seam: the
-//! contiguous backend keeps the original `Vec` simplicity, the
-//! hash-sharded backend buys O(1) upsert/remove and per-shard
-//! parallelism. Matching iterates [`SubscriptionStore::chunked`] units in
-//! a deterministic order for both backends, so serial and batch outcomes
-//! are identical by construction.
+//! can parallelize over. Two seams exist:
+//!
+//! * [`SubscriptionStore`] — exclusive (`&mut self`) mutation. The
+//!   contiguous backend keeps the original `Vec` simplicity, the
+//!   hash-sharded backend buys O(1) upsert/remove and per-shard
+//!   parallelism. Matching iterates [`SubscriptionStore::chunked`] units
+//!   in a deterministic order for both backends, so serial and batch
+//!   outcomes are identical by construction.
+//! * [`ConcurrentSubscriptionStore`] — interior-mutability (`&self`)
+//!   upsert/remove/evict behind per-shard `RwLock`s, so subscription
+//!   churn can proceed *while* a batch match is running.
+//!   [`ConcurrentShardedStore`] is the built-in backend; matching reads
+//!   one shard at a time through
+//!   [`ConcurrentSubscriptionStore::read_shard`], which holds that
+//!   shard's read lock for the duration of the callback (a per-shard
+//!   snapshot), while writers to other shards proceed untouched.
 
 use sla_hve::Ciphertext;
 use sla_pairing::GtElem;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// One stored location update, as the SP keeps it.
 #[derive(Debug, Clone)]
@@ -55,15 +67,90 @@ pub enum StoreBackend {
         /// Number of hash shards (must be positive).
         shards: usize,
     },
+    /// `shards` hash-buckets, each behind its own `RwLock`: upserts and
+    /// removals take only the target shard's write lock, so churn
+    /// proceeds *while* a batch match holds read locks on other shards.
+    /// Right for long-lived services where location updates and alert
+    /// matching must overlap.
+    ConcurrentSharded {
+        /// Number of lock shards (must be positive).
+        shards: usize,
+    },
+}
+
+/// How the Service Provider holds its store: exclusively (`&mut self`
+/// mutation through [`SubscriptionStore`]) or shared (interior-mutability
+/// mutation through [`ConcurrentSubscriptionStore`]).
+#[derive(Debug)]
+pub(crate) enum StoreHandle {
+    /// A backend mutated through `&mut self` only.
+    Exclusive(Box<dyn SubscriptionStore>),
+    /// A lock-sharded backend mutable through `&self`. (A `Box`, not an
+    /// `Arc`: matchers and writer threads borrow `&dyn` through scoped
+    /// threads, so no shared ownership is needed.)
+    Concurrent(Box<dyn ConcurrentSubscriptionStore>),
+}
+
+impl StoreHandle {
+    pub(crate) fn backend_name(&self) -> &'static str {
+        match self {
+            StoreHandle::Exclusive(s) => s.backend_name(),
+            StoreHandle::Concurrent(s) => s.backend_name(),
+        }
+    }
+
+    pub(crate) fn shard_count(&self) -> usize {
+        match self {
+            StoreHandle::Exclusive(s) => s.shard_count(),
+            StoreHandle::Concurrent(s) => s.shard_count(),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            StoreHandle::Exclusive(s) => s.len(),
+            StoreHandle::Concurrent(s) => s.len(),
+        }
+    }
+
+    /// Upsert through whichever seam the backend implements (`&mut self`
+    /// here covers both: the concurrent seam only *needs* `&self`).
+    pub(crate) fn upsert(&mut self, record: StoredSubscription) -> UpsertOutcome {
+        match self {
+            StoreHandle::Exclusive(s) => s.upsert(record),
+            StoreHandle::Concurrent(s) => s.upsert(record),
+        }
+    }
+
+    pub(crate) fn remove(&mut self, user_id: u64) -> bool {
+        match self {
+            StoreHandle::Exclusive(s) => s.remove(user_id),
+            StoreHandle::Concurrent(s) => s.remove(user_id),
+        }
+    }
+
+    pub(crate) fn evict_before(&mut self, min_epoch: u64) -> usize {
+        match self {
+            StoreHandle::Exclusive(s) => s.evict_before(min_epoch),
+            StoreHandle::Concurrent(s) => s.evict_before(min_epoch),
+        }
+    }
 }
 
 impl StoreBackend {
-    /// Builds the backend. `None` only for `Sharded { shards: 0 }`.
-    pub(crate) fn build(self) -> Option<Box<dyn SubscriptionStore>> {
+    /// Builds the backend. `None` only for a zero shard count.
+    pub(crate) fn build(self) -> Option<StoreHandle> {
         match self {
-            StoreBackend::Contiguous => Some(Box::new(VecStore::new())),
-            StoreBackend::Sharded { shards: 0 } => None,
-            StoreBackend::Sharded { shards } => Some(Box::new(ShardedStore::new(shards))),
+            StoreBackend::Contiguous => Some(StoreHandle::Exclusive(Box::new(VecStore::new()))),
+            StoreBackend::Sharded { shards: 0 } | StoreBackend::ConcurrentSharded { shards: 0 } => {
+                None
+            }
+            StoreBackend::Sharded { shards } => {
+                Some(StoreHandle::Exclusive(Box::new(ShardedStore::new(shards))))
+            }
+            StoreBackend::ConcurrentSharded { shards } => Some(StoreHandle::Concurrent(Box::new(
+                ConcurrentShardedStore::new(shards),
+            ))),
         }
     }
 }
@@ -196,11 +283,19 @@ impl ShardedStore {
         }
     }
 
-    /// Deterministic shard of a user id (Fibonacci multiplicative hash —
-    /// stable across runs and platforms, unlike `RandomState`).
+    /// Deterministic shard of a user id (see [`shard_index`]).
     fn shard_of(&self, user_id: u64) -> usize {
-        (user_id.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize % self.shards.len()
+        shard_index(user_id, self.shards.len())
     }
+}
+
+/// Deterministic shard of a user id: Fibonacci multiplicative hash —
+/// stable across runs and platforms, unlike `RandomState`. Shared by
+/// [`ShardedStore`] and [`ConcurrentShardedStore`] so record placement is
+/// bit-identical across the sharded backends (the cross-backend
+/// equivalence tests rely on this).
+fn shard_index(user_id: u64, n_shards: usize) -> usize {
+    (user_id.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize % n_shards
 }
 
 impl SubscriptionStore for ShardedStore {
@@ -272,11 +367,212 @@ impl SubscriptionStore for ShardedStore {
     }
 }
 
+/// Storage seam for backends that support **concurrent** mutation: every
+/// mutating method takes `&self`, so writer threads can upsert/remove
+/// while a matcher iterates [`ConcurrentSubscriptionStore::read_shard`].
+///
+/// ## Locking contract
+///
+/// Implementations must key every record's location by `user_id` alone
+/// (one record per user, always in the same shard), take at most **one**
+/// internal lock per call, and never hold a lock across calls — which
+/// makes the whole trait deadlock-free by construction: there is no
+/// second lock to wait for while holding a first.
+///
+/// ## Consistency model
+///
+/// [`ConcurrentSubscriptionStore::read_shard`] holds the shard's read
+/// lock for the whole callback, so each shard is observed as an atomic
+/// snapshot and no half-written record is ever visible. A multi-shard
+/// read (a batch match) observes different shards at different instants;
+/// because a user's operations only ever touch that user's home shard,
+/// the combined result still corresponds to a serializable interleaving
+/// of the concurrent operations — per user, exactly the record state at
+/// that shard's snapshot instant.
+pub trait ConcurrentSubscriptionStore: fmt::Debug + Send + Sync {
+    /// Short backend name for stats/diagnostics.
+    fn backend_name(&self) -> &'static str;
+
+    /// Number of lock shards.
+    fn shard_count(&self) -> usize;
+
+    /// Number of stored subscriptions. Exact when quiescent; while
+    /// writers are active the value may transiently lag individual shard
+    /// contents (it is maintained outside the shard locks).
+    fn len(&self) -> usize;
+
+    /// `true` iff no subscriptions are stored (same caveat as
+    /// [`ConcurrentSubscriptionStore::len`]).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts or replaces the record for `record.user_id`, taking only
+    /// the target shard's write lock.
+    fn upsert(&self, record: StoredSubscription) -> UpsertOutcome;
+
+    /// Removes the record for `user_id` (target shard's write lock);
+    /// `false` if absent.
+    fn remove(&self, user_id: u64) -> bool;
+
+    /// Evicts every record with `epoch < min_epoch`, locking one shard at
+    /// a time; returns how many were dropped.
+    fn evict_before(&self, min_epoch: u64) -> usize;
+
+    /// Runs `f` over shard `shard`'s records under that shard's read
+    /// lock — a snapshot-consistent view of the shard. Record order is
+    /// deterministic (insertion order with `swap_remove` backfill), so
+    /// serial and parallel matchers that walk shards in index order see
+    /// identical sequences on a quiescent store.
+    fn read_shard(&self, shard: usize, f: &mut dyn FnMut(&[StoredSubscription]));
+}
+
+/// One lock shard of [`ConcurrentShardedStore`]: the records plus the
+/// per-user position index, guarded together so they can never disagree.
+#[derive(Debug, Default)]
+struct LockShard {
+    items: Vec<StoredSubscription>,
+    /// `user_id` → position within `items`.
+    index: HashMap<u64, usize>,
+}
+
+/// The concurrent backend: `shards` hash-buckets, each behind its own
+/// `RwLock`, plus an atomic length counter. Upsert/remove/evict take one
+/// shard write lock; matching takes one shard read lock at a time (see
+/// the [`ConcurrentSubscriptionStore`] consistency model).
+#[derive(Debug)]
+pub struct ConcurrentShardedStore {
+    shards: Vec<RwLock<LockShard>>,
+    /// Live record count, maintained outside the shard locks (exact when
+    /// quiescent).
+    len: AtomicUsize,
+}
+
+impl ConcurrentShardedStore {
+    /// An empty store with `shards` lock shards.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0` (the builder rejects that earlier with
+    /// `SlaError::ZeroShardCount`).
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "shard count must be positive");
+        ConcurrentShardedStore {
+            shards: (0..shards)
+                .map(|_| RwLock::new(LockShard::default()))
+                .collect(),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Deterministic shard of a user id (see [`shard_index`] — identical
+    /// placement to [`ShardedStore`]).
+    fn shard_of(&self, user_id: u64) -> usize {
+        shard_index(user_id, self.shards.len())
+    }
+
+    /// Write-locks a shard, recovering from poisoning: the guarded data
+    /// is only ever mutated by the panic-free operations below, so a
+    /// poisoned lock (a reader panicked in a callback) still guards a
+    /// consistent shard.
+    fn write_shard(&self, shard: usize) -> RwLockWriteGuard<'_, LockShard> {
+        self.shards[shard]
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Read-locks a shard (poison-recovering, see
+    /// [`Self::write_shard`]).
+    fn read_shard_guard(&self, shard: usize) -> RwLockReadGuard<'_, LockShard> {
+        self.shards[shard]
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+impl ConcurrentSubscriptionStore for ConcurrentShardedStore {
+    fn backend_name(&self) -> &'static str {
+        "concurrent-sharded"
+    }
+
+    fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    fn upsert(&self, record: StoredSubscription) -> UpsertOutcome {
+        let shard = self.shard_of(record.user_id);
+        let mut guard = self.write_shard(shard);
+        match guard.index.get(&record.user_id) {
+            Some(&pos) => {
+                guard.items[pos] = record;
+                UpsertOutcome::Replaced
+            }
+            None => {
+                let pos = guard.items.len();
+                guard.index.insert(record.user_id, pos);
+                guard.items.push(record);
+                self.len.fetch_add(1, Ordering::Relaxed);
+                UpsertOutcome::Inserted
+            }
+        }
+    }
+
+    fn remove(&self, user_id: u64) -> bool {
+        let shard = self.shard_of(user_id);
+        let mut guard = self.write_shard(shard);
+        let Some(pos) = guard.index.remove(&user_id) else {
+            return false;
+        };
+        guard.items.swap_remove(pos);
+        if let Some(moved_id) = guard.items.get(pos).map(|r| r.user_id) {
+            guard.index.insert(moved_id, pos);
+        }
+        self.len.fetch_sub(1, Ordering::Relaxed);
+        true
+    }
+
+    fn evict_before(&self, min_epoch: u64) -> usize {
+        let mut evicted = 0;
+        for shard in 0..self.shards.len() {
+            let mut guard = self.write_shard(shard);
+            let before = guard.items.len();
+            let LockShard { items, index } = &mut *guard;
+            items.retain(|r| {
+                let keep = r.epoch >= min_epoch;
+                if !keep {
+                    index.remove(&r.user_id);
+                }
+                keep
+            });
+            let dropped = before - items.len();
+            if dropped > 0 {
+                // retain preserves order but shifts positions; re-index
+                // the survivors of this shard.
+                for (pos, r) in items.iter().enumerate() {
+                    index.insert(r.user_id, pos);
+                }
+                self.len.fetch_sub(dropped, Ordering::Relaxed);
+                evicted += dropped;
+            }
+        }
+        evicted
+    }
+
+    fn read_shard(&self, shard: usize, f: &mut dyn FnMut(&[StoredSubscription])) {
+        let guard = self.read_shard_guard(shard);
+        f(&guard.items);
+    }
+}
+
 /// Point-in-time snapshot of a Service Provider's store and lifecycle
 /// counters.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StoreStats {
-    /// Backend name (`"contiguous"` or `"sharded"`).
+    /// Backend name (`"contiguous"`, `"sharded"` or
+    /// `"concurrent-sharded"`).
     pub backend: &'static str,
     /// Number of shards.
     pub shards: usize,
@@ -405,6 +701,90 @@ mod tests {
                 assert_eq!(seen, (0..23).collect::<Vec<_>>());
             }
         }
+    }
+
+    /// All ids in the concurrent store, in deterministic shard-walk
+    /// order.
+    fn concurrent_ids_in_order(store: &ConcurrentShardedStore) -> Vec<u64> {
+        let mut ids = Vec::new();
+        for shard in 0..store.shard_count() {
+            store.read_shard(shard, &mut |records| {
+                ids.extend(records.iter().map(|r| r.user_id));
+            });
+        }
+        ids
+    }
+
+    #[test]
+    fn concurrent_store_lifecycle_matches_exclusive_semantics() {
+        let ct = fixture_ciphertext();
+        let store = ConcurrentShardedStore::new(4);
+        // upsert replaces, via &self only
+        assert_eq!(store.upsert(record(&ct, 7, 0)), UpsertOutcome::Inserted);
+        assert_eq!(store.upsert(record(&ct, 8, 0)), UpsertOutcome::Inserted);
+        assert_eq!(store.upsert(record(&ct, 7, 3)), UpsertOutcome::Replaced);
+        assert_eq!(store.len(), 2);
+        // remove backfills and stays addressable
+        for id in 0..10 {
+            store.upsert(record(&ct, id, id % 3));
+        }
+        assert!(store.remove(4));
+        assert!(!store.remove(4));
+        // evict epoch-0 records (ids 0,3,6,9; id 7 was re-upserted at 3)
+        let evicted = store.evict_before(1);
+        assert_eq!(evicted, 4);
+        let mut left = concurrent_ids_in_order(&store);
+        left.sort_unstable();
+        assert_eq!(left, vec![1, 2, 5, 7, 8]);
+        assert_eq!(store.len(), 5);
+        for id in [1, 2, 5, 7, 8] {
+            assert!(store.remove(id), "{id}");
+        }
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn concurrent_store_matches_sharded_layout() {
+        // Same hash, same shard count -> identical record placement, so
+        // shard-walk matching orders agree across the two sharded
+        // backends.
+        let ct = fixture_ciphertext();
+        let concurrent = ConcurrentShardedStore::new(8);
+        let mut sharded = ShardedStore::new(8);
+        for id in 0..100 {
+            concurrent.upsert(record(&ct, id, 0));
+            sharded.upsert(record(&ct, id, 0));
+        }
+        assert_eq!(concurrent_ids_in_order(&concurrent), ids_in_order(&sharded));
+    }
+
+    #[test]
+    fn concurrent_store_parallel_churn_converges() {
+        // 4 writer threads over disjoint user ranges; the final state is
+        // each user's last op regardless of interleaving.
+        let ct = fixture_ciphertext();
+        let store = ConcurrentShardedStore::new(8);
+        std::thread::scope(|scope| {
+            for w in 0..4u64 {
+                let store = &store;
+                let ct = &ct;
+                scope.spawn(move || {
+                    for round in 0..20u64 {
+                        for id in (w * 25)..(w * 25 + 25) {
+                            store.upsert(record(ct, id, round));
+                            if id % 3 == 0 {
+                                store.remove(id);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let mut ids = concurrent_ids_in_order(&store);
+        ids.sort_unstable();
+        let expected: Vec<u64> = (0..100).filter(|id| id % 3 != 0).collect();
+        assert_eq!(ids, expected);
+        assert_eq!(store.len(), expected.len());
     }
 
     #[test]

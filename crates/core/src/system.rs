@@ -197,8 +197,45 @@ impl AlertSystem {
         self.sp.stats()
     }
 
+    /// Every stored `(user_id, epoch)` pair, sorted — a cheap content
+    /// fingerprint (see [`ServiceProvider::subscription_epochs`]).
+    pub fn subscription_epochs(&self) -> Vec<(u64, u64)> {
+        self.sp.subscription_epochs()
+    }
+
     fn scheme(&self) -> HveScheme<'_, SimulatedGroup> {
         HveScheme::new(&self.group, self.codebook().width_bits())
+    }
+
+    /// Shared body of the subscribe entry points: validates the cell and
+    /// encrypts the update under the prepared public key. Takes the
+    /// fields explicitly (not `&self`) so `subscribe_cell` can keep a
+    /// field-disjoint `&mut` borrow of the SP.
+    fn encrypted_subscription<'g, R: Rng>(
+        grid: &Grid,
+        group: &'g SimulatedGroup,
+        ppk: &PreparedPublicKey,
+        ta: &TrustedAuthority,
+        user_id: u64,
+        cell: usize,
+        rng: &mut R,
+    ) -> SlaResult<(HveScheme<'g, SimulatedGroup>, Subscription)> {
+        if cell >= grid.n_cells() {
+            return Err(SlaError::CellOutOfRange {
+                cell,
+                n_cells: grid.n_cells(),
+            });
+        }
+        let user = MobileUser::new(user_id, cell);
+        let scheme = HveScheme::new(group, ta.codebook().width_bits());
+        let ct = user.encrypt_update_prepared(&scheme, ppk, ta.codebook(), rng)?;
+        Ok((
+            scheme,
+            Subscription {
+                user_id,
+                ciphertext: ct,
+            },
+        ))
     }
 
     /// A user at `cell` encrypts and submits a location update; a
@@ -213,23 +250,50 @@ impl AlertSystem {
         cell: usize,
         rng: &mut R,
     ) -> SlaResult<UpsertOutcome> {
-        if cell >= self.grid.n_cells() {
-            return Err(SlaError::CellOutOfRange {
-                cell,
-                n_cells: self.grid.n_cells(),
-            });
-        }
-        let user = MobileUser::new(user_id, cell);
-        // Field-disjoint borrow of the engine so the SP stays mutable.
-        let scheme = HveScheme::new(&self.group, self.ta.codebook().width_bits());
-        let ct = user.encrypt_update_prepared(&scheme, &self.ppk, self.ta.codebook(), rng)?;
-        self.sp.upsert(
-            &scheme,
-            Subscription {
-                user_id,
-                ciphertext: ct,
-            },
-        )
+        let (scheme, subscription) = Self::encrypted_subscription(
+            &self.grid,
+            &self.group,
+            &self.ppk,
+            &self.ta,
+            user_id,
+            cell,
+            rng,
+        )?;
+        self.sp.upsert(&scheme, subscription)
+    }
+
+    /// [`Self::subscribe_cell`] through a shared reference — the entry
+    /// point concurrent writer threads use while an alert is being
+    /// matched. Each caller supplies its own `rng`.
+    ///
+    /// Requires the `StoreBackend::ConcurrentSharded` backend;
+    /// `Err(SlaError::StoreNotConcurrent)` otherwise. Other errors as
+    /// [`Self::subscribe_cell`].
+    pub fn subscribe_cell_shared<R: Rng>(
+        &self,
+        user_id: u64,
+        cell: usize,
+        rng: &mut R,
+    ) -> SlaResult<UpsertOutcome> {
+        let (scheme, subscription) = Self::encrypted_subscription(
+            &self.grid,
+            &self.group,
+            &self.ppk,
+            &self.ta,
+            user_id,
+            cell,
+            rng,
+        )?;
+        self.sp.upsert_shared(&scheme, subscription)
+    }
+
+    /// [`Self::unsubscribe`] through a shared reference (see
+    /// [`Self::subscribe_cell_shared`]).
+    ///
+    /// `Err(SlaError::StoreNotConcurrent)` on a non-concurrent backend,
+    /// `Err(SlaError::UnknownUser)` when no subscription is stored.
+    pub fn unsubscribe_shared(&self, user_id: u64) -> SlaResult<()> {
+        self.sp.unsubscribe_shared(user_id)
     }
 
     /// A user at a geographic point subscribes;
@@ -268,7 +332,7 @@ impl AlertSystem {
     /// batch entry points (keeping their outcomes identical by
     /// construction).
     fn issue_alert_with<R: Rng>(
-        &mut self,
+        &self,
         alert_cells: &[usize],
         rng: &mut R,
         match_fn: impl FnOnce(
@@ -303,9 +367,15 @@ impl AlertSystem {
     /// tokens, the SP evaluates them exhaustively (the cost model's
     /// regime), and matched users are notified.
     ///
+    /// Takes `&self`: on the concurrent store backend, subscription churn
+    /// through [`Self::subscribe_cell_shared`] /
+    /// [`Self::unsubscribe_shared`] may proceed while the alert is being
+    /// matched. [`AlertOutcome::pairings_used`] is a counter *delta*, so
+    /// it is only meaningful when no other alert runs concurrently.
+    ///
     /// `Err(SlaError::CellOutOfRange)` on alert cells outside the grid.
     pub fn issue_alert<R: Rng>(
-        &mut self,
+        &self,
         alert_cells: &[usize],
         rng: &mut R,
     ) -> SlaResult<AlertOutcome> {
@@ -331,7 +401,7 @@ impl AlertSystem {
     /// tokens — same `notified`, `tokens_issued`, `pairings_used` — which
     /// the `batch_matching` integration tests assert.
     pub fn issue_alert_batch<R: Rng>(
-        &mut self,
+        &self,
         alert_cells: &[usize],
         chunk_size: Option<usize>,
         rng: &mut R,
@@ -389,7 +459,7 @@ mod tests {
 
     #[test]
     fn alert_on_empty_store_costs_nothing() {
-        let (mut system, mut rng) = small_system(EncoderKind::Huffman);
+        let (system, mut rng) = small_system(EncoderKind::Huffman);
         let outcome = system.issue_alert(&[0], &mut rng).unwrap();
         assert!(outcome.notified.is_empty());
         assert_eq!(outcome.pairings_used, 0);
@@ -477,8 +547,15 @@ mod tests {
             SlaError::InvalidGroupBits { bits: 8 }
         );
         assert_eq!(
-            SystemBuilder::new(grid)
+            SystemBuilder::new(grid.clone())
                 .store(StoreBackend::Sharded { shards: 0 })
+                .build(&probs4, &mut rng)
+                .unwrap_err(),
+            SlaError::ZeroShardCount
+        );
+        assert_eq!(
+            SystemBuilder::new(grid)
+                .store(StoreBackend::ConcurrentSharded { shards: 0 })
                 .build(&probs4, &mut rng)
                 .unwrap_err(),
             SlaError::ZeroShardCount
@@ -486,10 +563,57 @@ mod tests {
     }
 
     #[test]
+    fn shared_mutation_requires_concurrent_backend() {
+        let mut rng = StdRng::seed_from_u64(0x5afe);
+        let grid = Grid::new(BoundingBox::new(0.0, 0.0, 0.1, 0.1), 2, 2);
+        let probs = ProbabilityMap::new(vec![0.4, 0.1, 0.3, 0.2]);
+
+        // Exclusive backends reject &self mutation with a typed error.
+        let exclusive = SystemBuilder::new(grid.clone())
+            .group_bits(40)
+            .build(&probs, &mut rng)
+            .unwrap();
+        assert_eq!(
+            exclusive.subscribe_cell_shared(1, 0, &mut rng).unwrap_err(),
+            SlaError::StoreNotConcurrent
+        );
+        assert_eq!(
+            exclusive.unsubscribe_shared(1).unwrap_err(),
+            SlaError::StoreNotConcurrent
+        );
+
+        // The concurrent backend accepts it and alerts observe the churn.
+        let concurrent = SystemBuilder::new(grid)
+            .group_bits(40)
+            .store(StoreBackend::ConcurrentSharded { shards: 3 })
+            .build(&probs, &mut rng)
+            .unwrap();
+        assert_eq!(
+            concurrent.subscribe_cell_shared(1, 0, &mut rng),
+            Ok(UpsertOutcome::Inserted)
+        );
+        assert_eq!(
+            concurrent.subscribe_cell_shared(1, 2, &mut rng),
+            Ok(UpsertOutcome::Replaced)
+        );
+        assert_eq!(concurrent.subscription_epochs(), vec![(1, 0)]);
+        let outcome = concurrent.issue_alert(&[2], &mut rng).unwrap();
+        assert_eq!(outcome.notified, vec![1]);
+        concurrent.unsubscribe_shared(1).unwrap();
+        assert_eq!(
+            concurrent.unsubscribe_shared(1).unwrap_err(),
+            SlaError::UnknownUser { user_id: 1 }
+        );
+        assert_eq!(concurrent.n_subscriptions(), 0);
+        assert_eq!(concurrent.store_stats().backend, "concurrent-sharded");
+    }
+
+    #[test]
     fn upsert_moves_a_user_between_cells() {
         for backend in [
             StoreBackend::Contiguous,
             StoreBackend::Sharded { shards: 3 },
+            StoreBackend::ConcurrentSharded { shards: 3 },
         ] {
             let mut rng = StdRng::seed_from_u64(0xa1e47);
             let grid = Grid::new(BoundingBox::new(0.0, 0.0, 0.1, 0.1), 2, 3);

@@ -146,6 +146,42 @@ pub struct ChurnEpoch {
     pub alert_cells: Vec<usize>,
 }
 
+impl ChurnEvent {
+    /// The user the event concerns.
+    pub fn user_id(&self) -> u64 {
+        match *self {
+            ChurnEvent::Subscribe { user_id, .. }
+            | ChurnEvent::Move { user_id, .. }
+            | ChurnEvent::Unsubscribe { user_id } => user_id,
+        }
+    }
+}
+
+impl ChurnEpoch {
+    /// Partitions the epoch's events into `writers` disjoint streams
+    /// keyed by user id — the **churn-while-matching** workload shape:
+    /// each stream is replayed by one writer thread while the epoch's
+    /// alert is being matched concurrently.
+    ///
+    /// All of a user's events land in the same stream, in their original
+    /// order, so any interleaving of the streams is a valid lifecycle
+    /// history (no subscribe/unsubscribe reordering across threads) and
+    /// the final store state is interleaving-independent. Deterministic;
+    /// streams may be empty when the epoch has fewer active users than
+    /// writers.
+    ///
+    /// # Panics
+    /// Panics if `writers == 0`.
+    pub fn writer_streams(&self, writers: usize) -> Vec<Vec<ChurnEvent>> {
+        assert!(writers > 0, "at least one writer stream required");
+        let mut streams = vec![Vec::new(); writers];
+        for event in &self.events {
+            streams[(event.user_id() % writers as u64) as usize].push(*event);
+        }
+        streams
+    }
+}
+
 /// A multi-epoch subscription-churn workload: users move, leave and
 /// return across epochs while alerts keep firing — the long-lived regime
 /// of the paper's system model (§2.2) that the one-shot radius sweeps
@@ -372,6 +408,55 @@ mod tests {
                         assert!(active.remove(&user_id), "unsubscribe of inactive {user_id}");
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn writer_streams_partition_events_and_preserve_per_user_order() {
+        let s = sampler();
+        let w = ChurnConfig {
+            users: 30,
+            epochs: 6,
+            ..ChurnConfig::default()
+        }
+        .generate(&s, &mut StdRng::seed_from_u64(21));
+        for epoch in &w.epochs {
+            for writers in [1, 3, 4, 7] {
+                let streams = epoch.writer_streams(writers);
+                assert_eq!(streams.len(), writers);
+                // Partition: every event lands in exactly one stream, and
+                // concatenating streams loses nothing.
+                let total: usize = streams.iter().map(Vec::len).sum();
+                assert_eq!(total, epoch.events.len());
+                for (i, stream) in streams.iter().enumerate() {
+                    for event in stream {
+                        assert_eq!(
+                            (event.user_id() % writers as u64) as usize,
+                            i,
+                            "event routed to the wrong stream"
+                        );
+                    }
+                }
+                // Per-user order within a stream matches the epoch order.
+                for stream in &streams {
+                    for user in stream.iter().map(ChurnEvent::user_id) {
+                        let original: Vec<ChurnEvent> = epoch
+                            .events
+                            .iter()
+                            .filter(|e| e.user_id() == user)
+                            .copied()
+                            .collect();
+                        let streamed: Vec<ChurnEvent> = stream
+                            .iter()
+                            .filter(|e| e.user_id() == user)
+                            .copied()
+                            .collect();
+                        assert_eq!(original, streamed);
+                    }
+                }
+                // Determinism.
+                assert_eq!(streams, epoch.writer_streams(writers));
             }
         }
     }

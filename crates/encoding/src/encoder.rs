@@ -87,13 +87,14 @@ impl CellCodebook {
     /// Panics if `probs` is empty or invalid for the chosen scheme; use
     /// [`Self::try_build`] for a fallible version.
     pub fn build(kind: EncoderKind, probs: &[f64]) -> Self {
-        assert!(!probs.is_empty(), "at least one cell required");
-        Self::build_validated(kind, probs)
+        Self::try_build(kind, probs).expect("invalid probability surface for codebook")
     }
 
     /// Fallible [`Self::build`]: rejects empty/invalid probability
-    /// surfaces and degenerate B-ary arities with the matching
-    /// [`EncodingError`] instead of panicking.
+    /// surfaces, degenerate B-ary arities, and any build whose codes
+    /// come out unprefixable (`ZeroWidthCode` — a degenerate
+    /// distribution such as a single cell must still yield a ≥ 1-bit
+    /// code) with the matching [`EncodingError`] instead of panicking.
     pub fn try_build(kind: EncoderKind, probs: &[f64]) -> Result<Self, EncodingError> {
         if probs.is_empty() {
             return Err(EncodingError::EmptyProbabilities);
@@ -108,7 +109,15 @@ impl CellCodebook {
                 return Err(EncodingError::InvalidArity { arity });
             }
         }
-        Ok(Self::build_validated(kind, probs))
+        let built = Self::build_validated(kind, probs);
+        // A zero-length index could neither be prefix-matched by a token
+        // nor HVE-encrypted; the built-in encoders pad degenerate inputs
+        // (single cell, one-hot mass) to 1-bit codes, and this guard
+        // keeps that a hard contract for every encoder behind the facade.
+        if let Some(cell) = built.indexes.iter().position(|c| c.is_empty()) {
+            return Err(EncodingError::ZeroWidthCode { cell });
+        }
+        Ok(built)
     }
 
     /// Shared body of [`Self::build`]/[`Self::try_build`] on validated
@@ -373,6 +382,45 @@ mod tests {
             }
         );
         assert_eq!(cb.try_tokens_for(&[1, 2]).unwrap(), cb.tokens_for(&[1, 2]));
+    }
+
+    #[test]
+    fn degenerate_distributions_yield_prefixable_codes() {
+        // A single cell, a one-hot surface, and an all-zero surface are
+        // the degenerate inputs that could tempt an encoder into a
+        // zero-length "code"; every kind must instead produce uniform
+        // ≥ 1-bit indexes that still cover exactly.
+        let surfaces: [&[f64]; 4] = [&[1.0], &[0.0], &[1.0, 0.0], &[1.0, 0.0, 0.0, 0.0]];
+        for kind in all_kinds() {
+            for probs in surfaces {
+                let cb = CellCodebook::try_build(kind, probs)
+                    .unwrap_or_else(|e| panic!("{} over {probs:?}: {e}", kind.name()));
+                assert!(
+                    cb.width_bits() >= 1,
+                    "{} over {probs:?}: zero-width codebook",
+                    kind.name()
+                );
+                for cell in 0..cb.n_cells() {
+                    assert_eq!(
+                        cb.index_of(cell).len(),
+                        cb.width_bits(),
+                        "{} over {probs:?}: cell {cell} has a non-uniform code",
+                        kind.name()
+                    );
+                }
+                // Single-cell alerts on every cell still cover exactly.
+                for cell in 0..cb.n_cells() {
+                    let tokens = cb.try_tokens_for(&[cell]).unwrap();
+                    assert!(!tokens.is_empty());
+                    let (missed, fp) = cb.coverage_errors(&tokens, &[cell]);
+                    assert!(
+                        missed.is_empty() && fp.is_empty(),
+                        "{} over {probs:?}: cell {cell} missed={missed:?} fp={fp:?}",
+                        kind.name()
+                    );
+                }
+            }
+        }
     }
 
     #[test]

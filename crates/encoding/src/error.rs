@@ -27,6 +27,15 @@ pub enum EncodingError {
         /// Number of cells the codebook covers.
         n_cells: usize,
     },
+    /// The build produced an empty (zero-length) code for a cell — such a
+    /// code cannot prefix any index and cannot be encrypted. Every
+    /// built-in encoder pads degenerate distributions (a single cell, or
+    /// all mass on one cell) to 1-bit codes, so this is a
+    /// defense-in-depth guard for future encoders.
+    ZeroWidthCode {
+        /// The cell whose code came out empty.
+        cell: usize,
+    },
 }
 
 impl fmt::Display for EncodingError {
@@ -41,6 +50,12 @@ impl fmt::Display for EncodingError {
             }
             EncodingError::CellOutOfRange { cell, n_cells } => {
                 write!(f, "cell {cell} out of range (codebook covers {n_cells})")
+            }
+            EncodingError::ZeroWidthCode { cell } => {
+                write!(
+                    f,
+                    "degenerate distribution: cell {cell} received an empty code"
+                )
             }
         }
     }

@@ -172,9 +172,15 @@ impl Grid {
         &self.bbox
     }
 
-    /// Cell containing `p`, or `None` outside the box.
+    /// Cell containing `p`, or `None` outside the box. Non-finite
+    /// coordinates (NaN/±inf) are always `None` — `contains` already
+    /// rejects them (NaN fails every `>=`/`<=` comparison), and the
+    /// explicit finiteness guard makes that a stated contract rather
+    /// than a side effect, so no future refactor of the containment
+    /// check can let garbage reach the `as usize` casts below (which
+    /// would silently map NaN to cell (0, 0)).
     pub fn cell_of(&self, p: &Point) -> Option<CellId> {
-        if !self.bbox.contains(p) {
+        if !(p.lat.is_finite() && p.lon.is_finite() && self.bbox.contains(p)) {
             return None;
         }
         let fr = (p.lat - self.bbox.min_lat) / (self.bbox.max_lat - self.bbox.min_lat);
@@ -281,6 +287,36 @@ mod tests {
         // corners map inside
         assert_eq!(g.cell_of(&Point::new(0.0, 0.0)), Some(CellId(0)));
         assert_eq!(g.cell_of(&Point::new(0.1, 0.1)), Some(CellId(15)));
+    }
+
+    #[test]
+    fn non_finite_points_are_rejected() {
+        let g = unit_grid(4, 4);
+        for p in [
+            Point::new(f64::NAN, 0.05),
+            Point::new(0.05, f64::NAN),
+            Point::new(f64::NAN, f64::NAN),
+            Point::new(f64::INFINITY, 0.05),
+            Point::new(0.05, f64::NEG_INFINITY),
+        ] {
+            assert_eq!(g.cell_of(&p), None, "{p:?} must not map to a cell");
+            assert!(
+                g.cells_within_radius(&p, 1_000.0).is_empty(),
+                "{p:?} must not anchor a zone"
+            );
+        }
+    }
+
+    #[test]
+    fn max_edge_points_clamp_into_last_row_and_col() {
+        // fr == 1.0 / fc == 1.0 (points exactly on the north/east edges)
+        // must clamp into the final row/col, not index out of range.
+        let g = unit_grid(4, 4);
+        assert_eq!(g.cell_of(&Point::new(0.1, 0.05)), Some(CellId(14))); // north edge, col 2
+        assert_eq!(g.cell_of(&Point::new(0.05, 0.1)), Some(CellId(11))); // east edge, row 2
+        assert_eq!(g.cell_of(&Point::new(0.1, 0.1)), Some(CellId(15))); // NE corner
+                                                                        // just inside the edge stays in the same cells
+        assert_eq!(g.cell_of(&Point::new(0.1 - 1e-12, 0.05)), Some(CellId(14)));
     }
 
     #[test]

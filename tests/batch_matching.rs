@@ -44,7 +44,7 @@ fn fingerprint(o: &AlertOutcome) -> (Vec<u64>, usize, u64, u64, u64) {
 
 #[test]
 fn batch_outcome_identical_to_serial_for_every_chunk_size() {
-    let (mut system, sampler, mut rng) = populated_system(EncoderKind::Huffman, 40);
+    let (system, sampler, mut rng) = populated_system(EncoderKind::Huffman, 40);
     let zone = sampler.sample_zone(900.0, &mut rng);
     let cells = zone.cell_indices();
 
@@ -73,7 +73,7 @@ fn batch_identical_to_serial_on_large_store() {
     // 300 subscriptions exceeds ServiceProvider::PARALLEL_MIN_STORE, so
     // the default-chunk path fans out; explicit small chunks exercise the
     // par_chunks plumbing with many work items regardless of store size.
-    let (mut system, sampler, mut rng) = populated_system(EncoderKind::Huffman, 300);
+    let (system, sampler, mut rng) = populated_system(EncoderKind::Huffman, 300);
     let zone = sampler.sample_zone(700.0, &mut rng);
     let cells = zone.cell_indices();
 
@@ -98,7 +98,7 @@ fn batch_holds_analytic_invariant_across_encoders() {
         EncoderKind::GraySgo,
         EncoderKind::BaryHuffman(3),
     ] {
-        let (mut system, sampler, mut rng) = populated_system(encoder, 25);
+        let (system, sampler, mut rng) = populated_system(encoder, 25);
         for _ in 0..3 {
             let zone = sampler.sample_zone(700.0, &mut rng);
             let outcome = system
@@ -117,7 +117,7 @@ fn batch_on_empty_store_is_a_noop() {
     let mut rng = StdRng::seed_from_u64(3);
     let grid = Grid::new(BoundingBox::chicago_downtown(), 4, 4);
     let probs = ProbabilityMap::uniform(grid.n_cells());
-    let mut system = AlertSystem::builder(grid)
+    let system = AlertSystem::builder(grid)
         .encoder(EncoderKind::Huffman)
         .group_bits(40)
         .build(&probs, &mut rng)

@@ -1,0 +1,195 @@
+//! Churn-while-matching: writer threads upsert/remove through the shared
+//! (`&self`) entry points while batch matches run on the same
+//! `AlertSystem` — the long-lived regime of the paper's system model
+//! (§2.2) at production concurrency. Asserts (a) no deadlock and no
+//! torn reads under real parallelism, (b) a deterministic final store
+//! state once quiescent (each user is owned by exactly one writer), and
+//! (c) serial-vs-batch outcome identity on a quiescent store for all
+//! three backends.
+//!
+//! The `stress_heavy_*` test is `#[ignore]` for local `cargo test`
+//! ergonomics; CI runs it with `--include-ignored` so the lock
+//! discipline is exercised under real parallelism every run.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use secure_location_alerts::core::{AlertOutcome, AlertSystem, StoreBackend, SystemBuilder};
+use secure_location_alerts::grid::{BoundingBox, Grid, ProbabilityMap};
+
+const N_CELLS: usize = 9;
+
+fn concurrent_system(shards: usize) -> (AlertSystem, StdRng) {
+    let mut rng = StdRng::seed_from_u64(0xc0c0);
+    let grid = Grid::new(BoundingBox::new(0.0, 0.0, 0.1, 0.1), 3, 3);
+    let probs = ProbabilityMap::new(vec![0.2, 0.1, 0.05, 0.15, 0.1, 0.1, 0.1, 0.1, 0.1]);
+    let system = SystemBuilder::new(grid)
+        .group_bits(32)
+        .store(StoreBackend::ConcurrentSharded { shards })
+        .build(&probs, &mut rng)
+        .expect("valid configuration");
+    (system, rng)
+}
+
+/// The deterministic final cell of `user` after `rounds` writer rounds of
+/// the stress schedule below: subscribe at `(user + round) % N_CELLS`,
+/// then unsubscribe when `(user + round) % 3 == 0`.
+fn final_position(user: u64, rounds: u64) -> Option<usize> {
+    let last = rounds - 1;
+    if (user + last).is_multiple_of(3) {
+        None
+    } else {
+        Some(((user + last) % N_CELLS as u64) as usize)
+    }
+}
+
+/// Core stress harness: `writers` threads churn disjoint user ranges
+/// while `matchers + 1` threads issue batch alerts concurrently; after
+/// the scope joins, the store must hold exactly each user's final state.
+fn run_stress(writers: u64, users_per_writer: u64, rounds: u64, matchers: usize) {
+    let (system, _) = concurrent_system(8);
+    let all_cells: Vec<usize> = (0..N_CELLS).collect();
+
+    std::thread::scope(|scope| {
+        for w in 0..writers {
+            let system = &system;
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xaa00 ^ w);
+                for round in 0..rounds {
+                    for user in (w * users_per_writer)..((w + 1) * users_per_writer) {
+                        let cell = ((user + round) % N_CELLS as u64) as usize;
+                        system
+                            .subscribe_cell_shared(user, cell, &mut rng)
+                            .expect("valid cell and id");
+                        if (user + round).is_multiple_of(3) {
+                            system
+                                .unsubscribe_shared(user)
+                                .expect("user was just subscribed");
+                        }
+                    }
+                }
+            });
+        }
+        // Matcher threads run batch alerts against the whole grid while
+        // the writers churn; outcomes must always be well-formed (every
+        // notified id is a real user), but membership is race-dependent.
+        for m in 0..=matchers {
+            let system = &system;
+            let all_cells = &all_cells;
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0x3a7c4 + m as u64);
+                for _ in 0..6 {
+                    let outcome = system
+                        .issue_alert_batch(all_cells, Some(4), &mut rng)
+                        .expect("valid alert");
+                    for &id in &outcome.notified {
+                        assert!(
+                            id < writers * users_per_writer,
+                            "matched a user id {id} that never subscribed"
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    // Quiescent: the store holds exactly each user's final state (each
+    // user is touched by exactly one writer, so the interleaving cannot
+    // change it).
+    let expected: Vec<(u64, u64)> = (0..writers * users_per_writer)
+        .filter(|&u| final_position(u, rounds).is_some())
+        .map(|u| (u, 0)) // epoch never advances in this harness
+        .collect();
+    assert_eq!(system.subscription_epochs(), expected);
+
+    // And a quiescent full-grid alert notifies exactly the survivors,
+    // identically on the serial and the batch path.
+    let mut rng = StdRng::seed_from_u64(9);
+    let serial = system.issue_alert(&all_cells, &mut rng).unwrap();
+    let batch = system
+        .issue_alert_batch(&all_cells, Some(3), &mut rng)
+        .unwrap();
+    let survivors: Vec<u64> = expected.iter().map(|&(u, _)| u).collect();
+    assert_eq!(serial.notified, survivors);
+    assert_eq!(fingerprint(&serial), fingerprint(&batch));
+    assert_eq!(serial.pairings_used, serial.analytic_pairings);
+}
+
+/// The fields serial and batch must reproduce identically.
+fn fingerprint(o: &AlertOutcome) -> (Vec<u64>, usize, u64, u64) {
+    (
+        o.notified.clone(),
+        o.tokens_issued,
+        o.pairings_used,
+        o.analytic_pairings,
+    )
+}
+
+/// Acceptance: ≥ 4 writer threads upserting/removing while batch matches
+/// run — completes without deadlock or data race, with a deterministic
+/// quiescent state.
+#[test]
+fn four_writers_churn_while_batch_matching() {
+    run_stress(4, 6, 8, 1);
+}
+
+/// Heavier schedule, run by CI under `--include-ignored` so the lock
+/// discipline sees real parallelism every run.
+#[test]
+#[ignore = "heavy; CI runs it with --include-ignored"]
+fn stress_heavy_churn_while_matching() {
+    run_stress(6, 10, 40, 2);
+}
+
+/// Quiescent-store outcome identity for all three backends: serial and
+/// batch matching agree field-for-field (`notified`, `tokens_issued`,
+/// `pairings_used`, `analytic_pairings`) at every chunk size, and all
+/// backends agree with each other.
+#[test]
+fn quiescent_serial_vs_batch_identity_across_all_backends() {
+    let mut reference: Option<(Vec<u64>, usize, u64, u64)> = None;
+    for backend in [
+        StoreBackend::Contiguous,
+        StoreBackend::Sharded { shards: 4 },
+        StoreBackend::ConcurrentSharded { shards: 4 },
+    ] {
+        let mut rng = StdRng::seed_from_u64(0xbeef);
+        let grid = Grid::new(BoundingBox::new(0.0, 0.0, 0.1, 0.1), 3, 3);
+        let probs = ProbabilityMap::new(vec![0.2, 0.1, 0.05, 0.15, 0.1, 0.1, 0.1, 0.1, 0.1]);
+        let mut system = SystemBuilder::new(grid)
+            .group_bits(32)
+            .store(backend)
+            .build(&probs, &mut rng)
+            .unwrap();
+        for user in 0..30u64 {
+            system
+                .subscribe_cell(user, (user % N_CELLS as u64) as usize, &mut rng)
+                .unwrap();
+        }
+
+        let mut alert_rng = StdRng::seed_from_u64(7);
+        let serial = system.issue_alert(&[1, 4, 7], &mut alert_rng).unwrap();
+        for chunk in [1, 3, 7, 64] {
+            let mut alert_rng = StdRng::seed_from_u64(7);
+            let batch = system
+                .issue_alert_batch(&[1, 4, 7], Some(chunk), &mut alert_rng)
+                .unwrap();
+            assert_eq!(
+                fingerprint(&serial),
+                fingerprint(&batch),
+                "{backend:?}: batch(chunk={chunk}) diverged from serial"
+            );
+        }
+        assert_eq!(
+            serial.pairings_used, serial.analytic_pairings,
+            "{backend:?}"
+        );
+        match &reference {
+            None => reference = Some(fingerprint(&serial)),
+            Some(r) => assert_eq!(
+                r,
+                &fingerprint(&serial),
+                "{backend:?} diverged from the contiguous reference"
+            ),
+        }
+    }
+}

@@ -16,10 +16,11 @@ use secure_location_alerts::grid::{
 use secure_location_alerts::hve::{AttributeVector, HveScheme};
 use secure_location_alerts::pairing::SimulatedGroup;
 
-const BACKENDS: [StoreBackend; 3] = [
+const BACKENDS: [StoreBackend; 4] = [
     StoreBackend::Contiguous,
     StoreBackend::Sharded { shards: 1 },
     StoreBackend::Sharded { shards: 5 },
+    StoreBackend::ConcurrentSharded { shards: 5 },
 ];
 
 fn small_grid_system(backend: StoreBackend, seed: u64) -> (AlertSystem, StdRng) {
@@ -186,6 +187,7 @@ fn churn_workload_replays_identically_across_backends_and_paths() {
     for backend in [
         StoreBackend::Contiguous,
         StoreBackend::Sharded { shards: 4 },
+        StoreBackend::ConcurrentSharded { shards: 4 },
     ] {
         let mut rng = StdRng::seed_from_u64(7);
         let mut system = SystemBuilder::new(grid.clone())
@@ -239,6 +241,10 @@ fn churn_workload_replays_identically_across_backends_and_paths() {
     assert_eq!(
         per_backend[0], per_backend[1],
         "store backends must produce identical notified sets and pairing counts"
+    );
+    assert_eq!(
+        per_backend[0], per_backend[2],
+        "the concurrent backend must replay churn identically to the exclusive backends"
     );
 }
 
@@ -404,6 +410,60 @@ fn width_mismatch_is_a_typed_error_at_the_service_provider() {
         sp.process_alert_batch(&scheme5, &[], 0).unwrap_err(),
         SlaError::ZeroChunkSize
     );
+}
+
+/// A *rejected* upsert must not pin the SP's HVE width: after a
+/// MessageOutOfDomain failure on a fresh store, material of a different
+/// width is still accepted (regression pin for the OnceLock width pin).
+#[test]
+fn rejected_upsert_does_not_pin_width() {
+    let mut rng = StdRng::seed_from_u64(41);
+    let group = SimulatedGroup::generate(40, &mut rng);
+    let scheme5 = HveScheme::new(&group, 5);
+    let scheme3 = HveScheme::new(&group, 3);
+    let (pk5, _) = scheme5.setup(&mut rng);
+    let (pk3, _) = scheme3.setup(&mut rng);
+
+    let ct5 = scheme5.encrypt(
+        &pk5,
+        &AttributeVector::from_bits(&[true, false, true, false, true]),
+        &scheme5.encode_message(7),
+        &mut rng,
+    );
+    let ct3 = scheme3.encrypt(
+        &pk3,
+        &AttributeVector::from_bits(&[true, false, true]),
+        &scheme3.encode_message(8),
+        &mut rng,
+    );
+
+    let mut sp = ServiceProvider::new();
+    // First upsert fails *after* the width checks (id outside the HVE
+    // message domain) — the width must stay unpinned.
+    let bad_id = 1u64 << 40;
+    assert_eq!(
+        sp.upsert(
+            &scheme5,
+            Subscription {
+                user_id: bad_id,
+                ciphertext: ct5,
+            },
+        )
+        .unwrap_err(),
+        SlaError::MessageOutOfDomain { id: bad_id }
+    );
+    // A width-3 subscription on the still-empty store is accepted.
+    assert_eq!(
+        sp.upsert(
+            &scheme3,
+            Subscription {
+                user_id: 8,
+                ciphertext: ct3,
+            },
+        ),
+        Ok(UpsertOutcome::Inserted)
+    );
+    assert_eq!(sp.n_subscriptions(), 1);
 }
 
 /// The early-exit matcher notifies exactly the exhaustive path's user
