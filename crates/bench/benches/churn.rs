@@ -2,18 +2,20 @@
 //! datasets churn workload (moves / unsubscribes / re-subscriptions plus
 //! one alert per epoch) against every store backend — the contiguous
 //! `Vec` pays O(n) upserts, the sharded store O(1) plus per-shard
-//! parallel matching, the concurrent store per-shard `RwLock`s. The
-//! `churn_while_matching` entry overlaps writer threads with a running
-//! batch match on the concurrent backend — the regime the exclusive
-//! backends cannot serve at all.
+//! parallel matching, the concurrent store per-shard `RwLock`s, and the
+//! persistent store a WAL append per mutation (group commit, so the
+//! fsync amortizes across a burst). The `churn_while_matching` entry
+//! overlaps writer threads with a running batch match on the concurrent
+//! backend — the regime the exclusive backends cannot serve at all.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sla_bench::SEED;
-use sla_core::{AlertSystem, StoreBackend, SystemBuilder};
+use sla_core::{AlertSystem, FlushPolicy, StoreBackend, SystemBuilder};
 use sla_datasets::{ChurnConfig, ChurnEvent, ChurnWorkload};
 use sla_grid::{BoundingBox, Grid, ProbabilityMap, SigmoidParams, ZoneSampler};
+use std::time::Duration;
 
 fn fixture() -> (Grid, ProbabilityMap, ChurnWorkload) {
     let mut rng = StdRng::seed_from_u64(SEED);
@@ -65,10 +67,19 @@ fn bench_churn(c: &mut Criterion) {
     let mut g = c.benchmark_group("churn");
     g.sample_size(10);
 
+    let persist_dir =
+        std::env::temp_dir().join(format!("sla-bench-churn-epoch-{}", std::process::id()));
     for (name, backend) in [
         ("contiguous", StoreBackend::Contiguous),
         ("sharded8", StoreBackend::Sharded { shards: 8 }),
         ("concurrent8", StoreBackend::ConcurrentSharded { shards: 8 }),
+        (
+            "persistent",
+            StoreBackend::Persistent {
+                dir: persist_dir.clone(),
+                flush: FlushPolicy::Every(Duration::from_millis(5)),
+            },
+        ),
     ] {
         let (mut system, mut rng) = build(&grid, &probs, backend);
         apply_epoch(&mut system, &workload.epochs[0], &mut rng);
@@ -85,6 +96,9 @@ fn bench_churn(c: &mut Criterion) {
                     .expect("workload cells are in range")
             });
         });
+    }
+    if persist_dir.exists() {
+        std::fs::remove_dir_all(&persist_dir).expect("bench scratch cleanup");
     }
     g.finish();
 }

@@ -5,6 +5,7 @@
 //! cargo run -p sla-bench --bin repro --release -- fig9     # one figure
 //! cargo run -p sla-bench --bin repro --release -- fig10 --quick
 //! cargo run -p sla-bench --bin repro --release -- --smoke  # CI smoke test
+//! cargo run -p sla-bench --bin repro --release -- --smoke --store persistent
 //! ```
 //!
 //! Tables are printed to stdout and written as CSV under `results/`.
@@ -19,6 +20,9 @@ struct Opts {
     out_dir: PathBuf,
     parallel: bool,
     smoke: bool,
+    /// Store backend for the smoke's end-to-end alert round
+    /// (`contiguous` | `sharded` | `concurrent` | `persistent`).
+    store: String,
 }
 
 fn parse_args() -> Opts {
@@ -27,6 +31,7 @@ fn parse_args() -> Opts {
     let mut out_dir = PathBuf::from("results");
     let mut parallel = false;
     let mut smoke = false;
+    let mut store = "sharded".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -42,6 +47,9 @@ fn parse_args() -> Opts {
             "--out" => {
                 out_dir = PathBuf::from(args.next().expect("--out needs a path"));
             }
+            "--store" => {
+                store = args.next().expect("--store needs a backend name");
+            }
             "all" => figures.clear(),
             other => figures.push(other.trim_start_matches("--").to_string()),
         }
@@ -56,6 +64,32 @@ fn parse_args() -> Opts {
         out_dir,
         parallel,
         smoke,
+        store,
+    }
+}
+
+/// Resolves a `--store` name; the persistent backend gets a scratch
+/// directory under the OS temp dir (returned so the caller can clean it
+/// up — repro runs must not leak files into the workspace).
+fn resolve_store(name: &str) -> (sla_core::StoreBackend, Option<PathBuf>) {
+    match name {
+        "contiguous" => (sla_core::StoreBackend::Contiguous, None),
+        "sharded" => (sla_core::StoreBackend::Sharded { shards: 4 }, None),
+        "concurrent" => (
+            sla_core::StoreBackend::ConcurrentSharded { shards: 4 },
+            None,
+        ),
+        "persistent" => {
+            let dir = std::env::temp_dir().join(format!("sla-repro-store-{}", std::process::id()));
+            (
+                sla_core::StoreBackend::Persistent {
+                    dir: dir.clone(),
+                    flush: sla_core::FlushPolicy::EveryOp,
+                },
+                Some(dir),
+            )
+        }
+        other => panic!("unknown --store '{other}' (contiguous|sharded|concurrent|persistent)"),
     }
 }
 
@@ -64,10 +98,11 @@ fn parse_args() -> Opts {
 /// round with the live-vs-analytic invariants asserted. Panics (failing
 /// the CI step) on any mismatch; writes a side artifact so it never
 /// clobbers the tracked `BENCH_primitives.json`.
-fn run_smoke(out_dir: &std::path::Path) {
+fn run_smoke(out_dir: &std::path::Path, store: &str) {
     println!("# smoke: primitives");
     let rows = vec![primitives::measure(32, SEED)];
     let phases = vec![primitives::measure_phases(24, 8, SEED)];
+    let churn = primitives::measure_churn(SEED);
     for r in &rows {
         println!(
             "primitives[{} bit N]: mod_pow {:.0} -> {:.0} ns ({:.2}x), fixed-base {:.0} ns ({:.2}x)",
@@ -90,23 +125,33 @@ fn run_smoke(out_dir: &std::path::Path) {
             p.gen_token_prepared_ns,
         );
     }
+    for c in &churn {
+        println!(
+            "churn[{}]: upsert {:.0} ns, remove+insert {:.0} ns, match {:.0} ns/record",
+            c.backend, c.upsert_ns, c.remove_insert_ns, c.match_per_record_ns
+        );
+    }
     let path = out_dir.join("BENCH_primitives_smoke.json");
     let write = std::fs::create_dir_all(out_dir)
-        .and_then(|()| std::fs::write(&path, primitives::to_json(&rows, &phases)))
+        .and_then(|()| std::fs::write(&path, primitives::to_json(&rows, &phases, &churn)))
         .map(|()| path);
     report(write);
 
-    println!("# smoke: end-to-end alert round");
+    println!("# smoke: end-to-end alert round (store = {store})");
     use rand::{rngs::StdRng, SeedableRng};
+    let (backend, scratch) = resolve_store(store);
+    let build = |rng: &mut StdRng| {
+        let grid = sla_grid::Grid::new(sla_grid::BoundingBox::new(0.0, 0.0, 0.1, 0.1), 4, 4);
+        let probs = sla_grid::ProbabilityMap::new(vec![1.0 / 16.0; 16]);
+        sla_core::SystemBuilder::new(grid)
+            .encoder(sla_encoding::EncoderKind::Huffman)
+            .group_bits(32)
+            .store(backend.clone())
+            .build(&probs, rng)
+            .expect("smoke: valid configuration")
+    };
     let mut rng = StdRng::seed_from_u64(SEED);
-    let grid = sla_grid::Grid::new(sla_grid::BoundingBox::new(0.0, 0.0, 0.1, 0.1), 4, 4);
-    let probs = sla_grid::ProbabilityMap::new(vec![1.0 / 16.0; 16]);
-    let mut system = sla_core::SystemBuilder::new(grid)
-        .encoder(sla_encoding::EncoderKind::Huffman)
-        .group_bits(32)
-        .store(sla_core::StoreBackend::Sharded { shards: 4 })
-        .build(&probs, &mut rng)
-        .expect("smoke: valid configuration");
+    let mut system = build(&mut rng);
     for cell in 0..16 {
         system
             .subscribe_cell(100 + cell as u64, cell, &mut rng)
@@ -129,12 +174,38 @@ fn run_smoke(out_dir: &std::path::Path) {
         serial.notified.len(),
         serial.pairings_used
     );
+
+    // The persistent backend additionally smokes the restart path: the
+    // same directory reopened (same seed ⇒ same group and keys) must
+    // serve the identical alert outcome from the recovered store.
+    if let Some(dir) = scratch {
+        system.sync().expect("smoke: durable flush");
+        drop(system);
+        let mut rng = StdRng::seed_from_u64(SEED);
+        let reopened = build(&mut rng);
+        assert_eq!(
+            reopened.n_subscriptions(),
+            16,
+            "smoke: restart lost subscriptions"
+        );
+        let recovered = reopened
+            .issue_alert(&[2, 3, 6], &mut rng)
+            .expect("smoke: alert after restart");
+        assert_eq!(
+            (recovered.notified, recovered.pairings_used),
+            (serial.notified, serial.pairings_used),
+            "smoke: restart changed the match outcome"
+        );
+        drop(reopened);
+        std::fs::remove_dir_all(&dir).expect("smoke: scratch cleanup");
+        println!("smoke OK: persistent store survived a restart byte-identically");
+    }
 }
 
 fn main() {
     let opts = parse_args();
     if opts.smoke {
-        run_smoke(&opts.out_dir);
+        run_smoke(&opts.out_dir, &opts.store);
         return;
     }
     println!("# Reproducing EDBT 2021 'Location-based Alert Protocol using SE and Huffman Codes'");
@@ -270,9 +341,25 @@ fn main() {
                         p.query_speedup(),
                     );
                 }
+                // Store-lifecycle rows: what each backend charges for
+                // churn, and what durability (WAL + fsync) adds.
+                let churn = primitives::measure_churn(SEED);
+                for c in &churn {
+                    println!(
+                        "churn[{}]: upsert {:.2} µs, remove+insert {:.2} µs, \
+                         match {:.2} µs/record ({} users)",
+                        c.backend,
+                        c.upsert_ns / 1e3,
+                        c.remove_insert_ns / 1e3,
+                        c.match_per_record_ns / 1e3,
+                        c.users,
+                    );
+                }
                 let path = opts.out_dir.join("BENCH_primitives.json");
                 let write = std::fs::create_dir_all(&opts.out_dir)
-                    .and_then(|()| std::fs::write(&path, primitives::to_json(&rows, &phases)))
+                    .and_then(|()| {
+                        std::fs::write(&path, primitives::to_json(&rows, &phases, &churn))
+                    })
                     .map(|()| path);
                 report(write);
             }

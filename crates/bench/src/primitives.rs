@@ -10,10 +10,14 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sla_bigint::{gen_prime, BigUint, FixedBaseTable, MontgomeryCtx, Reducer};
+use sla_core::{
+    ConcurrentShardedStore, ConcurrentSubscriptionStore, FlushPolicy, PersistentStore,
+    ShardedStore, StoredSubscription, SubscriptionStore, VecStore,
+};
 use sla_hve::{AttributeVector, HveScheme, SearchPattern};
 use sla_pairing::{BilinearGroup, SimulatedGroup};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Timings (ns/op medians) for one modulus size.
 #[derive(Debug, Clone)]
@@ -233,10 +237,180 @@ pub fn measure_phases(prime_bits: usize, width: usize, seed: u64) -> PhaseTiming
     }
 }
 
+/// Store-lifecycle timings (ns/op medians) for one store backend — the
+/// `churn` rows of `BENCH_primitives.json`. Measured at the store seam
+/// (pre-encrypted records), so the deltas isolate what each backend
+/// itself costs: the persistent rows show the WAL append (group-commit
+/// vs per-op fsync) that durability adds to mutations, and that
+/// **matching cost is unchanged** (reads never touch the log).
+#[derive(Debug, Clone)]
+pub struct ChurnTimings {
+    /// Backend label (`contiguous`, `sharded8`, `concurrent8`,
+    /// `persistent`, `persistent_fsync`).
+    pub backend: &'static str,
+    /// Store population during the measurement.
+    pub users: usize,
+    /// Re-subscribe (replace) one existing record.
+    pub upsert_ns: f64,
+    /// One unsubscribe + fresh subscribe cycle.
+    pub remove_insert_ns: f64,
+    /// One full-store token evaluation, per record.
+    pub match_per_record_ns: f64,
+}
+
+/// A store under measurement: exclusive (`&mut self`) and concurrent
+/// (`&self`) backends behind one face.
+enum BenchStore {
+    Exclusive(Box<dyn SubscriptionStore>),
+    Concurrent(Box<dyn ConcurrentSubscriptionStore>),
+}
+
+impl BenchStore {
+    fn upsert(&mut self, record: StoredSubscription) {
+        match self {
+            BenchStore::Exclusive(s) => {
+                s.upsert(record);
+            }
+            BenchStore::Concurrent(s) => {
+                s.upsert(record);
+            }
+        }
+    }
+
+    fn remove(&mut self, user_id: u64) -> bool {
+        match self {
+            BenchStore::Exclusive(s) => s.remove(user_id),
+            BenchStore::Concurrent(s) => s.remove(user_id),
+        }
+    }
+
+    /// Evaluates `token` against every stored record, returning the
+    /// match count (a live data dependency so the loop cannot be
+    /// optimized away).
+    fn match_all<G: BilinearGroup>(
+        &self,
+        scheme: &HveScheme<'_, G>,
+        token: &sla_hve::Token,
+    ) -> usize {
+        let mut hits = 0;
+        let mut scan = |records: &[StoredSubscription]| {
+            for r in records {
+                if scheme.match_token(token, &r.ciphertext, &r.expected) {
+                    hits += 1;
+                }
+            }
+        };
+        match self {
+            BenchStore::Exclusive(s) => {
+                for shard in s.shards() {
+                    scan(shard);
+                }
+            }
+            BenchStore::Concurrent(s) => {
+                for shard in 0..s.shard_count() {
+                    s.read_shard(shard, &mut scan);
+                }
+            }
+        }
+        hits
+    }
+}
+
+/// Measures the subscription-lifecycle cost of every store backend,
+/// including the persistent (WAL-backed) one under group commit and
+/// under per-op fsync. Scratch directories live under the OS temp dir
+/// and are removed before returning.
+pub fn measure_churn(seed: u64) -> Vec<ChurnTimings> {
+    const USERS: u64 = 256;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xc44c);
+    let group = SimulatedGroup::generate(32, &mut rng);
+    let scheme = HveScheme::new(&group, 4);
+    let (pk, sk) = scheme.setup(&mut rng);
+    let index: AttributeVector = "1010".parse().expect("valid bits");
+    let expected = scheme.encode_message(1);
+    let ct = scheme.encrypt(&pk, &index, &expected, &mut rng);
+    let token = scheme.gen_token(&sk, &"1**0".parse().expect("valid pattern"), &mut rng);
+    let record = |user_id: u64| StoredSubscription {
+        user_id,
+        ciphertext: ct.clone(),
+        expected: expected.clone(),
+        epoch: 0,
+    };
+
+    let tmp_base =
+        std::env::temp_dir().join(format!("sla-bench-churn-{}-{seed:x}", std::process::id()));
+    let persistent = |name: &str, flush: FlushPolicy| {
+        let dir = tmp_base.join(name);
+        BenchStore::Concurrent(Box::new(
+            PersistentStore::open(&dir, flush).expect("scratch dir is writable"),
+        ))
+    };
+
+    let backends: Vec<(&'static str, BenchStore)> = vec![
+        (
+            "contiguous",
+            BenchStore::Exclusive(Box::new(VecStore::new())),
+        ),
+        (
+            "sharded8",
+            BenchStore::Exclusive(Box::new(ShardedStore::new(8))),
+        ),
+        (
+            "concurrent8",
+            BenchStore::Concurrent(Box::new(ConcurrentShardedStore::new(8))),
+        ),
+        (
+            "persistent",
+            persistent("grouped", FlushPolicy::Every(Duration::from_millis(5))),
+        ),
+        (
+            "persistent_fsync",
+            persistent("fsync", FlushPolicy::EveryOp),
+        ),
+    ];
+
+    let mut out = Vec::with_capacity(backends.len());
+    for (name, mut store) in backends {
+        for user in 0..USERS {
+            store.upsert(record(user));
+        }
+        let mut cursor = 0u64;
+        let upsert_ns = time_ns(256, || {
+            cursor = (cursor + 1) % USERS;
+            store.upsert(record(cursor)); // replace path
+        });
+        let remove_insert_ns = time_ns(128, || {
+            cursor = (cursor + 1) % USERS;
+            store.remove(cursor);
+            store.upsert(record(cursor));
+        });
+        let match_per_record_ns = time_ns(16, || store.match_all(&scheme, &token)) / USERS as f64;
+        out.push(ChurnTimings {
+            backend: name,
+            users: USERS as usize,
+            upsert_ns,
+            remove_insert_ns,
+            match_per_record_ns,
+        });
+        // Drop the store (flushes + joins the persistent machinery)
+        // before its directory is removed below.
+        drop(store);
+    }
+    if tmp_base.exists() {
+        std::fs::remove_dir_all(&tmp_base).expect("scratch cleanup");
+    }
+    out
+}
+
 /// Renders the timing series as the `BENCH_primitives.json` artifact
-/// (schema v2: primitive rows plus per-phase HVE timings).
-pub fn to_json(rows: &[PrimitiveTimings], phases: &[PhaseTimings]) -> String {
-    let mut out = String::from("{\n  \"schema\": \"sla-bench/primitives/v2\",\n  \"rows\": [\n");
+/// (schema v3: primitive rows, per-phase HVE timings, and per-backend
+/// store churn timings).
+pub fn to_json(
+    rows: &[PrimitiveTimings],
+    phases: &[PhaseTimings],
+    churn: &[ChurnTimings],
+) -> String {
+    let mut out = String::from("{\n  \"schema\": \"sla-bench/primitives/v3\",\n  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"modulus_bits\": {}, \"mod_mul_naive_ns\": {:.1}, \"mod_mul_mont_ns\": {:.1}, \
@@ -282,6 +456,19 @@ pub fn to_json(rows: &[PrimitiveTimings], phases: &[PhaseTimings]) -> String {
             if i + 1 == phases.len() { "" } else { "," },
         ));
     }
+    out.push_str("  ],\n  \"churn\": [\n");
+    for (i, c) in churn.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"backend\": \"{}\", \"users\": {}, \"upsert_ns\": {:.0}, \
+             \"remove_insert_ns\": {:.0}, \"match_per_record_ns\": {:.0}}}{}\n",
+            c.backend,
+            c.users,
+            c.upsert_ns,
+            c.remove_insert_ns,
+            c.match_per_record_ns,
+            if i + 1 == churn.len() { "" } else { "," },
+        ));
+    }
     out.push_str("  ]\n}\n");
     out
 }
@@ -304,7 +491,7 @@ mod tests {
         ] {
             assert!(v.is_finite() && v > 0.0);
         }
-        let json = to_json(&[t], &[]);
+        let json = to_json(&[t], &[], &[]);
         assert!(json.contains("\"modulus_bits\": 64"));
         assert!(json.contains("fixed_base_speedup"));
     }
@@ -325,10 +512,47 @@ mod tests {
         ] {
             assert!(v.is_finite() && v > 0.0);
         }
-        let json = to_json(&[], &[p]);
+        let json = to_json(&[], &[p], &[]);
         assert!(json.contains("\"phases\""));
         assert!(json.contains("gen_token_speedup"));
         assert!(json.contains("query_batch_ns"));
         assert!(json.contains("query_speedup"));
+    }
+
+    #[test]
+    fn measure_churn_covers_every_backend_and_cleans_up() {
+        let churn = measure_churn(7);
+        let names: Vec<&str> = churn.iter().map(|c| c.backend).collect();
+        assert_eq!(
+            names,
+            vec![
+                "contiguous",
+                "sharded8",
+                "concurrent8",
+                "persistent",
+                "persistent_fsync"
+            ]
+        );
+        for c in &churn {
+            assert!(
+                c.upsert_ns > 0.0 && c.remove_insert_ns > 0.0 && c.match_per_record_ns > 0.0,
+                "{}: non-positive timing",
+                c.backend
+            );
+        }
+        let json = to_json(&[], &[], &churn);
+        assert!(json.contains("\"churn\""));
+        assert!(json.contains("persistent_fsync"));
+        // Tmpdir hygiene: the scratch directories are gone.
+        let leaked = std::fs::read_dir(std::env::temp_dir())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| {
+                e.file_name().to_str().is_some_and(|n| {
+                    n.starts_with(&format!("sla-bench-churn-{}", std::process::id()))
+                })
+            })
+            .count();
+        assert_eq!(leaked, 0, "scratch directories leaked");
     }
 }

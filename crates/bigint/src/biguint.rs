@@ -177,6 +177,33 @@ impl BigUint {
         Self::from_limbs(limbs)
     }
 
+    /// Little-endian byte representation without trailing zero bytes
+    /// (the value zero yields an empty vector). This is the canonical
+    /// wire form of the `sla-persist` binary codec: minimal — no
+    /// representation ambiguity a length prefix could hide — and
+    /// byte-order-stable across platforms.
+    pub fn to_bytes_le(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for limb in &self.limbs {
+            out.extend_from_slice(&limb.to_le_bytes());
+        }
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        out
+    }
+
+    /// Constructs from little-endian bytes (trailing zeros allowed).
+    pub fn from_bytes_le(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            limbs.push(u64::from_le_bytes(buf));
+        }
+        Self::from_limbs(limbs)
+    }
+
     /// Parses a hexadecimal string (no prefix, case-insensitive).
     pub fn from_hex_str(s: &str) -> Result<Self, ParseBigUintError> {
         if s.is_empty() {
@@ -383,6 +410,27 @@ mod tests {
         let bytes = v.to_bytes_be();
         assert_eq!(BigUint::from_bytes_be(&bytes), v);
         assert_eq!(BigUint::from_bytes_be(&[0, 0, 7]), BigUint::from_u64(7));
+    }
+
+    #[test]
+    fn bytes_le_roundtrip_is_minimal() {
+        for v in [
+            BigUint::zero(),
+            BigUint::one(),
+            BigUint::from_u64(0x0100),
+            BigUint::from_u128(0xdead_beef_cafe_babe_0102_0304_0506_0708),
+        ] {
+            let bytes = v.to_bytes_le();
+            assert_eq!(BigUint::from_bytes_le(&bytes), v);
+            assert_ne!(bytes.last(), Some(&0), "trailing zero byte");
+        }
+        assert!(BigUint::zero().to_bytes_le().is_empty());
+        assert_eq!(BigUint::from_bytes_le(&[7, 0, 0]), BigUint::from_u64(7));
+        assert_eq!(
+            BigUint::from_u64(0x0102).to_bytes_le(),
+            vec![0x02u8, 0x01],
+            "little-endian order"
+        );
     }
 
     #[test]

@@ -1,0 +1,389 @@
+//! [`PersistentStore`]: the durable subscription-store backend.
+//!
+//! Layered design: the authoritative *matching* state is an in-memory
+//! [`ConcurrentShardedStore`] (identical layout and shard hash to the
+//! volatile concurrent backend, so match outcomes are byte-identical),
+//! and every mutation is additionally appended to an `sla-persist`
+//! [`DurableLog`] before it is applied. Matching therefore runs at
+//! exactly in-memory speed — reads never touch the log — and **only
+//! mutations pay the durability cost** (one codec pass + one buffered
+//! write, plus an fsync per the [`FlushPolicy`]).
+//!
+//! ## Ordering
+//!
+//! A single `write_gate` mutex serializes mutations, so the WAL append
+//! order equals the in-memory apply order — replaying the log is
+//! guaranteed to rebuild the exact live set. Reads take only the inner
+//! store's shard read locks and never the gate, preserving the
+//! churn-while-matching property; lock order is always gate → one shard
+//! lock, and readers take a single shard lock, so no interleaving can
+//! deadlock. (This deliberately trades write concurrency for replay
+//! correctness: shard-parallel writers would need a per-shard log to
+//! keep ordering, which the single-directory layout does not provide.)
+//!
+//! ## Compaction
+//!
+//! When the ops appended since the last snapshot exceed the configured
+//! budget, the WAL is rotated (under the gate, so the cut is exact) and
+//! the live record set is handed to a background thread that writes,
+//! fsyncs and atomically promotes a new snapshot, then deletes the
+//! stale WAL generations. See `sla_persist::log` for the crash matrix.
+
+use crate::error::{SlaError, SlaResult};
+use crate::store::{
+    ConcurrentShardedStore, ConcurrentSubscriptionStore, StoredSubscription, UpsertOutcome,
+};
+use sla_persist::{DurableLog, FlushPolicy, LogOptions, Record, WalOp};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// Lock shards of the in-memory index backing the durable store — same
+/// default the churn benchmarks use for the volatile concurrent backend.
+const MEMORY_SHARDS: usize = 16;
+
+/// Ops appended since the last snapshot before compaction triggers.
+const COMPACT_AFTER_OPS: usize = 4096;
+
+/// The durable backend behind [`crate::StoreBackend::Persistent`] (see
+/// the module docs for the design).
+#[derive(Debug)]
+pub struct PersistentStore {
+    /// The in-memory matching index (authoritative for reads).
+    inner: ConcurrentShardedStore,
+    /// The durable log (authoritative across restarts).
+    log: DurableLog,
+    /// Serializes mutations so WAL order equals apply order.
+    write_gate: Mutex<()>,
+    /// The epoch recovered at open (what the Service Provider resumes
+    /// from), or 0 for a fresh directory.
+    recovered_epoch: Option<u64>,
+    /// The latest epoch noted, snapshotted alongside the records.
+    epoch: AtomicU64,
+}
+
+fn to_wire(record: &StoredSubscription) -> Record {
+    Record {
+        user_id: record.user_id,
+        epoch: record.epoch,
+        expected: record.expected.clone(),
+        ciphertext: record.ciphertext.clone(),
+    }
+}
+
+fn from_wire(record: Record) -> StoredSubscription {
+    StoredSubscription {
+        user_id: record.user_id,
+        ciphertext: record.ciphertext,
+        expected: record.expected,
+        epoch: record.epoch,
+    }
+}
+
+impl PersistentStore {
+    /// Opens (creating if necessary) the durable store at `dir`,
+    /// recovering the subscription base from snapshot + WAL replay. A
+    /// torn final WAL record is truncated away; corruption anywhere
+    /// else surfaces as [`SlaError::Corrupt`].
+    pub fn open(dir: &Path, flush: FlushPolicy) -> SlaResult<Self> {
+        Self::open_with(dir, flush, COMPACT_AFTER_OPS)
+    }
+
+    /// [`Self::open`] with an explicit compaction budget (tests drive
+    /// compaction with small budgets).
+    pub fn open_with(dir: &Path, flush: FlushPolicy, compact_after_ops: usize) -> SlaResult<Self> {
+        let (log, recovered) = DurableLog::open(
+            dir,
+            LogOptions {
+                flush,
+                compact_after_ops,
+            },
+        )?;
+        let inner = ConcurrentShardedStore::new(MEMORY_SHARDS);
+        let fresh = recovered.records.is_empty() && recovered.epoch == 0;
+        for record in recovered.records {
+            inner.upsert(from_wire(record));
+        }
+        Ok(PersistentStore {
+            inner,
+            log,
+            write_gate: Mutex::new(()),
+            recovered_epoch: (!fresh).then_some(recovered.epoch),
+            epoch: AtomicU64::new(recovered.epoch),
+        })
+    }
+
+    fn gate(&self) -> MutexGuard<'_, ()> {
+        self.write_gate
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Appends `op` under the (held) gate; when the compaction budget is
+    /// exhausted, rotates the WAL and hands the live set to the
+    /// background snapshot writer.
+    ///
+    /// Callers must apply the op to the in-memory index **before**
+    /// calling this: the compaction snapshot is collected from the inner
+    /// store here, so an op logged before it was applied would be
+    /// missing from a snapshot whose covered WAL generation (holding the
+    /// op) compaction then deletes — losing the op across a restart.
+    fn append_gated(&self, op: &WalOp) {
+        if self.log.append(op) && !self.log.compaction_in_flight() {
+            let mut live = Vec::with_capacity(self.inner.len());
+            for shard in 0..self.inner.shard_count() {
+                self.inner.read_shard(shard, &mut |records| {
+                    live.extend(records.iter().map(to_wire));
+                });
+            }
+            if let Err(e) = self.log.compact(live, self.epoch.load(Ordering::Relaxed)) {
+                self.log.defer_error(e);
+            }
+        }
+    }
+}
+
+impl ConcurrentSubscriptionStore for PersistentStore {
+    fn backend_name(&self) -> &'static str {
+        "persistent"
+    }
+
+    fn shard_count(&self) -> usize {
+        self.inner.shard_count()
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn upsert(&self, record: StoredSubscription) -> UpsertOutcome {
+        let _gate = self.gate();
+        // Apply-then-log (see `append_gated`): the wire image is taken
+        // first, the in-memory index updated, and only then the op
+        // logged, so a compaction triggered by this very append
+        // snapshots a live set that already contains the record.
+        let op = WalOp::Upsert(to_wire(&record));
+        let outcome = self.inner.upsert(record);
+        self.append_gated(&op);
+        outcome
+    }
+
+    fn remove(&self, user_id: u64) -> bool {
+        let _gate = self.gate();
+        // Logging an absent removal would be harmless on replay (it is
+        // idempotent) but would bloat the WAL under repeated misses, so
+        // check membership first — the gate makes the check-then-log
+        // window race-free.
+        if !self.inner.remove(user_id) {
+            return false;
+        }
+        self.append_gated(&WalOp::Remove { user_id });
+        true
+    }
+
+    fn evict_before(&self, min_epoch: u64) -> usize {
+        let _gate = self.gate();
+        let evicted = self.inner.evict_before(min_epoch);
+        if evicted > 0 {
+            self.append_gated(&WalOp::EvictBefore { min_epoch });
+        }
+        evicted
+    }
+
+    fn read_shard(&self, shard: usize, f: &mut dyn FnMut(&[StoredSubscription])) {
+        self.inner.read_shard(shard, f);
+    }
+
+    fn note_epoch(&self, epoch: u64) {
+        let _gate = self.gate();
+        // fetch_max, not store: the Service Provider's epoch counter is
+        // bumped *outside* this gate, so two racing advances can arrive
+        // here out of order — the snapshot epoch must never regress
+        // (WAL replay already takes the max of the Epoch ops).
+        self.epoch.fetch_max(epoch, Ordering::Relaxed);
+        self.append_gated(&WalOp::Epoch { epoch });
+    }
+
+    fn recovered_epoch(&self) -> Option<u64> {
+        self.recovered_epoch
+    }
+
+    fn sync(&self) -> SlaResult<()> {
+        self.log.sync().map_err(SlaError::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sla_hve::{AttributeVector, Ciphertext, HveScheme};
+    use sla_pairing::{GtElem, SimulatedGroup};
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64 as TestSeq, Ordering as TestOrdering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static SEQ: TestSeq = TestSeq::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "sla-core-durable-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, TestOrdering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn fixture_ciphertext() -> Ciphertext {
+        let mut rng = StdRng::seed_from_u64(1);
+        let grp = SimulatedGroup::generate(24, &mut rng);
+        let scheme = HveScheme::new(&grp, 2);
+        let (pk, _) = scheme.setup(&mut rng);
+        let attr = AttributeVector::from_bits(&[true, false]);
+        scheme.encrypt(&pk, &attr, &scheme.encode_message(1), &mut rng)
+    }
+
+    fn record(ct: &Ciphertext, user_id: u64, epoch: u64) -> StoredSubscription {
+        StoredSubscription {
+            user_id,
+            ciphertext: ct.clone(),
+            expected: GtElem::identity(),
+            epoch,
+        }
+    }
+
+    fn all_ids(store: &PersistentStore) -> Vec<u64> {
+        let mut ids = Vec::new();
+        for shard in 0..store.shard_count() {
+            store.read_shard(shard, &mut |records| {
+                ids.extend(records.iter().map(|r| r.user_id));
+            });
+        }
+        ids.sort_unstable();
+        ids
+    }
+
+    #[test]
+    fn lifecycle_survives_reopen() {
+        let dir = temp_dir("lifecycle");
+        let ct = fixture_ciphertext();
+        {
+            let store = PersistentStore::open(&dir, FlushPolicy::EveryOp).unwrap();
+            assert_eq!(store.recovered_epoch(), None, "fresh directory");
+            for id in 0..10 {
+                assert_eq!(store.upsert(record(&ct, id, 0)), UpsertOutcome::Inserted);
+            }
+            assert_eq!(store.upsert(record(&ct, 3, 2)), UpsertOutcome::Replaced);
+            assert!(store.remove(4));
+            assert!(!store.remove(4));
+            store.note_epoch(1);
+            assert_eq!(store.evict_before(1), 8, "epoch-0 records evicted");
+            store.sync().unwrap();
+        }
+        let store = PersistentStore::open(&dir, FlushPolicy::EveryOp).unwrap();
+        assert_eq!(all_ids(&store), vec![3]);
+        assert_eq!(store.recovered_epoch(), Some(1));
+        assert_eq!(store.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovered_layout_matches_volatile_concurrent_store() {
+        // Same shard hash + count => identical shard-walk order, which
+        // is what keeps match outcomes byte-identical across a restart.
+        let dir = temp_dir("layout");
+        let ct = fixture_ciphertext();
+        let volatile = ConcurrentShardedStore::new(MEMORY_SHARDS);
+        {
+            let store = PersistentStore::open(&dir, FlushPolicy::Manual).unwrap();
+            for id in [9, 2, 77, 41, 5, 63, 18] {
+                store.upsert(record(&ct, id, 0));
+                volatile.upsert(record(&ct, id, 0));
+            }
+            store.sync().unwrap();
+        }
+        let store = PersistentStore::open(&dir, FlushPolicy::Manual).unwrap();
+        let mut volatile_ids = Vec::new();
+        for shard in 0..volatile.shard_count() {
+            volatile.read_shard(shard, &mut |records| {
+                volatile_ids.extend(records.iter().map(|r| r.user_id));
+            });
+        }
+        let mut persistent_ids = Vec::new();
+        for shard in 0..store.shard_count() {
+            store.read_shard(shard, &mut |records| {
+                persistent_ids.extend(records.iter().map(|r| r.user_id));
+            });
+        }
+        assert_eq!(persistent_ids, volatile_ids, "shard-walk order");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_triggering_upsert_survives_restart() {
+        // Regression: the append that trips the op budget used to be
+        // logged *before* it was applied to the in-memory index, so the
+        // compaction snapshot (collected from that index) missed it
+        // while its WAL op sat in the covered generation compaction
+        // deletes — silently losing exactly that record on reopen.
+        let dir = temp_dir("trigger");
+        let ct = fixture_ciphertext();
+        {
+            let store = PersistentStore::open_with(&dir, FlushPolicy::EveryOp, 8).unwrap();
+            for id in 0..8 {
+                // All ids distinct: the 8th (id 7) trips the budget.
+                store.upsert(record(&ct, id, 0));
+            }
+            store.sync().unwrap();
+        }
+        let store = PersistentStore::open_with(&dir, FlushPolicy::EveryOp, 8).unwrap();
+        assert_eq!(
+            all_ids(&store),
+            (0..8).collect::<Vec<_>>(),
+            "the compaction-triggering record must survive the restart"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn out_of_order_epoch_notes_never_regress_the_snapshot_epoch() {
+        // Regression: two racing `advance_epoch_shared` calls can reach
+        // `note_epoch` out of order (the SP bumps its counter outside
+        // the write gate). The snapshot epoch must keep the maximum, or
+        // a compaction that deletes the covered WAL generation (and the
+        // higher Epoch op with it) would recover a regressed epoch.
+        let dir = temp_dir("epoch-race");
+        let ct = fixture_ciphertext();
+        {
+            let store = PersistentStore::open_with(&dir, FlushPolicy::EveryOp, 4).unwrap();
+            store.note_epoch(6);
+            store.note_epoch(5); // out-of-order arrival
+            store.upsert(record(&ct, 1, 6));
+            store.upsert(record(&ct, 2, 6)); // 4th op: triggers compaction
+            store.sync().unwrap();
+        }
+        assert!(dir.join("snapshot.bin").exists(), "compaction promoted");
+        let store = PersistentStore::open_with(&dir, FlushPolicy::EveryOp, 4).unwrap();
+        assert_eq!(store.recovered_epoch(), Some(6), "epoch must not regress");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_truncates_wal_and_preserves_state() {
+        let dir = temp_dir("compact");
+        let ct = fixture_ciphertext();
+        {
+            let store = PersistentStore::open_with(&dir, FlushPolicy::EveryOp, 8).unwrap();
+            for round in 0..4u64 {
+                for id in 0..10 {
+                    store.upsert(record(&ct, id, round));
+                }
+            }
+            store.sync().unwrap();
+        }
+        assert!(dir.join("snapshot.bin").exists(), "compaction promoted");
+        let store = PersistentStore::open_with(&dir, FlushPolicy::EveryOp, 8).unwrap();
+        assert_eq!(all_ids(&store), (0..10).collect::<Vec<_>>());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -223,7 +223,9 @@ pub struct Subscription {
 #[derive(Debug)]
 pub struct ServiceProvider {
     store: StoreHandle,
-    epoch: u64,
+    /// The service epoch — atomic so [`Self::advance_epoch_shared`] can
+    /// advance it through `&self` while matching and churn are running.
+    epoch: AtomicU64,
     ttl_epochs: Option<u64>,
     /// HVE width pinned by the first accepted ciphertext; every later
     /// upsert and every token must agree. A `OnceLock` so concurrent
@@ -251,12 +253,18 @@ impl ServiceProvider {
     /// An SP over the chosen store backend;
     /// `ttl_epochs = Some(t)` evicts subscriptions not refreshed within
     /// `t` epochs. `Err(SlaError::ZeroShardCount)` for a zero-shard
-    /// sharded backend.
+    /// sharded backend; `Err(SlaError::Storage)` /
+    /// `Err(SlaError::Corrupt)` when the persistent backend cannot open
+    /// or recover its directory.
     pub fn with_backend(backend: StoreBackend, ttl_epochs: Option<u64>) -> SlaResult<Self> {
-        let store = backend.build().ok_or(SlaError::ZeroShardCount)?;
+        let store = backend.build()?;
+        // A durable backend resumes at its recovered epoch, so TTL
+        // arithmetic and new upsert stamps continue where the previous
+        // process stopped; volatile backends start at 0.
+        let epoch = store.recovered_epoch().unwrap_or(0);
         Ok(ServiceProvider {
             store,
-            epoch: 0,
+            epoch: AtomicU64::new(epoch),
             ttl_epochs,
             width: OnceLock::new(),
             inserted: AtomicU64::new(0),
@@ -275,7 +283,7 @@ impl ServiceProvider {
 
     /// The current epoch.
     pub fn epoch(&self) -> u64 {
-        self.epoch
+        self.epoch.load(Ordering::Relaxed)
     }
 
     /// `true` iff the store backend supports shared-reference mutation
@@ -290,7 +298,7 @@ impl ServiceProvider {
             backend: self.store.backend_name(),
             shards: self.store.shard_count(),
             subscriptions: self.store.len(),
-            epoch: self.epoch,
+            epoch: self.epoch(),
             ttl_epochs: self.ttl_epochs,
             inserted: self.inserted.load(Ordering::Relaxed),
             replaced: self.replaced.load(Ordering::Relaxed),
@@ -361,7 +369,7 @@ impl ServiceProvider {
             user_id: subscription.user_id,
             ciphertext: subscription.ciphertext,
             expected,
-            epoch: self.epoch,
+            epoch: self.epoch(),
         })
     }
 
@@ -445,6 +453,12 @@ impl ServiceProvider {
         }
     }
 
+    /// The TTL retention bound for `new_epoch`, if eviction applies.
+    fn ttl_min_epoch(&self, new_epoch: u64) -> Option<u64> {
+        let ttl = self.ttl_epochs?;
+        new_epoch.checked_sub(ttl).map(|e| e + 1)
+    }
+
     /// Advances the service epoch and, when a TTL is configured, evicts
     /// every subscription whose last upsert is `ttl_epochs` or more
     /// epochs old (a record upserted at epoch `e` with TTL `t` is evicted
@@ -452,17 +466,44 @@ impl ServiceProvider {
     /// `epoch >= min_epoch` retain bound is the contract: a record
     /// *exactly* `ttl_epochs` old is dropped). Returns how many were
     /// evicted.
+    ///
+    /// A durable backend logs the advance (and any eviction), so a
+    /// reopened store resumes at this epoch.
     pub fn advance_epoch(&mut self) -> usize {
-        self.epoch += 1;
-        let Some(ttl) = self.ttl_epochs else {
-            return 0;
-        };
-        let Some(min_epoch) = self.epoch.checked_sub(ttl).map(|e| e + 1) else {
+        let new_epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        self.store.note_epoch(new_epoch);
+        let Some(min_epoch) = self.ttl_min_epoch(new_epoch) else {
             return 0;
         };
         let evicted = self.store.evict_before(min_epoch);
         self.evicted.fetch_add(evicted as u64, Ordering::Relaxed);
         evicted
+    }
+
+    /// [`Self::advance_epoch`] through a shared reference — the epoch
+    /// and stats plane is atomic, so eviction can overlap subscription
+    /// churn and matching on a concurrent-capable backend (eviction
+    /// locks one shard at a time, exactly like a writer).
+    ///
+    /// `Err(SlaError::StoreNotConcurrent)` on the exclusive backends.
+    pub fn advance_epoch_shared(&self) -> SlaResult<usize> {
+        let store = self.concurrent_store()?;
+        let new_epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        store.note_epoch(new_epoch);
+        let Some(min_epoch) = self.ttl_min_epoch(new_epoch) else {
+            return Ok(0);
+        };
+        let evicted = store.evict_before(min_epoch);
+        self.evicted.fetch_add(evicted as u64, Ordering::Relaxed);
+        Ok(evicted)
+    }
+
+    /// Flushes a durable store backend to stable storage, surfacing any
+    /// deferred write error (`SlaError::Storage` / `SlaError::Corrupt`).
+    /// On volatile backends this trivially succeeds — subscriptions are
+    /// exactly as durable as the process.
+    pub fn sync(&self) -> SlaResult<()> {
+        self.store.sync()
     }
 
     /// Validates an alert's token set against the system width before any

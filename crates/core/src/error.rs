@@ -10,13 +10,18 @@
 use sla_encoding::EncodingError;
 use sla_grid::GridError;
 use sla_hve::HveError;
+use sla_persist::PersistError;
 use std::fmt;
 
 /// `Result` alias over [`SlaError`] used throughout the service API.
 pub type SlaResult<T> = Result<T, SlaError>;
 
 /// Why a service-layer operation could not be performed.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// (Not `Copy`: the durable-store variants carry rendered context
+/// strings — `PersistError` wraps `std::io::Error`, which is neither
+/// `Clone` nor `PartialEq`, so the service layer keeps the display form.)
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum SlaError {
     /// A cell index outside the configured grid.
@@ -82,6 +87,20 @@ pub enum SlaError {
         /// Longitude of the point.
         lon: f64,
     },
+    /// A durable-store I/O failure (open, append, fsync, snapshot
+    /// promotion). The store may work again once the environment
+    /// recovers; the in-memory index is unaffected.
+    Storage {
+        /// The rendered `sla_persist::PersistError::Io`.
+        detail: String,
+    },
+    /// Durable-store bytes failed structural or CRC validation somewhere
+    /// a torn tail is not tolerated (a snapshot, or a mid-file frame).
+    /// Recovery refuses to guess; operator intervention is required.
+    Corrupt {
+        /// The rendered `sla_persist::PersistError::Corrupt`.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SlaError {
@@ -126,6 +145,8 @@ impl fmt::Display for SlaError {
             SlaError::PointOutsideGrid { lat, lon } => {
                 write!(f, "point ({lat}, {lon}) lies outside the grid")
             }
+            SlaError::Storage { detail } => write!(f, "durable store I/O failure: {detail}"),
+            SlaError::Corrupt { detail } => write!(f, "durable store corruption: {detail}"),
         }
     }
 }
@@ -174,6 +195,19 @@ impl From<EncodingError> for SlaError {
     }
 }
 
+impl From<PersistError> for SlaError {
+    fn from(e: PersistError) -> Self {
+        match e {
+            PersistError::Io { .. } => SlaError::Storage {
+                detail: e.to_string(),
+            },
+            PersistError::Corrupt { .. } => SlaError::Corrupt {
+                detail: e.to_string(),
+            },
+        }
+    }
+}
+
 impl From<HveError> for SlaError {
     fn from(e: HveError) -> Self {
         match e {
@@ -218,6 +252,18 @@ mod tests {
                 "width mismatch",
             ),
             (SlaError::UnknownUser { user_id: 7 }, "user 7"),
+            (
+                SlaError::Storage {
+                    detail: "fsync wal /x/wal.000001: disk full".into(),
+                },
+                "durable store I/O failure",
+            ),
+            (
+                SlaError::Corrupt {
+                    detail: "corrupt frame in /x/snapshot.bin at offset 9".into(),
+                },
+                "durable store corruption",
+            ),
         ];
         for (err, needle) in cases {
             assert!(
@@ -246,6 +292,20 @@ mod tests {
         assert!(matches!(
             SlaError::from(GridError::AllZeroLikelihoods),
             SlaError::InvalidLikelihoods(_)
+        ));
+        // Durable-store errors keep their family: Io -> Storage (the
+        // environment may recover), Corrupt -> Corrupt (it will not).
+        assert!(matches!(
+            SlaError::from(PersistError::io(
+                "fsync wal",
+                "/x/wal.000001",
+                std::io::Error::other("disk full"),
+            )),
+            SlaError::Storage { .. }
+        ));
+        assert!(matches!(
+            SlaError::from(PersistError::corrupt("/x/snapshot.bin", 9, "crc mismatch")),
+            SlaError::Corrupt { .. }
         ));
     }
 }

@@ -55,6 +55,7 @@
 #![warn(missing_docs)]
 
 mod convert;
+mod durable;
 mod entities;
 mod error;
 pub mod metrics;
@@ -62,6 +63,7 @@ mod store;
 mod system;
 
 pub use convert::{codeword_to_pattern, index_to_attribute};
+pub use durable::PersistentStore;
 pub use entities::{MobileUser, ServiceProvider, Subscription, TrustedAuthority};
 pub use error::{SlaError, SlaResult, MAX_GROUP_BITS, MIN_GROUP_BITS};
 pub use store::{
@@ -69,3 +71,6 @@ pub use store::{
     StoredSubscription, SubscriptionStore, UpsertOutcome, VecStore,
 };
 pub use system::{AlertOutcome, AlertSystem, SystemBuilder};
+
+// The flush policy is part of `StoreBackend::Persistent`'s surface.
+pub use sla_persist::FlushPolicy;

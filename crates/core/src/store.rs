@@ -19,11 +19,18 @@
 //!   [`ConcurrentSubscriptionStore::read_shard`], which holds that
 //!   shard's read lock for the duration of the callback (a per-shard
 //!   snapshot), while writers to other shards proceed untouched.
+//!   [`crate::PersistentStore`] implements the same seam with an
+//!   `sla-persist` write-ahead log underneath, so the subscription base
+//!   survives restarts (see [`StoreBackend::Persistent`]).
 
+use crate::durable::PersistentStore;
+use crate::error::{SlaError, SlaResult};
 use sla_hve::Ciphertext;
 use sla_pairing::GtElem;
+use sla_persist::FlushPolicy;
 use std::collections::HashMap;
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
@@ -55,7 +62,10 @@ pub enum UpsertOutcome {
 }
 
 /// Which storage backend [`crate::SystemBuilder`] assembles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// (Not `Copy` since the persistent variant carries its directory; all
+/// variants stay cheap to `Clone`.)
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StoreBackend {
     /// A single contiguous `Vec` in arrival order: minimal overhead,
     /// O(n) upsert/remove. Right for small or churn-free populations.
@@ -75,6 +85,21 @@ pub enum StoreBackend {
     ConcurrentSharded {
         /// Number of lock shards (must be positive).
         shards: usize,
+    },
+    /// The durable backend: an in-memory [`ConcurrentShardedStore`] (so
+    /// matching speed is unchanged) layered over an `sla-persist`
+    /// write-ahead log + snapshot directory. Mutations append one WAL
+    /// frame; reopening the same directory recovers the full
+    /// subscription base (snapshot + WAL replay, torn final record
+    /// tolerated). Right for long-lived services that must survive
+    /// restarts without every user re-running Subscribe.
+    Persistent {
+        /// Directory holding `snapshot.bin` and the `wal.*` files
+        /// (created if absent).
+        dir: PathBuf,
+        /// When WAL appends are fsync'd (per-op, group commit, or
+        /// manual — see [`FlushPolicy`]).
+        flush: FlushPolicy,
     },
 }
 
@@ -135,21 +160,51 @@ impl StoreHandle {
             StoreHandle::Concurrent(s) => s.evict_before(min_epoch),
         }
     }
+
+    /// Durability hook: records an epoch advance (volatile backends
+    /// ignore it).
+    pub(crate) fn note_epoch(&self, epoch: u64) {
+        if let StoreHandle::Concurrent(s) = self {
+            s.note_epoch(epoch);
+        }
+    }
+
+    /// The epoch a durable backend recovered, if any.
+    pub(crate) fn recovered_epoch(&self) -> Option<u64> {
+        match self {
+            StoreHandle::Exclusive(_) => None,
+            StoreHandle::Concurrent(s) => s.recovered_epoch(),
+        }
+    }
+
+    /// Flushes a durable backend to stable storage (no-op otherwise).
+    pub(crate) fn sync(&self) -> SlaResult<()> {
+        match self {
+            StoreHandle::Exclusive(_) => Ok(()),
+            StoreHandle::Concurrent(s) => s.sync(),
+        }
+    }
 }
 
 impl StoreBackend {
-    /// Builds the backend. `None` only for a zero shard count.
-    pub(crate) fn build(self) -> Option<StoreHandle> {
+    /// Builds the backend: `Err(SlaError::ZeroShardCount)` for a
+    /// zero-shard layout, `Err(SlaError::Storage)` /
+    /// `Err(SlaError::Corrupt)` when the persistent backend cannot open
+    /// or recover its directory.
+    pub(crate) fn build(self) -> SlaResult<StoreHandle> {
         match self {
-            StoreBackend::Contiguous => Some(StoreHandle::Exclusive(Box::new(VecStore::new()))),
+            StoreBackend::Contiguous => Ok(StoreHandle::Exclusive(Box::new(VecStore::new()))),
             StoreBackend::Sharded { shards: 0 } | StoreBackend::ConcurrentSharded { shards: 0 } => {
-                None
+                Err(SlaError::ZeroShardCount)
             }
             StoreBackend::Sharded { shards } => {
-                Some(StoreHandle::Exclusive(Box::new(ShardedStore::new(shards))))
+                Ok(StoreHandle::Exclusive(Box::new(ShardedStore::new(shards))))
             }
-            StoreBackend::ConcurrentSharded { shards } => Some(StoreHandle::Concurrent(Box::new(
+            StoreBackend::ConcurrentSharded { shards } => Ok(StoreHandle::Concurrent(Box::new(
                 ConcurrentShardedStore::new(shards),
+            ))),
+            StoreBackend::Persistent { dir, flush } => Ok(StoreHandle::Concurrent(Box::new(
+                PersistentStore::open(&dir, flush)?,
             ))),
         }
     }
@@ -425,6 +480,24 @@ pub trait ConcurrentSubscriptionStore: fmt::Debug + Send + Sync {
     /// serial and parallel matchers that walk shards in index order see
     /// identical sequences on a quiescent store.
     fn read_shard(&self, shard: usize, f: &mut dyn FnMut(&[StoredSubscription]));
+
+    // -- Durability hooks (no-ops for volatile backends) ---------------
+
+    /// Records that the service epoch advanced to `epoch`, so a durable
+    /// backend can restore it on reopen. Volatile backends ignore it.
+    fn note_epoch(&self, _epoch: u64) {}
+
+    /// The service epoch this backend recovered from stable storage, or
+    /// `None` for volatile backends (and fresh directories).
+    fn recovered_epoch(&self) -> Option<u64> {
+        None
+    }
+
+    /// Flushes outstanding mutations to stable storage and surfaces any
+    /// deferred write error. Volatile backends trivially succeed.
+    fn sync(&self) -> SlaResult<()> {
+        Ok(())
+    }
 }
 
 /// One lock shard of [`ConcurrentShardedStore`]: the records plus the
@@ -571,8 +644,8 @@ impl ConcurrentSubscriptionStore for ConcurrentShardedStore {
 /// counters.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StoreStats {
-    /// Backend name (`"contiguous"`, `"sharded"` or
-    /// `"concurrent-sharded"`).
+    /// Backend name (`"contiguous"`, `"sharded"`, `"concurrent-sharded"`
+    /// or `"persistent"`).
     pub backend: &'static str,
     /// Number of shards.
     pub shards: usize,

@@ -326,6 +326,22 @@ impl AlertSystem {
         self.sp.advance_epoch()
     }
 
+    /// [`Self::advance_epoch`] through a shared reference — epoch
+    /// advancement and TTL eviction can overlap churn and matching on a
+    /// concurrent-capable backend.
+    ///
+    /// `Err(SlaError::StoreNotConcurrent)` on the exclusive backends.
+    pub fn advance_epoch_shared(&self) -> SlaResult<usize> {
+        self.sp.advance_epoch_shared()
+    }
+
+    /// Flushes a durable store backend ([`StoreBackend::Persistent`]) to
+    /// stable storage, surfacing any deferred write error; a no-op on
+    /// volatile backends.
+    pub fn sync(&self) -> SlaResult<()> {
+        self.sp.sync()
+    }
+
     /// Shared alert pipeline: token issuance, analytic cost, counter
     /// bracketing and outcome assembly; `match_fn` supplies the matching
     /// strategy, which is the only difference between the serial and
@@ -620,7 +636,7 @@ mod tests {
             let probs = ProbabilityMap::new(vec![0.3, 0.1, 0.25, 0.05, 0.2, 0.1]);
             let mut system = SystemBuilder::new(grid)
                 .group_bits(40)
-                .store(backend)
+                .store(backend.clone())
                 .build(&probs, &mut rng)
                 .unwrap();
             assert_eq!(

@@ -65,6 +65,23 @@ impl Ciphertext {
     pub fn width(&self) -> usize {
         self.c.len()
     }
+
+    /// The ciphertext's components `(C', C_0, [(C_{i,1}, C_{i,2})])` —
+    /// the wire view binary codecs (`sla-persist`) encode. Group elements
+    /// expose their canonical log through
+    /// [`GElem::discrete_log`]/[`GtElem::discrete_log`], so the encoded
+    /// bytes are representation-independent.
+    pub fn parts(&self) -> (&GtElem, &GElem, &[(GElem, GElem)]) {
+        (&self.c_prime, &self.c0, &self.c)
+    }
+
+    /// Reassembles a ciphertext from its components — the inverse of
+    /// [`Self::parts`]. No validity check is possible (ciphertexts are
+    /// opaque group-element tuples); width checks happen where the
+    /// ciphertext is used.
+    pub fn from_parts(c_prime: GtElem, c0: GElem, c: Vec<(GElem, GElem)>) -> Self {
+        Ciphertext { c_prime, c0, c }
+    }
 }
 
 /// An HVE search token:

@@ -93,6 +93,16 @@ macro_rules! element_impls {
                 $ty(Log::Canonical(log))
             }
 
+            /// Reconstructs an element from its canonical discrete log —
+            /// the inverse of [`Self::discrete_log`], and the entry point
+            /// deserializers (serde, the `sla-persist` binary codec) use.
+            /// Like serde-deserialized material, the element starts out in
+            /// canonical form; the engine re-enters its residue domain on
+            /// first use.
+            pub fn from_canonical_log(log: BigUint) -> Self {
+                Self::canonical(log)
+            }
+
             /// Wraps a residue-domain log under `ctx`.
             pub(crate) fn residue(value: BigUint, ctx: Arc<Reducer>) -> Self {
                 $ty(Log::Residue { value, ctx })

@@ -1,0 +1,457 @@
+//! The canonical little-endian binary codec for stored subscriptions and
+//! WAL operations.
+//!
+//! ## Why not serde?
+//!
+//! The serde shim renders group elements as canonical hex **JSON** —
+//! fine for interchange, 2–3× larger than necessary and slow to scan for
+//! recovery. The durable store instead uses a fixed binary layout:
+//! every integer is little-endian, every big integer is its minimal
+//! little-endian byte string behind a `u32` length prefix. Group-element
+//! logs are encoded **canonically** (via `discrete_log()`), never as
+//! Montgomery residues: residues are representation-dependent (they
+//! change with the reducer's `R`), canonical logs are exactly the wire
+//! bytes serde already pins.
+//!
+//! ## Framing
+//!
+//! Every record on disk is one frame:
+//!
+//! ```text
+//! [len: u32 LE] [payload: len bytes] [crc: u32 LE]
+//! ```
+//!
+//! where `crc = crc32(len_bytes ‖ payload)` — covering the length field
+//! too, so a corrupted length cannot silently re-frame the stream. A
+//! frame that ends past the end of file (torn write) is distinguishable
+//! from one whose bytes fail the CRC; recovery treats both as "the log
+//! ends at the previous frame".
+
+use crate::crc::crc32;
+use sla_bigint::BigUint;
+use sla_hve::Ciphertext;
+use sla_pairing::{GElem, GtElem};
+
+/// One durable subscription record — the persisted image of the service
+/// layer's `StoredSubscription` (same fields, no behavior).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Routing identifier.
+    pub user_id: u64,
+    /// Epoch of the most recent upsert.
+    pub epoch: u64,
+    /// The expected payload `gt^{user_id + 1}` (canonical log on disk).
+    pub expected: GtElem,
+    /// The encrypted location update (canonical logs on disk).
+    pub ciphertext: Ciphertext,
+}
+
+/// One logged mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalOp {
+    /// Insert-or-replace a subscription.
+    Upsert(Record),
+    /// Remove a user's subscription.
+    Remove {
+        /// The user whose record is dropped.
+        user_id: u64,
+    },
+    /// TTL eviction: drop every record with `epoch < min_epoch`.
+    EvictBefore {
+        /// The retention bound (`epoch >= min_epoch` survives).
+        min_epoch: u64,
+    },
+    /// The service epoch advanced (recovery restores the maximum seen).
+    Epoch {
+        /// The new epoch value.
+        epoch: u64,
+    },
+}
+
+/// Why a payload failed to decode. Reaching this through a valid CRC
+/// means the file was produced by something else (or a version skew) —
+/// recovery surfaces it as corruption rather than truncating.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(pub String);
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Defensive ceiling on one encoded big integer (a group-element log).
+/// Far above any modulus this simulation supports (`MAX_GROUP_BITS`
+/// yields 64-byte logs) while keeping a corrupted length from asking for
+/// gigabytes.
+const MAX_BIGUINT_BYTES: u32 = 1 << 16;
+
+/// Defensive ceiling on the HVE width of one record.
+const MAX_WIDTH: u32 = 1 << 16;
+
+const TAG_UPSERT: u8 = 1;
+const TAG_REMOVE: u8 = 2;
+const TAG_EVICT: u8 = 3;
+const TAG_EPOCH: u8 = 4;
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_biguint(out: &mut Vec<u8>, v: &BigUint) {
+    let bytes = v.to_bytes_le();
+    put_u32(out, bytes.len() as u32);
+    out.extend_from_slice(&bytes);
+}
+
+fn put_g(out: &mut Vec<u8>, e: &GElem) {
+    put_biguint(out, &e.discrete_log());
+}
+
+fn put_gt(out: &mut Vec<u8>, e: &GtElem) {
+    put_biguint(out, &e.discrete_log());
+}
+
+/// Appends the payload encoding of `record` to `out` (no frame).
+pub fn encode_record(record: &Record, out: &mut Vec<u8>) {
+    put_u64(out, record.user_id);
+    put_u64(out, record.epoch);
+    put_gt(out, &record.expected);
+    let (c_prime, c0, c) = record.ciphertext.parts();
+    put_u32(out, c.len() as u32);
+    put_gt(out, c_prime);
+    put_g(out, c0);
+    for (c1, c2) in c {
+        put_g(out, c1);
+        put_g(out, c2);
+    }
+}
+
+/// Appends the payload encoding of `op` to `out` (no frame).
+pub fn encode_op(op: &WalOp, out: &mut Vec<u8>) {
+    match op {
+        WalOp::Upsert(record) => {
+            out.push(TAG_UPSERT);
+            encode_record(record, out);
+        }
+        WalOp::Remove { user_id } => {
+            out.push(TAG_REMOVE);
+            put_u64(out, *user_id);
+        }
+        WalOp::EvictBefore { min_epoch } => {
+            out.push(TAG_EVICT);
+            put_u64(out, *min_epoch);
+        }
+        WalOp::Epoch { epoch } => {
+            out.push(TAG_EPOCH);
+            put_u64(out, *epoch);
+        }
+    }
+}
+
+/// Wraps `payload` in a `[len][payload][crc]` frame.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let len = payload.len() as u32;
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    put_u32(&mut out, len);
+    out.extend_from_slice(payload);
+    let crc = crc32(&out);
+    put_u32(&mut out, crc);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// A little-endian read cursor over one payload.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| {
+                DecodeError(format!(
+                    "payload underrun: need {n} bytes at offset {} of {}",
+                    self.pos,
+                    self.bytes.len()
+                ))
+            })?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn biguint(&mut self) -> Result<BigUint, DecodeError> {
+        let len = self.u32()?;
+        if len > MAX_BIGUINT_BYTES {
+            return Err(DecodeError(format!(
+                "big-integer length {len} exceeds the {MAX_BIGUINT_BYTES}-byte ceiling"
+            )));
+        }
+        Ok(BigUint::from_bytes_le(self.take(len as usize)?))
+    }
+
+    fn g(&mut self) -> Result<GElem, DecodeError> {
+        Ok(GElem::from_canonical_log(self.biguint()?))
+    }
+
+    fn gt(&mut self) -> Result<GtElem, DecodeError> {
+        Ok(GtElem::from_canonical_log(self.biguint()?))
+    }
+
+    fn finish(self) -> Result<(), DecodeError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(DecodeError(format!(
+                "{} trailing payload bytes",
+                self.bytes.len() - self.pos
+            )))
+        }
+    }
+}
+
+fn decode_record_body(cur: &mut Cursor<'_>) -> Result<Record, DecodeError> {
+    let user_id = cur.u64()?;
+    let epoch = cur.u64()?;
+    let expected = cur.gt()?;
+    let width = cur.u32()?;
+    if width > MAX_WIDTH {
+        return Err(DecodeError(format!(
+            "width {width} exceeds the {MAX_WIDTH} ceiling"
+        )));
+    }
+    let c_prime = cur.gt()?;
+    let c0 = cur.g()?;
+    let mut c = Vec::with_capacity(width as usize);
+    for _ in 0..width {
+        c.push((cur.g()?, cur.g()?));
+    }
+    Ok(Record {
+        user_id,
+        epoch,
+        expected,
+        ciphertext: Ciphertext::from_parts(c_prime, c0, c),
+    })
+}
+
+/// Decodes one record payload (the exact inverse of [`encode_record`];
+/// trailing bytes are an error).
+pub fn decode_record(payload: &[u8]) -> Result<Record, DecodeError> {
+    let mut cur = Cursor::new(payload);
+    let record = decode_record_body(&mut cur)?;
+    cur.finish()?;
+    Ok(record)
+}
+
+/// Decodes one op payload (the exact inverse of [`encode_op`]).
+pub fn decode_op(payload: &[u8]) -> Result<WalOp, DecodeError> {
+    let mut cur = Cursor::new(payload);
+    let op = match cur.u8()? {
+        TAG_UPSERT => WalOp::Upsert(decode_record_body(&mut cur)?),
+        TAG_REMOVE => WalOp::Remove {
+            user_id: cur.u64()?,
+        },
+        TAG_EVICT => WalOp::EvictBefore {
+            min_epoch: cur.u64()?,
+        },
+        TAG_EPOCH => WalOp::Epoch { epoch: cur.u64()? },
+        tag => return Err(DecodeError(format!("unknown op tag {tag}"))),
+    };
+    cur.finish()?;
+    Ok(op)
+}
+
+/// Outcome of pulling one frame off a byte stream.
+#[derive(Debug)]
+pub enum FrameRead<'a> {
+    /// A complete, CRC-valid frame; `rest` continues after it.
+    Frame {
+        /// The frame's payload.
+        payload: &'a [u8],
+        /// The remaining bytes.
+        rest: &'a [u8],
+    },
+    /// The stream ends cleanly here (zero bytes left).
+    End,
+    /// The remaining bytes are not a complete valid frame — a torn tail
+    /// (short frame) or a CRC/structure failure. The bad frame starts at
+    /// the front of the remaining bytes; callers track absolute offsets
+    /// themselves.
+    Torn {
+        /// Human-readable cause (short read vs CRC mismatch).
+        detail: String,
+    },
+}
+
+/// Reads one frame from the front of `bytes`.
+pub fn read_frame(bytes: &[u8]) -> FrameRead<'_> {
+    if bytes.is_empty() {
+        return FrameRead::End;
+    }
+    if bytes.len() < 8 {
+        return FrameRead::Torn {
+            detail: format!(
+                "{} bytes left, frame header needs 4 + trailer 4",
+                bytes.len()
+            ),
+        };
+    }
+    let len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+    let Some(total) = len.checked_add(8).filter(|&t| t <= bytes.len()) else {
+        return FrameRead::Torn {
+            detail: format!("frame claims {len} payload bytes, {} left", bytes.len() - 8),
+        };
+    };
+    let stored = u32::from_le_bytes([
+        bytes[total - 4],
+        bytes[total - 3],
+        bytes[total - 2],
+        bytes[total - 1],
+    ]);
+    let actual = crc32(&bytes[..total - 4]);
+    if stored != actual {
+        return FrameRead::Torn {
+            detail: format!("crc mismatch: stored {stored:#010x}, computed {actual:#010x}"),
+        };
+    }
+    FrameRead::Frame {
+        payload: &bytes[4..total - 4],
+        rest: &bytes[total..],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_record(user_id: u64) -> Record {
+        Record {
+            user_id,
+            epoch: 3,
+            expected: GtElem::from_canonical_log(BigUint::from_u64(99)),
+            ciphertext: Ciphertext::from_parts(
+                GtElem::from_canonical_log(BigUint::from_u64(7)),
+                GElem::from_canonical_log(BigUint::from_u128(u128::MAX - 5)),
+                vec![
+                    (
+                        GElem::from_canonical_log(BigUint::zero()),
+                        GElem::from_canonical_log(BigUint::from_u64(1)),
+                    ),
+                    (
+                        GElem::from_canonical_log(BigUint::from_u64(1 << 40)),
+                        GElem::from_canonical_log(BigUint::from_u64(12345)),
+                    ),
+                ],
+            ),
+        }
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let record = tiny_record(42);
+        let mut buf = Vec::new();
+        encode_record(&record, &mut buf);
+        assert_eq!(decode_record(&buf).unwrap(), record);
+    }
+
+    #[test]
+    fn op_roundtrips() {
+        let ops = [
+            WalOp::Upsert(tiny_record(1)),
+            WalOp::Remove { user_id: u64::MAX },
+            WalOp::EvictBefore { min_epoch: 17 },
+            WalOp::Epoch { epoch: 1 << 50 },
+        ];
+        for op in &ops {
+            let mut buf = Vec::new();
+            encode_op(op, &mut buf);
+            assert_eq!(&decode_op(&buf).unwrap(), op);
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut buf = Vec::new();
+        encode_op(&WalOp::Remove { user_id: 7 }, &mut buf);
+        buf.push(0);
+        assert!(decode_op(&buf).is_err());
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        assert!(decode_op(&[200, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn frame_roundtrip_and_torn_detection() {
+        let mut payload = Vec::new();
+        encode_op(&WalOp::Epoch { epoch: 9 }, &mut payload);
+        let framed = frame(&payload);
+        match read_frame(&framed) {
+            FrameRead::Frame { payload: p, rest } => {
+                assert_eq!(p, &payload[..]);
+                assert!(rest.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+        // Every strict prefix is torn (or End for the empty prefix).
+        for cut in 1..framed.len() {
+            match read_frame(&framed[..cut]) {
+                FrameRead::Torn { .. } => {}
+                other => panic!("prefix {cut}: {other:?}"),
+            }
+        }
+        assert!(matches!(read_frame(&[]), FrameRead::End));
+    }
+
+    #[test]
+    fn length_field_corruption_is_caught_by_crc() {
+        let mut payload = Vec::new();
+        encode_op(&WalOp::Remove { user_id: 3 }, &mut payload);
+        let framed = frame(&payload);
+        for byte in 0..4 {
+            let mut bad = framed.clone();
+            bad[byte] ^= 0x01;
+            assert!(
+                matches!(read_frame(&bad), FrameRead::Torn { .. }),
+                "length byte {byte}"
+            );
+        }
+    }
+}

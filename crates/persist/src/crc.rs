@@ -1,0 +1,65 @@
+//! CRC-32 (IEEE 802.3, the zlib/gzip polynomial) — the frame checksum of
+//! the WAL and snapshot files.
+//!
+//! Implemented in-repo because the workspace builds fully offline (no
+//! crates.io). The standard reflected table-driven form: polynomial
+//! `0xEDB88320`, initial value `!0`, final XOR `!0`.
+
+/// The 256-entry lookup table for the reflected polynomial, built at
+/// compile time.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 of `bytes` (one-shot).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The IEEE check value: CRC32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn single_byte_changes_are_detected() {
+        let base = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let reference = crc32(&base);
+        for i in 0..base.len() {
+            for flip in [0x01u8, 0x80, 0xFF] {
+                let mut corrupted = base.clone();
+                corrupted[i] ^= flip;
+                assert_ne!(crc32(&corrupted), reference, "byte {i} flip {flip:#x}");
+            }
+        }
+    }
+}

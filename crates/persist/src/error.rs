@@ -1,0 +1,104 @@
+//! [`PersistError`]: why a durable-store operation could not complete.
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// `Result` alias over [`PersistError`].
+pub type PersistResult<T> = Result<T, PersistError>;
+
+/// Why a durable-store operation failed.
+///
+/// Two families: `Io` wraps an operating-system failure (the store may be
+/// retried once the environment recovers), `Corrupt` means the on-disk
+/// bytes are not a valid artifact of this subsystem (the frame structure
+/// or a CRC check failed somewhere other than a tolerated torn tail).
+#[derive(Debug)]
+pub enum PersistError {
+    /// An I/O operation failed.
+    Io {
+        /// What the subsystem was doing (`"open wal"`, `"fsync"`, ...).
+        op: &'static str,
+        /// The file or directory involved.
+        path: PathBuf,
+        /// The underlying OS error.
+        source: io::Error,
+    },
+    /// On-disk bytes failed structural or CRC validation.
+    Corrupt {
+        /// The offending file.
+        path: PathBuf,
+        /// Byte offset of the bad frame (start of frame).
+        offset: u64,
+        /// What failed.
+        detail: String,
+    },
+}
+
+impl PersistError {
+    /// Builds an [`PersistError::Io`] with context.
+    pub fn io(op: &'static str, path: impl Into<PathBuf>, source: io::Error) -> Self {
+        PersistError::Io {
+            op,
+            path: path.into(),
+            source,
+        }
+    }
+
+    /// Builds a [`PersistError::Corrupt`] with context.
+    pub fn corrupt(path: impl Into<PathBuf>, offset: u64, detail: impl Into<String>) -> Self {
+        PersistError::Corrupt {
+            path: path.into(),
+            offset,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io { op, path, source } => {
+                write!(f, "{op} {}: {source}", path.display())
+            }
+            PersistError::Corrupt {
+                path,
+                offset,
+                detail,
+            } => write!(
+                f,
+                "corrupt frame in {} at offset {offset}: {detail}",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io { source, .. } => Some(source),
+            PersistError::Corrupt { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_carry_context() {
+        let e = PersistError::io(
+            "open wal",
+            "/tmp/x/wal.0",
+            io::Error::new(io::ErrorKind::NotFound, "gone"),
+        );
+        let s = e.to_string();
+        assert!(s.contains("open wal") && s.contains("wal.0"), "{s}");
+
+        let c = PersistError::corrupt("/tmp/x/snapshot.bin", 42, "crc mismatch");
+        let s = c.to_string();
+        assert!(s.contains("offset 42") && s.contains("crc mismatch"), "{s}");
+    }
+}

@@ -1,0 +1,44 @@
+//! # sla-persist
+//!
+//! Durable subscription storage for the secure location-alert service:
+//! the on-disk half of the Service Provider's store.
+//!
+//! The paper's system model assumes a **long-lived** SP holding every
+//! subscriber's HVE ciphertext; follow-up work (dynamic alert zones,
+//! tunable privacy) assumes the encrypted index survives across epochs.
+//! This crate makes that real with three layers:
+//!
+//! * [`codec`] — a canonical little-endian binary codec for stored
+//!   subscriptions and WAL operations, CRC-framed
+//!   (`[len][payload][crc32]`, the CRC covering the length too). Group
+//!   elements are encoded by their **canonical** discrete logs — the
+//!   same representation-independent bytes serde pins — never the
+//!   Montgomery residues, which depend on the in-memory reducer.
+//! * [`wal`] — an append-only write-ahead log with group-commit fsync
+//!   batching ([`FlushPolicy`]); recovery tolerates a torn final record
+//!   by truncating to the last complete CRC-valid frame.
+//! * [`snapshot`] + [`log`] — background snapshot compaction: the live
+//!   record set is rewritten to `snapshot.tmp`, fsync'd, atomically
+//!   renamed over `snapshot.bin`, the directory fsync'd, and stale WAL
+//!   generations deleted; recovery replays snapshot + WAL suffix.
+//!
+//! The service-layer integration (`sla-core`'s
+//! `StoreBackend::Persistent`) layers [`DurableLog`] under its in-memory
+//! hash-sharded index: matching reads memory only, mutations append one
+//! WAL frame. This crate knows nothing about matching or the service
+//! API — it stores and recovers records.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod crc;
+mod error;
+pub mod log;
+pub mod snapshot;
+pub mod wal;
+
+pub use codec::{Record, WalOp};
+pub use error::{PersistError, PersistResult};
+pub use log::{DurableLog, LogOptions, RecoveredState};
+pub use wal::FlushPolicy;

@@ -1,0 +1,586 @@
+//! [`DurableLog`]: the full durable-storage subsystem — recovery,
+//! appending, and background snapshot compaction over one directory.
+//!
+//! ## Directory layout
+//!
+//! ```text
+//! <dir>/snapshot.bin   # promoted snapshot (atomic rename)
+//! <dir>/snapshot.tmp   # in-flight snapshot (stray = crashed; deleted)
+//! <dir>/wal.NNNNNN     # one WAL file per generation
+//! ```
+//!
+//! ## Recovery
+//!
+//! 1. Delete a stray `snapshot.tmp` (a compaction that never promoted).
+//! 2. Load `snapshot.bin` → the base record set and its
+//!    `covered_generation` `G` (0 when no snapshot exists).
+//! 3. Replay every `wal.g` with `g > G` in ascending generation order,
+//!    tolerating a torn tail in each (unsynced suffixes die with the
+//!    crash; everything replayed was a complete CRC-valid frame).
+//! 4. Delete `wal.g` with `g <= G` (their contents are in the
+//!    snapshot; they linger only if a crash interrupted compaction
+//!    between promotion and deletion).
+//! 5. Resume appending to the newest WAL (truncated to its last valid
+//!    frame), or create generation `G + 1` if none survives.
+//!
+//! ## Compaction
+//!
+//! [`DurableLog::append`] reports when the configured op budget since
+//! the last snapshot is exhausted; the owner then calls
+//! [`DurableLog::compact`] with its authoritative live record set. The
+//! WAL is rotated to a fresh generation immediately (under the caller's
+//! serialization), and the snapshot write + promotion + old-WAL deletion
+//! run on a **background thread** so mutations and matching continue
+//! unimpeded. A crash at any point leaves either the old snapshot plus
+//! all WALs, or the new snapshot plus the new WAL — both recover to the
+//! same state.
+
+use crate::codec::{Record, WalOp};
+use crate::error::{PersistError, PersistResult};
+use crate::snapshot::{self, Snapshot, SNAPSHOT_TMP};
+use crate::wal::{self, FlushPolicy, WalWriter};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+
+/// Tuning knobs for [`DurableLog::open`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogOptions {
+    /// When WAL appends reach stable storage.
+    pub flush: FlushPolicy,
+    /// Ops appended since the last snapshot before
+    /// [`DurableLog::append`] requests compaction.
+    pub compact_after_ops: usize,
+}
+
+impl Default for LogOptions {
+    fn default() -> Self {
+        LogOptions {
+            flush: FlushPolicy::EveryOp,
+            compact_after_ops: 4096,
+        }
+    }
+}
+
+/// What recovery reconstructed from the directory.
+#[derive(Debug)]
+pub struct RecoveredState {
+    /// The live records (snapshot base + WAL replay), one per user, in
+    /// ascending `user_id` order.
+    pub records: Vec<Record>,
+    /// The service epoch (maximum `Epoch` op seen, or the snapshot's).
+    pub epoch: u64,
+    /// WAL ops replayed on top of the snapshot.
+    pub replayed_ops: usize,
+    /// Whether any WAL had a torn tail truncated away.
+    pub torn_tail: bool,
+}
+
+/// Replay state folded over snapshot records and WAL ops.
+#[derive(Debug, Default)]
+struct Fold {
+    by_user: BTreeMap<u64, Record>,
+    epoch: u64,
+}
+
+impl Fold {
+    fn seed(&mut self, records: Vec<Record>) {
+        for r in records {
+            self.by_user.insert(r.user_id, r);
+        }
+    }
+
+    fn apply(&mut self, op: WalOp) {
+        match op {
+            WalOp::Upsert(record) => {
+                self.by_user.insert(record.user_id, record);
+            }
+            WalOp::Remove { user_id } => {
+                self.by_user.remove(&user_id);
+            }
+            WalOp::EvictBefore { min_epoch } => {
+                self.by_user.retain(|_, r| r.epoch >= min_epoch);
+            }
+            WalOp::Epoch { epoch } => {
+                self.epoch = self.epoch.max(epoch);
+            }
+        }
+    }
+}
+
+/// Serialized appender state.
+#[derive(Debug)]
+struct Inner {
+    wal: WalWriter,
+    ops_since_snapshot: usize,
+}
+
+/// The durable-log subsystem over one directory (see the module docs).
+///
+/// Appends are internally locked but callers that require a strict
+/// correspondence between apply order and log order (the service layer's
+/// store does) must serialize externally — the log cannot know in which
+/// order two racing upserts hit the in-memory index.
+#[derive(Debug)]
+pub struct DurableLog {
+    dir: PathBuf,
+    options: LogOptions,
+    inner: Mutex<Inner>,
+    /// The in-flight background compaction, if any.
+    compactor: Mutex<Option<JoinHandle<PersistResult<()>>>>,
+    /// First deferred I/O error (append is infallible at the call site;
+    /// the error surfaces on the next `sync`).
+    deferred: Mutex<Option<PersistError>>,
+}
+
+impl DurableLog {
+    /// Opens (creating if necessary) the log at `dir` and recovers its
+    /// state.
+    pub fn open(dir: &Path, options: LogOptions) -> PersistResult<(Self, RecoveredState)> {
+        fs::create_dir_all(dir).map_err(|e| PersistError::io("create dir", dir, e))?;
+        let tmp = dir.join(SNAPSHOT_TMP);
+        if tmp.exists() {
+            fs::remove_file(&tmp).map_err(|e| PersistError::io("remove snapshot.tmp", &tmp, e))?;
+        }
+
+        let mut fold = Fold::default();
+        let covered = match snapshot::load_snapshot(dir)? {
+            Some(Snapshot {
+                covered_generation,
+                epoch,
+                records,
+            }) => {
+                fold.epoch = epoch;
+                fold.seed(records);
+                covered_generation
+            }
+            None => 0,
+        };
+
+        // Collect wal generations present on disk.
+        let mut generations: Vec<u64> = Vec::new();
+        let entries = fs::read_dir(dir).map_err(|e| PersistError::io("list dir", dir, e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| PersistError::io("list dir", dir, e))?;
+            if let Some(gen) = entry.file_name().to_str().and_then(wal::parse_wal_name) {
+                generations.push(gen);
+            }
+        }
+        generations.sort_unstable();
+
+        // Stale generations are already folded into the snapshot.
+        for &gen in generations.iter().filter(|&&g| g <= covered) {
+            let path = dir.join(wal::wal_file_name(gen));
+            fs::remove_file(&path).map_err(|e| PersistError::io("remove stale wal", &path, e))?;
+        }
+        generations.retain(|&g| g > covered);
+
+        let mut replayed_ops = 0;
+        let mut torn_tail = false;
+        let mut resume: Option<(PathBuf, u64, u64)> = None;
+        for (i, &gen) in generations.iter().enumerate() {
+            let path = dir.join(wal::wal_file_name(gen));
+            let replay = wal::replay_wal(&path, gen)?;
+            replayed_ops += replay.ops.len();
+            torn_tail |= replay.torn.is_some();
+            for op in replay.ops {
+                fold.apply(op);
+            }
+            if i + 1 == generations.len() {
+                resume = Some((path, gen, replay.valid_len));
+            }
+        }
+
+        let wal = match resume {
+            Some((path, gen, valid_len)) if valid_len > 0 => {
+                WalWriter::reopen(&path, gen, valid_len, options.flush)?
+            }
+            // No WAL yet, or the newest one never got a durable header:
+            // start it fresh.
+            Some((_, gen, _)) => WalWriter::create(dir, gen, options.flush)?,
+            None => WalWriter::create(dir, covered + 1, options.flush)?,
+        };
+
+        let state = RecoveredState {
+            records: fold.by_user.into_values().collect(),
+            epoch: fold.epoch,
+            replayed_ops,
+            torn_tail,
+        };
+        Ok((
+            DurableLog {
+                dir: dir.to_path_buf(),
+                options,
+                inner: Mutex::new(Inner {
+                    wal,
+                    ops_since_snapshot: replayed_ops,
+                }),
+                compactor: Mutex::new(None),
+                deferred: Mutex::new(None),
+            },
+            state,
+        ))
+    }
+
+    /// The directory this log lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn lock_inner(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Stashes `err` to be surfaced by the next [`DurableLog::sync`]
+    /// (only the first deferred error is kept). Owners use this for
+    /// failures on paths they keep infallible, mirroring what `append`
+    /// does internally.
+    pub fn defer_error(&self, err: PersistError) {
+        let mut slot = self
+            .deferred
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        slot.get_or_insert(err);
+    }
+
+    /// Appends one op. I/O failures are deferred (stashed and surfaced
+    /// by the next [`DurableLog::sync`]) so the hot mutation path stays
+    /// infallible. Returns `true` when the op budget since the last
+    /// snapshot is exhausted and the owner should call
+    /// [`DurableLog::compact`].
+    pub fn append(&self, op: &WalOp) -> bool {
+        let mut inner = self.lock_inner();
+        if let Err(e) = inner.wal.append(op) {
+            self.defer_error(e);
+        }
+        inner.ops_since_snapshot += 1;
+        inner.ops_since_snapshot >= self.options.compact_after_ops
+    }
+
+    /// fsyncs outstanding appends and surfaces the first deferred error
+    /// (append failures, background-compaction failures).
+    pub fn sync(&self) -> PersistResult<()> {
+        let sync_result = self.lock_inner().wal.sync();
+        // Harvest a finished (not in-flight) compactor without blocking.
+        {
+            let mut worker = self
+                .compactor
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            if worker.as_ref().is_some_and(JoinHandle::is_finished) {
+                if let Some(handle) = worker.take() {
+                    match handle.join() {
+                        Ok(Ok(())) => {}
+                        Ok(Err(e)) => self.defer_error(e),
+                        Err(_) => self.defer_error(PersistError::io(
+                            "compaction thread",
+                            &self.dir,
+                            std::io::Error::other("panicked"),
+                        )),
+                    }
+                }
+            }
+        }
+        if let Some(err) = self
+            .deferred
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .take()
+        {
+            return Err(err);
+        }
+        sync_result
+    }
+
+    /// Rotates the WAL and snapshots `records` (the owner's
+    /// authoritative live set, which must reflect exactly the ops
+    /// appended so far — callers serialize mutations around this call)
+    /// on a background thread. Returns immediately after the rotation;
+    /// the heavy snapshot write + promotion + stale-WAL deletion happen
+    /// off-thread.
+    ///
+    /// If a previous compaction is **still running**, this call is a
+    /// no-op: callers typically hold their write serialization while
+    /// calling, and blocking here would stall every mutation for the
+    /// prior snapshot's full write time. The op budget is not reset on
+    /// the skip, so the next append re-requests compaction — it happens
+    /// as soon as the worker is free. A *finished* worker is harvested
+    /// (its error surfaced) before the new one starts.
+    pub fn compact(&self, records: Vec<Record>, epoch: u64) -> PersistResult<()> {
+        {
+            let mut worker = self
+                .compactor
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            match worker.as_ref() {
+                Some(handle) if !handle.is_finished() => return Ok(()),
+                Some(_) => {
+                    // Finished: the join is immediate; surface its result.
+                    match worker.take().expect("checked Some").join() {
+                        Ok(result) => result?,
+                        Err(_) => {
+                            return Err(PersistError::io(
+                                "compaction thread",
+                                &self.dir,
+                                std::io::Error::other("panicked"),
+                            ))
+                        }
+                    }
+                }
+                None => {}
+            }
+        }
+
+        let old_generation = {
+            let mut inner = self.lock_inner();
+            // Everything the snapshot will cover must be on disk before
+            // the covering snapshot can claim it.
+            inner.wal.sync()?;
+            let old = inner.wal.generation();
+            inner.wal = WalWriter::create(&self.dir, old + 1, self.options.flush)?;
+            inner.ops_since_snapshot = 0;
+            old
+        };
+
+        let dir = self.dir.clone();
+        let handle = std::thread::spawn(move || {
+            snapshot::write_snapshot(
+                &dir,
+                &Snapshot {
+                    covered_generation: old_generation,
+                    epoch,
+                    records,
+                },
+            )?;
+            // The old generations are now redundant.
+            for gen_path in stale_wals(&dir, old_generation)? {
+                fs::remove_file(&gen_path)
+                    .map_err(|e| PersistError::io("remove stale wal", &gen_path, e))?;
+            }
+            Ok(())
+        });
+        *self
+            .compactor
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(handle);
+        Ok(())
+    }
+
+    /// Ops appended since the last snapshot (diagnostics).
+    pub fn ops_since_snapshot(&self) -> usize {
+        self.lock_inner().ops_since_snapshot
+    }
+
+    /// `true` while a background compaction is running. Owners check
+    /// this before assembling the (potentially large) live record set
+    /// for [`DurableLog::compact`], which would be discarded by the
+    /// in-flight skip anyway.
+    pub fn compaction_in_flight(&self) -> bool {
+        self.compactor
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .as_ref()
+            .is_some_and(|handle| !handle.is_finished())
+    }
+
+    /// Blocks until any in-flight compaction finishes, surfacing its
+    /// result.
+    pub fn join_compactor(&self) -> PersistResult<()> {
+        let handle = self
+            .compactor
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .take();
+        match handle.map(JoinHandle::join) {
+            None => Ok(()),
+            Some(Ok(result)) => result,
+            Some(Err(_)) => Err(PersistError::io(
+                "compaction thread",
+                &self.dir,
+                std::io::Error::other("panicked"),
+            )),
+        }
+    }
+}
+
+impl Drop for DurableLog {
+    fn drop(&mut self) {
+        // Best-effort: flush the group-commit tail and let the
+        // compactor finish so the directory is quiescent when we return.
+        let _ = self.join_compactor();
+        let _ = self.lock_inner().wal.sync();
+    }
+}
+
+/// The WAL paths of every generation `<= up_to` still present in `dir`.
+fn stale_wals(dir: &Path, up_to: u64) -> PersistResult<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let entries = fs::read_dir(dir).map_err(|e| PersistError::io("list dir", dir, e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| PersistError::io("list dir", dir, e))?;
+        if let Some(gen) = entry.file_name().to_str().and_then(wal::parse_wal_name) {
+            if gen <= up_to {
+                out.push(dir.join(wal::wal_file_name(gen)));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sla_bigint::BigUint;
+    use sla_hve::Ciphertext;
+    use sla_pairing::{GElem, GtElem};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "sla-persist-log-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn record(user_id: u64, epoch: u64) -> Record {
+        Record {
+            user_id,
+            epoch,
+            expected: GtElem::from_canonical_log(BigUint::from_u64(user_id + 1)),
+            ciphertext: Ciphertext::from_parts(
+                GtElem::from_canonical_log(BigUint::from_u64(user_id * 3 + 1)),
+                GElem::from_canonical_log(BigUint::from_u64(user_id * 5 + 2)),
+                vec![(
+                    GElem::from_canonical_log(BigUint::from_u64(user_id)),
+                    GElem::from_canonical_log(BigUint::from_u64(user_id + 9)),
+                )],
+            ),
+        }
+    }
+
+    fn ids(state: &RecoveredState) -> Vec<u64> {
+        state.records.iter().map(|r| r.user_id).collect()
+    }
+
+    #[test]
+    fn open_append_reopen() {
+        let dir = temp_dir("reopen");
+        {
+            let (log, state) = DurableLog::open(&dir, LogOptions::default()).unwrap();
+            assert!(state.records.is_empty());
+            for id in 0..5 {
+                log.append(&WalOp::Upsert(record(id, 0)));
+            }
+            log.append(&WalOp::Remove { user_id: 3 });
+            log.append(&WalOp::Epoch { epoch: 2 });
+            log.sync().unwrap();
+        }
+        let (_log, state) = DurableLog::open(&dir, LogOptions::default()).unwrap();
+        assert_eq!(ids(&state), vec![0, 1, 2, 4]);
+        assert_eq!(state.epoch, 2);
+        assert_eq!(state.replayed_ops, 7);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_rotates_and_recovery_prefers_snapshot() {
+        let dir = temp_dir("compact");
+        {
+            let (log, _) = DurableLog::open(
+                &dir,
+                LogOptions {
+                    compact_after_ops: 4,
+                    ..LogOptions::default()
+                },
+            )
+            .unwrap();
+            let mut live: BTreeMap<u64, Record> = BTreeMap::new();
+            let mut due = false;
+            for id in 0..6 {
+                let r = record(id, 1);
+                live.insert(id, r.clone());
+                due = log.append(&WalOp::Upsert(r));
+            }
+            assert!(due, "op budget of 4 exhausted");
+            log.compact(live.values().cloned().collect(), 1).unwrap();
+            log.join_compactor().unwrap();
+            // Post-compaction ops land in the new generation.
+            log.append(&WalOp::Upsert(record(100, 2)));
+            log.sync().unwrap();
+            assert_eq!(log.ops_since_snapshot(), 1);
+        }
+        assert!(dir.join(SNAPSHOT_FILE_NAME).exists());
+        // Exactly one wal file (the rotated generation) remains.
+        let wals: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| {
+                e.unwrap()
+                    .file_name()
+                    .to_str()
+                    .and_then(wal::parse_wal_name)
+            })
+            .collect();
+        assert_eq!(wals.len(), 1);
+        let (_log, state) = DurableLog::open(&dir, LogOptions::default()).unwrap();
+        assert_eq!(ids(&state), vec![0, 1, 2, 3, 4, 5, 100]);
+        assert_eq!(state.replayed_ops, 1, "only the suffix replays");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    const SNAPSHOT_FILE_NAME: &str = crate::snapshot::SNAPSHOT_FILE;
+
+    #[test]
+    fn crash_between_rotation_and_promotion_recovers_everything() {
+        // Simulate the crash window by hand-rolling the layout: ops in
+        // wal.1, a rotation to wal.2 with more ops, and NO snapshot.
+        let dir = temp_dir("crashwindow");
+        {
+            let mut w1 = WalWriter::create(&dir, 1, FlushPolicy::EveryOp).unwrap();
+            for id in 0..3 {
+                w1.append(&WalOp::Upsert(record(id, 0))).unwrap();
+            }
+        }
+        {
+            let mut w2 = WalWriter::create(&dir, 2, FlushPolicy::EveryOp).unwrap();
+            w2.append(&WalOp::Remove { user_id: 1 }).unwrap();
+            w2.append(&WalOp::Upsert(record(7, 1))).unwrap();
+        }
+        let (_log, state) = DurableLog::open(&dir, LogOptions::default()).unwrap();
+        assert_eq!(ids(&state), vec![0, 2, 7]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn evict_before_replays() {
+        let dir = temp_dir("evict");
+        {
+            let (log, _) = DurableLog::open(&dir, LogOptions::default()).unwrap();
+            for id in 0..4 {
+                log.append(&WalOp::Upsert(record(id, id)));
+            }
+            log.append(&WalOp::EvictBefore { min_epoch: 2 });
+            log.sync().unwrap();
+        }
+        let (_log, state) = DurableLog::open(&dir, LogOptions::default()).unwrap();
+        assert_eq!(ids(&state), vec![2, 3]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stray_snapshot_tmp_is_cleaned() {
+        let dir = temp_dir("straytmp");
+        fs::write(dir.join(SNAPSHOT_TMP), b"half a snapshot").unwrap();
+        let (_log, state) = DurableLog::open(&dir, LogOptions::default()).unwrap();
+        assert!(state.records.is_empty());
+        assert!(!dir.join(SNAPSHOT_TMP).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

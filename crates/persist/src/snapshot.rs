@@ -1,0 +1,225 @@
+//! Snapshot files: the compacted live record set, promoted atomically.
+//!
+//! A snapshot is written to `snapshot.tmp`, fsync'd, then renamed over
+//! `snapshot.bin` (rename within one directory is atomic on POSIX), and
+//! the directory is fsync'd so the rename itself is durable. Readers
+//! therefore only ever observe either the old complete snapshot or the
+//! new complete snapshot — a torn `snapshot.bin` is impossible by
+//! construction, so any CRC failure inside it is treated as real
+//! corruption rather than a tolerated torn tail.
+//!
+//! Layout: a header frame (`magic ‖ covered_generation ‖ epoch ‖ count`)
+//! followed by `count` record frames, all CRC-framed like the WAL.
+
+use crate::codec::{self, FrameRead, Record};
+use crate::error::{PersistError, PersistResult};
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Magic bytes opening every snapshot's header frame.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"SLASNAP1";
+
+/// The promoted snapshot's filename.
+pub const SNAPSHOT_FILE: &str = "snapshot.bin";
+
+/// The in-flight snapshot's filename (deleted on recovery if present).
+pub const SNAPSHOT_TMP: &str = "snapshot.tmp";
+
+/// One complete snapshot: the live record set as of the moment every WAL
+/// generation `<= covered_generation` had been applied.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// WAL generations up to and including this one are folded in;
+    /// recovery replays only strictly newer generations on top.
+    pub covered_generation: u64,
+    /// The service epoch at the snapshot point.
+    pub epoch: u64,
+    /// The live records.
+    pub records: Vec<Record>,
+}
+
+/// Writes `snapshot` to `dir/snapshot.tmp`, fsyncs it, atomically
+/// renames it over `dir/snapshot.bin`, and fsyncs the directory.
+pub fn write_snapshot(dir: &Path, snapshot: &Snapshot) -> PersistResult<()> {
+    let tmp = dir.join(SNAPSHOT_TMP);
+    let dst = dir.join(SNAPSHOT_FILE);
+
+    let mut header = Vec::with_capacity(32);
+    header.extend_from_slice(SNAPSHOT_MAGIC);
+    header.extend_from_slice(&snapshot.covered_generation.to_le_bytes());
+    header.extend_from_slice(&snapshot.epoch.to_le_bytes());
+    header.extend_from_slice(&(snapshot.records.len() as u64).to_le_bytes());
+
+    let mut file = OpenOptions::new()
+        .create(true)
+        .truncate(true)
+        .write(true)
+        .open(&tmp)
+        .map_err(|e| PersistError::io("create snapshot.tmp", &tmp, e))?;
+    let mut write = |bytes: &[u8]| {
+        file.write_all(bytes)
+            .map_err(|e| PersistError::io("write snapshot", &tmp, e))
+    };
+    write(&codec::frame(&header))?;
+    let mut payload = Vec::new();
+    for record in &snapshot.records {
+        payload.clear();
+        codec::encode_record(record, &mut payload);
+        write(&codec::frame(&payload))?;
+    }
+    file.sync_all()
+        .map_err(|e| PersistError::io("fsync snapshot.tmp", &tmp, e))?;
+    drop(file);
+
+    fs::rename(&tmp, &dst).map_err(|e| PersistError::io("promote snapshot", &dst, e))?;
+    sync_dir(dir)
+}
+
+/// fsyncs a directory so a rename inside it is durable.
+pub fn sync_dir(dir: &Path) -> PersistResult<()> {
+    File::open(dir)
+        .and_then(|d| d.sync_all())
+        .map_err(|e| PersistError::io("fsync dir", dir, e))
+}
+
+/// Loads `dir/snapshot.bin`; `Ok(None)` when no snapshot has ever been
+/// promoted. Any framing or CRC failure is corruption (see the module
+/// docs for why a snapshot cannot legitimately be torn).
+pub fn load_snapshot(dir: &Path) -> PersistResult<Option<Snapshot>> {
+    let path = dir.join(SNAPSHOT_FILE);
+    let mut bytes = Vec::new();
+    match File::open(&path) {
+        Ok(mut f) => f
+            .read_to_end(&mut bytes)
+            .map(|_| ())
+            .map_err(|e| PersistError::io("read snapshot", &path, e))?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(PersistError::io("open snapshot", &path, e)),
+    }
+
+    let corrupt = |offset: u64, detail: String| PersistError::corrupt(&path, offset, detail);
+
+    let (header, mut rest) = match codec::read_frame(&bytes) {
+        FrameRead::Frame { payload, rest } => (payload, rest),
+        FrameRead::End => return Err(corrupt(0, "empty snapshot file".into())),
+        FrameRead::Torn { detail } => return Err(corrupt(0, detail)),
+    };
+    if header.len() != 32 || &header[..8] != SNAPSHOT_MAGIC {
+        return Err(corrupt(0, "bad snapshot magic".into()));
+    }
+    let word = |i: usize| u64::from_le_bytes(header[i..i + 8].try_into().expect("8 bytes"));
+    let covered_generation = word(8);
+    let epoch = word(16);
+    let count = word(24);
+
+    let mut records = Vec::with_capacity(count.min(1 << 20) as usize);
+    for _ in 0..count {
+        let offset = (bytes.len() - rest.len()) as u64;
+        match codec::read_frame(rest) {
+            FrameRead::Frame { payload, rest: r } => {
+                let record =
+                    codec::decode_record(payload).map_err(|e| corrupt(offset, e.to_string()))?;
+                records.push(record);
+                rest = r;
+            }
+            FrameRead::End => {
+                return Err(corrupt(
+                    offset,
+                    format!("snapshot ends after {} of {count} records", records.len()),
+                ))
+            }
+            FrameRead::Torn { detail } => return Err(corrupt(offset, detail)),
+        }
+    }
+    if !rest.is_empty() {
+        return Err(corrupt(
+            (bytes.len() - rest.len()) as u64,
+            format!("{} trailing bytes after {count} records", rest.len()),
+        ));
+    }
+    Ok(Some(Snapshot {
+        covered_generation,
+        epoch,
+        records,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sla_bigint::BigUint;
+    use sla_hve::Ciphertext;
+    use sla_pairing::{GElem, GtElem};
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "sla-persist-snap-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn record(user_id: u64) -> Record {
+        Record {
+            user_id,
+            epoch: user_id % 3,
+            expected: GtElem::from_canonical_log(BigUint::from_u64(user_id + 1)),
+            ciphertext: Ciphertext::from_parts(
+                GtElem::from_canonical_log(BigUint::from_u64(user_id * 7)),
+                GElem::from_canonical_log(BigUint::from_u64(user_id * 11)),
+                vec![(
+                    GElem::from_canonical_log(BigUint::from_u64(user_id)),
+                    GElem::from_canonical_log(BigUint::from_u64(user_id + 2)),
+                )],
+            ),
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_promotion() {
+        let dir = temp_dir("roundtrip");
+        assert_eq!(load_snapshot(&dir).unwrap(), None);
+        let snap = Snapshot {
+            covered_generation: 4,
+            epoch: 9,
+            records: (0..5).map(record).collect(),
+        };
+        write_snapshot(&dir, &snap).unwrap();
+        assert_eq!(load_snapshot(&dir).unwrap(), Some(snap.clone()));
+        assert!(!dir.join(SNAPSHOT_TMP).exists(), "tmp promoted away");
+        // Overwrite with a newer snapshot: atomic replacement.
+        let newer = Snapshot {
+            covered_generation: 6,
+            epoch: 12,
+            records: vec![record(42)],
+        };
+        write_snapshot(&dir, &newer).unwrap();
+        assert_eq!(load_snapshot(&dir).unwrap(), Some(newer));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_snapshot_is_corrupt_not_torn() {
+        let dir = temp_dir("truncated");
+        let snap = Snapshot {
+            covered_generation: 1,
+            epoch: 0,
+            records: (0..3).map(record).collect(),
+        };
+        write_snapshot(&dir, &snap).unwrap();
+        let path = dir.join(SNAPSHOT_FILE);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        assert!(matches!(
+            load_snapshot(&dir),
+            Err(PersistError::Corrupt { .. })
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

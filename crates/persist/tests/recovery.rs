@@ -1,0 +1,207 @@
+//! Crash-recovery fault injection: a WAL truncated at **every byte
+//! boundary** must recover exactly the state at the last complete frame
+//! — never garbage, never an error, never a record from the torn
+//! suffix. The `#[ignore]`d heavy variant sweeps every byte of a larger
+//! log (CI runs it via `--include-ignored`); the default variant sweeps
+//! every byte of the final record plus every frame boundary, which is
+//! the window a real torn write lands in.
+
+use sla_bigint::BigUint;
+use sla_hve::Ciphertext;
+use sla_pairing::{GElem, GtElem};
+use sla_persist::codec::{encode_op, frame};
+use sla_persist::wal::{replay_wal, wal_file_name, WalWriter};
+use sla_persist::{DurableLog, FlushPolicy, LogOptions, Record, WalOp};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "sla-persist-recovery-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn record(user_id: u64, epoch: u64) -> Record {
+    Record {
+        user_id,
+        epoch,
+        expected: GtElem::from_canonical_log(BigUint::from_u64(user_id + 1)),
+        ciphertext: Ciphertext::from_parts(
+            GtElem::from_canonical_log(BigUint::from_limbs(vec![user_id, 3, user_id])),
+            GElem::from_canonical_log(BigUint::from_u64(user_id * 13 + 5)),
+            vec![
+                (
+                    GElem::from_canonical_log(BigUint::from_u64(user_id ^ 0xF0)),
+                    GElem::from_canonical_log(BigUint::from_u128(u128::from(user_id) << 70)),
+                ),
+                (
+                    GElem::from_canonical_log(BigUint::zero()),
+                    GElem::from_canonical_log(BigUint::from_u64(user_id + 42)),
+                ),
+            ],
+        ),
+    }
+}
+
+fn sample_ops() -> Vec<WalOp> {
+    vec![
+        WalOp::Upsert(record(1, 0)),
+        WalOp::Upsert(record(2, 0)),
+        WalOp::Epoch { epoch: 1 },
+        WalOp::Upsert(record(1, 1)),
+        WalOp::Remove { user_id: 2 },
+        WalOp::EvictBefore { min_epoch: 1 },
+        WalOp::Upsert(record(9, 1)),
+    ]
+}
+
+/// Writes `ops` as a generation-1 WAL and returns
+/// `(path, frame_boundaries)` — byte offsets at which each frame
+/// (header first) ends.
+fn write_wal(dir: &std::path::Path, ops: &[WalOp]) -> (PathBuf, Vec<u64>) {
+    let mut wal = WalWriter::create(dir, 1, FlushPolicy::Manual).unwrap();
+    for op in ops {
+        wal.append(op).unwrap();
+    }
+    wal.sync().unwrap();
+    let path = wal.path().to_path_buf();
+    drop(wal);
+
+    // Recompute the framing to find each boundary: header (16-byte
+    // payload => 24-byte frame) then one frame per op.
+    let mut boundaries = vec![24u64];
+    let mut offset = 24u64;
+    for op in ops {
+        let mut payload = Vec::new();
+        encode_op(op, &mut payload);
+        offset += frame(&payload).len() as u64;
+        boundaries.push(offset);
+    }
+    assert_eq!(
+        std::fs::metadata(&path).unwrap().len(),
+        offset,
+        "boundary bookkeeping disagrees with the file"
+    );
+    (path, boundaries)
+}
+
+/// Asserts that truncating the WAL to `cut` bytes recovers exactly the
+/// ops whose frames are fully contained in the prefix.
+fn assert_recovery_at(
+    original: &[u8],
+    boundaries: &[u64],
+    ops: &[WalOp],
+    dir: &std::path::Path,
+    cut: u64,
+) {
+    let path = dir.join(wal_file_name(1));
+    std::fs::write(&path, &original[..cut as usize]).unwrap();
+    let replay = replay_wal(&path, 1).unwrap();
+    // Number of op frames fully contained in the prefix (boundaries[0]
+    // is the header; boundaries[i] the end of op i-1).
+    let complete = boundaries[1..].iter().filter(|&&b| b <= cut).count();
+    assert_eq!(
+        replay.ops,
+        ops[..complete].to_vec(),
+        "cut at byte {cut}: expected exactly the first {complete} ops"
+    );
+    // The last frame boundary at or before the cut (0 when even the
+    // header frame is torn).
+    let expected_valid = boundaries.iter().copied().rfind(|&b| b <= cut).unwrap_or(0);
+    assert_eq!(replay.valid_len, expected_valid, "cut at byte {cut}");
+    assert_eq!(
+        replay.torn.is_some(),
+        cut != expected_valid,
+        "cut at byte {cut}: torn flag"
+    );
+}
+
+#[test]
+fn truncation_at_every_byte_of_the_final_record_recovers_prefix() {
+    let dir = temp_dir("final-record");
+    let ops = sample_ops();
+    let (path, boundaries) = write_wal(&dir, &ops);
+    let original = std::fs::read(&path).unwrap();
+
+    // Every byte boundary inside the final record's frame...
+    let last_start = boundaries[boundaries.len() - 2];
+    let last_end = *boundaries.last().unwrap();
+    for cut in last_start..=last_end {
+        assert_recovery_at(&original, &boundaries, &ops, &dir, cut);
+    }
+    // ...plus every frame boundary of the whole log (clean cuts).
+    for &cut in &boundaries {
+        assert_recovery_at(&original, &boundaries, &ops, &dir, cut);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn recovery_resumes_appending_after_any_final_record_truncation() {
+    let dir = temp_dir("resume");
+    let ops = sample_ops();
+    let (path, boundaries) = write_wal(&dir, &ops);
+    let original = std::fs::read(&path).unwrap();
+
+    let last_start = boundaries[boundaries.len() - 2];
+    let last_end = *boundaries.last().unwrap();
+    // A representative spread of torn positions (every 5th byte).
+    for cut in (last_start..last_end).step_by(5) {
+        std::fs::write(&path, &original[..cut as usize]).unwrap();
+        let complete = boundaries[1..].iter().filter(|&&b| b <= cut).count();
+        // Full-subsystem recovery: DurableLog truncates the torn tail
+        // and appends continue on a frame boundary.
+        let (log, state) = DurableLog::open(
+            &dir,
+            LogOptions {
+                flush: FlushPolicy::EveryOp,
+                ..LogOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(state.replayed_ops, complete, "cut {cut}");
+        // Every cut in this range lands mid-frame except the exact
+        // frame boundary at `last_start`.
+        assert_eq!(state.torn_tail, cut != last_start, "cut {cut}");
+        log.append(&WalOp::Upsert(record(77, 9)));
+        log.sync().unwrap();
+        drop(log);
+        let replay = replay_wal(&path, 1).unwrap();
+        assert_eq!(replay.ops.len(), complete + 1, "cut {cut}");
+        assert_eq!(replay.ops[complete], WalOp::Upsert(record(77, 9)));
+        assert!(replay.torn.is_none());
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The heavy sweep: every byte boundary of the whole file, on a longer
+/// log. ~minutes of work in debug builds, so `#[ignore]`d locally; CI
+/// runs it in release via `--include-ignored`.
+#[test]
+#[ignore = "exhaustive byte sweep; CI runs it via --include-ignored"]
+fn truncation_at_every_byte_of_the_whole_wal_recovers_prefix() {
+    let dir = temp_dir("whole-wal");
+    let mut ops = Vec::new();
+    for round in 0..6u64 {
+        for id in 0..4 {
+            ops.push(WalOp::Upsert(record(id, round)));
+        }
+        ops.push(WalOp::Epoch { epoch: round + 1 });
+        if round % 2 == 1 {
+            ops.push(WalOp::EvictBefore { min_epoch: round });
+            ops.push(WalOp::Remove { user_id: round % 4 });
+        }
+    }
+    let (path, boundaries) = write_wal(&dir, &ops);
+    let original = std::fs::read(&path).unwrap();
+    for cut in 0..=original.len() as u64 {
+        assert_recovery_at(&original, &boundaries, &ops, &dir, cut);
+    }
+    let _ = path;
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -5,7 +5,9 @@
 //! torn reads under real parallelism, (b) a deterministic final store
 //! state once quiescent (each user is owned by exactly one writer), and
 //! (c) serial-vs-batch outcome identity on a quiescent store for all
-//! three backends.
+//! four backends. The churn-while-evicting harness adds the sharded
+//! epoch/stats plane: `advance_epoch_shared` (TTL eviction through
+//! `&self`) racing the writers.
 //!
 //! The `stress_heavy_*` test is `#[ignore]` for local `cargo test`
 //! ergonomics; CI runs it with `--include-ignored` so the lock
@@ -13,21 +15,42 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use secure_location_alerts::core::{AlertOutcome, AlertSystem, StoreBackend, SystemBuilder};
+use secure_location_alerts::core::{
+    AlertOutcome, AlertSystem, FlushPolicy, StoreBackend, SystemBuilder,
+};
 use secure_location_alerts::grid::{BoundingBox, Grid, ProbabilityMap};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 const N_CELLS: usize = 9;
 
-fn concurrent_system(shards: usize) -> (AlertSystem, StdRng) {
+fn temp_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "sla-concurrency-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn concurrent_system_with(backend: StoreBackend, ttl: Option<u64>) -> (AlertSystem, StdRng) {
     let mut rng = StdRng::seed_from_u64(0xc0c0);
     let grid = Grid::new(BoundingBox::new(0.0, 0.0, 0.1, 0.1), 3, 3);
     let probs = ProbabilityMap::new(vec![0.2, 0.1, 0.05, 0.15, 0.1, 0.1, 0.1, 0.1, 0.1]);
-    let system = SystemBuilder::new(grid)
-        .group_bits(32)
-        .store(StoreBackend::ConcurrentSharded { shards })
+    let mut builder = SystemBuilder::new(grid).group_bits(32).store(backend);
+    if let Some(t) = ttl {
+        builder = builder.ttl_epochs(t);
+    }
+    let system = builder
         .build(&probs, &mut rng)
         .expect("valid configuration");
     (system, rng)
+}
+
+fn concurrent_system(shards: usize) -> (AlertSystem, StdRng) {
+    concurrent_system_with(StoreBackend::ConcurrentSharded { shards }, None)
 }
 
 /// The deterministic final cell of `user` after `rounds` writer rounds of
@@ -140,24 +163,130 @@ fn stress_heavy_churn_while_matching() {
     run_stress(6, 10, 40, 2);
 }
 
+/// Churn-while-evicting: writer threads upsert/remove through the
+/// shared entry points while another thread advances the epoch (TTL
+/// eviction enabled) through `advance_epoch_shared` — the sharded
+/// epoch/stats plane. Asserts no deadlock, the exact final epoch, the
+/// TTL retention invariant over the survivors, and that a full TTL of
+/// quiet advances drains the store completely.
+fn run_evict_stress(backend: StoreBackend, writers: u64, users_per_writer: u64, rounds: u64) {
+    const TTL: u64 = 2;
+    const ADVANCES: u64 = 6;
+    let (system, _) = concurrent_system_with(backend, Some(TTL));
+
+    std::thread::scope(|scope| {
+        for w in 0..writers {
+            let system = &system;
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xec1c7 ^ w);
+                for round in 0..rounds {
+                    for user in (w * users_per_writer)..((w + 1) * users_per_writer) {
+                        let cell = ((user + round) % N_CELLS as u64) as usize;
+                        system
+                            .subscribe_cell_shared(user, cell, &mut rng)
+                            .expect("valid cell and id");
+                        if (user + round).is_multiple_of(5) {
+                            // Not `expect`: a concurrent eviction may
+                            // legitimately beat this unsubscribe to a
+                            // record stamped with an already-old epoch.
+                            let _ = system.unsubscribe_shared(user);
+                        }
+                    }
+                }
+            });
+        }
+        let system = &system;
+        scope.spawn(move || {
+            for _ in 0..ADVANCES {
+                system.advance_epoch_shared().expect("concurrent backend");
+                std::thread::yield_now();
+            }
+        });
+    });
+
+    // Quiescent invariants: the epoch advanced exactly ADVANCES times,
+    // and no stamp can exceed the epoch that was current when it was
+    // taken. (The *lower* TTL bound on survivors is deliberately not
+    // asserted here: a record's epoch stamp is read before its insert,
+    // so an eviction sweeping between the two can leave a survivor one
+    // window older than the quiescent contract — the deterministic TTL
+    // boundary is pinned in the store-equivalence suite instead.)
+    assert_eq!(system.epoch(), ADVANCES);
+    for (user, epoch) in system.subscription_epochs() {
+        assert!(epoch <= ADVANCES, "user {user} stamped from the future");
+    }
+    // A quiet TTL of advances evicts everything that is left.
+    let before = system.n_subscriptions();
+    let drained: usize = (0..TTL)
+        .map(|_| system.advance_epoch_shared().expect("concurrent backend"))
+        .sum();
+    assert_eq!(drained, before, "every survivor ages out within TTL");
+    assert_eq!(system.n_subscriptions(), 0);
+    assert_eq!(
+        system.store_stats().evicted as usize + system.store_stats().unsubscribed as usize,
+        system.store_stats().inserted as usize,
+        "every insert is accounted for by an eviction or an unsubscribe"
+    );
+}
+
+#[test]
+fn churn_while_evicting_on_concurrent_store() {
+    run_evict_stress(StoreBackend::ConcurrentSharded { shards: 8 }, 4, 6, 10);
+}
+
+/// The persistent backend under the same schedule, plus a restart: the
+/// drained store must reopen empty at the advanced epoch. Heavy (every
+/// mutation pays a WAL append); CI runs it with `--include-ignored`.
+#[test]
+#[ignore = "heavy; CI runs it with --include-ignored"]
+fn stress_churn_while_evicting_persistent() {
+    let dir = temp_dir("evict-stress");
+    run_evict_stress(
+        StoreBackend::Persistent {
+            dir: dir.clone(),
+            flush: FlushPolicy::Every(std::time::Duration::from_millis(5)),
+        },
+        4,
+        6,
+        10,
+    );
+    // run_evict_stress drained the store and dropped the system (sync on
+    // drop); a reopen must find the drained state at the final epoch.
+    let (reopened, _) = concurrent_system_with(
+        StoreBackend::Persistent {
+            dir: dir.clone(),
+            flush: FlushPolicy::EveryOp,
+        },
+        Some(2),
+    );
+    assert_eq!(reopened.n_subscriptions(), 0);
+    assert_eq!(reopened.epoch(), 8, "6 stress advances + 2 drain advances");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// Quiescent-store outcome identity for all three backends: serial and
 /// batch matching agree field-for-field (`notified`, `tokens_issued`,
 /// `pairings_used`, `analytic_pairings`) at every chunk size, and all
 /// backends agree with each other.
 #[test]
 fn quiescent_serial_vs_batch_identity_across_all_backends() {
+    let persist_dir = temp_dir("quiescent");
     let mut reference: Option<(Vec<u64>, usize, u64, u64)> = None;
     for backend in [
         StoreBackend::Contiguous,
         StoreBackend::Sharded { shards: 4 },
         StoreBackend::ConcurrentSharded { shards: 4 },
+        StoreBackend::Persistent {
+            dir: persist_dir.clone(),
+            flush: FlushPolicy::EveryOp,
+        },
     ] {
         let mut rng = StdRng::seed_from_u64(0xbeef);
         let grid = Grid::new(BoundingBox::new(0.0, 0.0, 0.1, 0.1), 3, 3);
         let probs = ProbabilityMap::new(vec![0.2, 0.1, 0.05, 0.15, 0.1, 0.1, 0.1, 0.1, 0.1]);
         let mut system = SystemBuilder::new(grid)
             .group_bits(32)
-            .store(backend)
+            .store(backend.clone())
             .build(&probs, &mut rng)
             .unwrap();
         for user in 0..30u64 {
@@ -192,4 +321,5 @@ fn quiescent_serial_vs_batch_identity_across_all_backends() {
             ),
         }
     }
+    std::fs::remove_dir_all(&persist_dir).unwrap();
 }

@@ -52,7 +52,7 @@ fn fingerprint(o: &AlertOutcome) -> (Vec<u64>, usize, u64, u64) {
 #[test]
 fn upsert_moves_user_on_both_backends_serial_and_batch() {
     for backend in BACKENDS {
-        let (mut system, mut rng) = small_grid_system(backend, 0xc4a2);
+        let (mut system, mut rng) = small_grid_system(backend.clone(), 0xc4a2);
         // Bystanders on the old and new cells keep both alerts non-empty.
         system.subscribe_cell(50, 2, &mut rng).unwrap();
         system.subscribe_cell(51, 7, &mut rng).unwrap();
@@ -100,7 +100,7 @@ fn upsert_moves_user_on_both_backends_serial_and_batch() {
 #[test]
 fn unsubscribe_removes_and_unknown_user_errors() {
     for backend in BACKENDS {
-        let (mut system, mut rng) = small_grid_system(backend, 0x5b5);
+        let (mut system, mut rng) = small_grid_system(backend.clone(), 0x5b5);
         system.subscribe_cell(1, 4, &mut rng).unwrap();
         system.subscribe_cell(2, 4, &mut rng).unwrap();
 
@@ -128,7 +128,7 @@ fn ttl_eviction_drops_stale_subscriptions_and_refresh_renews() {
         let probs = ProbabilityMap::uniform(4);
         let mut system = SystemBuilder::new(grid)
             .group_bits(40)
-            .store(backend)
+            .store(backend.clone())
             .ttl_epochs(2)
             .build(&probs, &mut rng)
             .unwrap();
@@ -192,7 +192,7 @@ fn churn_workload_replays_identically_across_backends_and_paths() {
         let mut rng = StdRng::seed_from_u64(7);
         let mut system = SystemBuilder::new(grid.clone())
             .group_bits(40)
-            .store(backend)
+            .store(backend.clone())
             .build(&probs, &mut rng)
             .unwrap();
 

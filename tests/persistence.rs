@@ -1,0 +1,347 @@
+//! Durable-store acceptance: a `ServiceProvider` built on
+//! `StoreBackend::Persistent`, dropped and re-opened from its directory,
+//! serves **byte-identical quiescent match outcomes** (`notified` sets
+//! and `pairings_used`) to an in-memory backend given the same
+//! subscription history — including recovery from a torn final WAL
+//! record — plus cross-backend equivalence over random op sequences and
+//! the error/lifecycle surface of the persistent backend.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use secure_location_alerts::core::{
+    AlertSystem, FlushPolicy, SlaError, StoreBackend, SystemBuilder, UpsertOutcome,
+};
+use secure_location_alerts::grid::{BoundingBox, Grid, ProbabilityMap};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+const N_CELLS: usize = 9;
+const TTL: u64 = 3;
+const SEED: u64 = 0xD15C;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "sla-persistence-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Builds a system over `backend` from a fixed seed: same seed ⇒ same
+/// group, keys, and (given the same call sequence) same ciphertexts, so
+/// outcomes are comparable across backends and across restarts.
+fn build_system(backend: StoreBackend) -> (AlertSystem, StdRng) {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let grid = Grid::new(BoundingBox::new(0.0, 0.0, 0.1, 0.1), 3, 3);
+    let probs = ProbabilityMap::new(vec![0.2, 0.1, 0.05, 0.15, 0.1, 0.1, 0.1, 0.1, 0.1]);
+    let system = SystemBuilder::new(grid)
+        .group_bits(32)
+        .store(backend)
+        .ttl_epochs(TTL)
+        .build(&probs, &mut rng)
+        .expect("valid configuration");
+    (system, rng)
+}
+
+/// The subscription history both backends replay: subscribes, moves,
+/// unsubscribes and epoch advances across three rounds.
+fn apply_history(system: &mut AlertSystem, rng: &mut StdRng) {
+    for round in 0..3u64 {
+        for user in 0..12u64 {
+            if (user + round) % 4 == 0 {
+                continue; // this user skips the round (goes stale)
+            }
+            let cell = ((user + 2 * round) % N_CELLS as u64) as usize;
+            system.subscribe_cell(user, cell, rng).unwrap();
+        }
+        let _ = system.unsubscribe(round + 6);
+        system.advance_epoch();
+    }
+}
+
+/// Quiescent fingerprint of one alert on both the serial and batch path.
+fn alert_fingerprint(system: &AlertSystem, cells: &[usize], seed: u64) -> (Vec<u64>, u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let serial = system.issue_alert(cells, &mut rng).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let batch = system.issue_alert_batch(cells, Some(3), &mut rng).unwrap();
+    assert_eq!(
+        (&serial.notified, serial.pairings_used),
+        (&batch.notified, batch.pairings_used),
+        "serial/batch diverged on {cells:?}"
+    );
+    (serial.notified, serial.pairings_used)
+}
+
+/// The acceptance pin: persistent == in-memory before the restart, and
+/// the re-opened persistent store still equals the in-memory reference
+/// afterwards — same `(user, epoch)` content, same epoch, and identical
+/// `notified` + `pairings_used` on every probe alert.
+#[test]
+fn restart_serves_identical_outcomes_to_in_memory_backend() {
+    let dir = temp_dir("restart");
+    let (mut memory, mut mem_rng) = build_system(StoreBackend::ConcurrentSharded { shards: 4 });
+    apply_history(&mut memory, &mut mem_rng);
+
+    let probes: [&[usize]; 3] = [&[0, 1, 2], &[4], &[0, 1, 2, 3, 4, 5, 6, 7, 8]];
+    let expected_state = memory.subscription_epochs();
+    let expected_epoch = memory.epoch();
+
+    {
+        let (mut persistent, mut rng) = build_system(StoreBackend::Persistent {
+            dir: dir.clone(),
+            flush: FlushPolicy::Every(Duration::from_millis(20)),
+        });
+        apply_history(&mut persistent, &mut rng);
+        assert_eq!(persistent.subscription_epochs(), expected_state);
+        for (i, cells) in probes.iter().enumerate() {
+            assert_eq!(
+                alert_fingerprint(&persistent, cells, 100 + i as u64),
+                alert_fingerprint(&memory, cells, 100 + i as u64),
+                "pre-restart divergence on {cells:?}"
+            );
+        }
+        persistent.sync().unwrap();
+    } // drop: flush the group-commit tail, quiesce the directory
+
+    let (reopened, _) = build_system(StoreBackend::Persistent {
+        dir: dir.clone(),
+        flush: FlushPolicy::EveryOp,
+    });
+    assert_eq!(reopened.store_stats().backend, "persistent");
+    assert_eq!(reopened.n_subscriptions(), expected_state.len());
+    assert_eq!(
+        reopened.subscription_epochs(),
+        expected_state,
+        "recovered (user, epoch) content"
+    );
+    assert_eq!(reopened.epoch(), expected_epoch, "recovered service epoch");
+    for (i, cells) in probes.iter().enumerate() {
+        assert_eq!(
+            alert_fingerprint(&reopened, cells, 100 + i as u64),
+            alert_fingerprint(&memory, cells, 100 + i as u64),
+            "post-restart divergence on {cells:?}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Torn final WAL record: chopping bytes off the last frame loses
+/// exactly the last subscription and nothing else — the re-opened store
+/// equals an in-memory reference that never saw that subscription.
+#[test]
+fn torn_final_wal_record_recovers_state_at_last_complete_frame() {
+    let dir = temp_dir("torn");
+
+    // Reference: users 0..5 (the 6th subscribe never happened).
+    let (mut memory, mut mem_rng) = build_system(StoreBackend::ConcurrentSharded { shards: 4 });
+    for user in 0..5u64 {
+        memory
+            .subscribe_cell(user, user as usize % N_CELLS, &mut mem_rng)
+            .unwrap();
+    }
+
+    {
+        let (mut persistent, mut rng) = build_system(StoreBackend::Persistent {
+            dir: dir.clone(),
+            flush: FlushPolicy::EveryOp,
+        });
+        for user in 0..6u64 {
+            persistent
+                .subscribe_cell(user, user as usize % N_CELLS, &mut rng)
+                .unwrap();
+        }
+    }
+
+    // Tear the final record: chop a few bytes off the single WAL file.
+    let wal_path = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("wal."))
+        })
+        .expect("one wal file");
+    let bytes = std::fs::read(&wal_path).unwrap();
+    std::fs::write(&wal_path, &bytes[..bytes.len() - 3]).unwrap();
+
+    let (reopened, _) = build_system(StoreBackend::Persistent {
+        dir: dir.clone(),
+        flush: FlushPolicy::EveryOp,
+    });
+    assert_eq!(
+        reopened.subscription_epochs(),
+        memory.subscription_epochs(),
+        "exactly the torn subscription is lost"
+    );
+    for cells in [&[0usize, 1][..], &[4, 5][..]] {
+        assert_eq!(
+            alert_fingerprint(&reopened, cells, 7),
+            alert_fingerprint(&memory, cells, 7),
+            "torn-recovery divergence on {cells:?}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// One decoded store operation (same shape as the store-equivalence
+/// suite, so the persistent backend faces the same churn mix).
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Upsert { user: u64, cell: usize },
+    Remove { user: u64 },
+    AdvanceEpoch,
+}
+
+fn decode(raw: u64) -> Op {
+    let user = (raw >> 4) % 12;
+    let cell = ((raw >> 8) % N_CELLS as u64) as usize;
+    match raw % 8 {
+        0..=4 => Op::Upsert { user, cell },
+        5 | 6 => Op::Remove { user },
+        _ => Op::AdvanceEpoch,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    #[test]
+    fn random_histories_survive_restart_identically(
+        raw_ops in prop::collection::vec(any::<u64>(), 10..30),
+        case in any::<u64>(),
+    ) {
+        let dir = temp_dir(&format!("prop-{case}"));
+        let ops: Vec<Op> = raw_ops.iter().map(|&r| decode(r)).collect();
+
+        let (mut memory, mut mem_rng) =
+            build_system(StoreBackend::ConcurrentSharded { shards: 4 });
+        {
+            let (mut persistent, mut rng) = build_system(StoreBackend::Persistent {
+                dir: dir.clone(),
+                flush: FlushPolicy::Manual,
+            });
+            for op in &ops {
+                // Apply to both; observable results must agree.
+                let (a, b) = match *op {
+                    Op::Upsert { user, cell } => (
+                        format!("{:?}", memory.subscribe_cell(user, cell, &mut mem_rng)),
+                        format!("{:?}", persistent.subscribe_cell(user, cell, &mut rng)),
+                    ),
+                    Op::Remove { user } => (
+                        format!("{:?}", memory.unsubscribe(user)),
+                        format!("{:?}", persistent.unsubscribe(user)),
+                    ),
+                    Op::AdvanceEpoch => (
+                        format!("{}", memory.advance_epoch()),
+                        format!("{}", persistent.advance_epoch()),
+                    ),
+                };
+                prop_assert_eq!(a, b, "live divergence at {:?}", op);
+            }
+            persistent.sync().unwrap();
+        }
+
+        let (reopened, _) = build_system(StoreBackend::Persistent {
+            dir: dir.clone(),
+            flush: FlushPolicy::Manual,
+        });
+        prop_assert_eq!(reopened.subscription_epochs(), memory.subscription_epochs());
+        prop_assert_eq!(reopened.epoch(), memory.epoch());
+        let all_cells: Vec<usize> = (0..N_CELLS).collect();
+        prop_assert_eq!(
+            alert_fingerprint(&reopened, &all_cells, 11),
+            alert_fingerprint(&memory, &all_cells, 11)
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// The persistent backend is concurrent-capable: the shared (`&self`)
+/// entry points work, and shared epoch advancement both evicts and is
+/// recorded durably.
+#[test]
+fn persistent_backend_supports_shared_mutation_and_epochs() {
+    let dir = temp_dir("shared");
+    {
+        let (system, mut rng) = build_system(StoreBackend::Persistent {
+            dir: dir.clone(),
+            flush: FlushPolicy::EveryOp,
+        });
+        assert_eq!(
+            system.subscribe_cell_shared(1, 0, &mut rng),
+            Ok(UpsertOutcome::Inserted)
+        );
+        assert_eq!(
+            system.subscribe_cell_shared(1, 2, &mut rng),
+            Ok(UpsertOutcome::Replaced)
+        );
+        system.subscribe_cell_shared(2, 4, &mut rng).unwrap();
+        system.unsubscribe_shared(2).unwrap();
+        assert_eq!(
+            system.unsubscribe_shared(2).unwrap_err(),
+            SlaError::UnknownUser { user_id: 2 }
+        );
+        // TTL = 3: three shared advances evict user 1 (epoch-0 record).
+        assert_eq!(system.advance_epoch_shared(), Ok(0));
+        assert_eq!(system.advance_epoch_shared(), Ok(0));
+        assert_eq!(system.advance_epoch_shared(), Ok(1));
+        assert_eq!(system.n_subscriptions(), 0);
+        system.sync().unwrap();
+    }
+    let (reopened, _) = build_system(StoreBackend::Persistent {
+        dir: dir.clone(),
+        flush: FlushPolicy::EveryOp,
+    });
+    assert_eq!(reopened.epoch(), 3, "shared advances recovered");
+    assert_eq!(reopened.n_subscriptions(), 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Error surface: a corrupt snapshot refuses to open with
+/// `SlaError::Corrupt`; an unusable directory surfaces
+/// `SlaError::Storage`.
+#[test]
+fn unrecoverable_directories_surface_typed_errors() {
+    // Corrupt snapshot: valid system, then flip a byte mid-snapshot.
+    let dir = temp_dir("corrupt");
+    std::fs::write(dir.join("snapshot.bin"), b"not a snapshot at all").unwrap();
+    let err = build_system_err(StoreBackend::Persistent {
+        dir: dir.clone(),
+        flush: FlushPolicy::EveryOp,
+    });
+    assert!(
+        matches!(err, SlaError::Corrupt { .. }),
+        "expected Corrupt, got {err:?}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    // A file where the directory should be.
+    let blocker = temp_dir("blocked").join("occupied");
+    std::fs::write(&blocker, b"file, not dir").unwrap();
+    let err = build_system_err(StoreBackend::Persistent {
+        dir: blocker.clone(),
+        flush: FlushPolicy::EveryOp,
+    });
+    assert!(
+        matches!(err, SlaError::Storage { .. }),
+        "expected Storage, got {err:?}"
+    );
+    std::fs::remove_dir_all(blocker.parent().unwrap()).unwrap();
+}
+
+fn build_system_err(backend: StoreBackend) -> SlaError {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let grid = Grid::new(BoundingBox::new(0.0, 0.0, 0.1, 0.1), 3, 3);
+    let probs = ProbabilityMap::new(vec![0.2, 0.1, 0.05, 0.15, 0.1, 0.1, 0.1, 0.1, 0.1]);
+    SystemBuilder::new(grid)
+        .group_bits(32)
+        .store(backend)
+        .build(&probs, &mut rng)
+        .unwrap_err()
+}

@@ -1,25 +1,44 @@
 //! Store-backend equivalence: random interleavings of
 //! upsert / remove / evict-before (via `advance_epoch`) / match must
-//! leave the contiguous, hash-sharded and concurrent-sharded backends
-//! with identical contents — as sorted `(user_id, epoch)` sets — and
-//! identical notified sets under quiescent matching. Also pins the TTL
-//! boundary: a subscription **exactly** `ttl_epochs` old is evicted (the
-//! `epoch >= min_epoch` retain bound is the contract).
+//! leave the contiguous, hash-sharded, concurrent-sharded and persistent
+//! (WAL-backed) backends with identical contents — as sorted
+//! `(user_id, epoch)` sets — and identical notified sets under quiescent
+//! matching. Also pins the TTL boundary: a subscription **exactly**
+//! `ttl_epochs` old is evicted (the `epoch >= min_epoch` retain bound is
+//! the contract).
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use secure_location_alerts::core::{AlertSystem, StoreBackend, SystemBuilder};
+use secure_location_alerts::core::{AlertSystem, FlushPolicy, StoreBackend, SystemBuilder};
 use secure_location_alerts::grid::{BoundingBox, Grid, ProbabilityMap};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 const N_CELLS: usize = 9;
 const TTL: u64 = 3;
 
-fn backends() -> [StoreBackend; 3] {
+/// A fresh unique scratch directory for one persistent-backend system.
+fn temp_dir() -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "sla-store-equivalence-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn backends(persist_dir: &std::path::Path) -> [StoreBackend; 4] {
     [
         StoreBackend::Contiguous,
         StoreBackend::Sharded { shards: 4 },
         StoreBackend::ConcurrentSharded { shards: 4 },
+        StoreBackend::Persistent {
+            dir: persist_dir.to_path_buf(),
+            flush: FlushPolicy::EveryOp,
+        },
     ]
 }
 
@@ -67,10 +86,11 @@ proptest! {
         raw_ops in prop::collection::vec(any::<u64>(), 15..45),
     ) {
         let ops: Vec<Op> = raw_ops.iter().map(|&r| decode(r)).collect();
-        let mut systems: Vec<(StoreBackend, AlertSystem, StdRng)> = backends()
+        let persist_dir = temp_dir();
+        let mut systems: Vec<(StoreBackend, AlertSystem, StdRng)> = backends(&persist_dir)
             .into_iter()
             .map(|b| {
-                let (system, rng) = build_system(b);
+                let (system, rng) = build_system(b.clone());
                 (b, system, rng)
             })
             .collect();
@@ -101,7 +121,7 @@ proptest! {
                         format!("notified={:?} pairings={}", o.notified, o.pairings_used)
                     }
                 };
-                outcomes.push((*backend, observed));
+                outcomes.push((backend.clone(), observed));
             }
             let (ref_backend, reference) = outcomes[0].clone();
             for (backend, observed) in &outcomes[1..] {
@@ -140,6 +160,8 @@ proptest! {
                 backend
             );
         }
+        drop(systems); // flush + quiesce the persistent backend
+        std::fs::remove_dir_all(&persist_dir).unwrap();
     }
 }
 
@@ -148,8 +170,9 @@ proptest! {
 /// evicted by the advance that makes its age exactly `t`.
 #[test]
 fn ttl_boundary_evicts_exactly_at_ttl_epochs() {
-    for backend in backends() {
-        let (mut system, mut rng) = build_system(backend); // TTL = 3
+    let persist_dir = temp_dir();
+    for backend in backends(&persist_dir) {
+        let (mut system, mut rng) = build_system(backend.clone()); // TTL = 3
         system.subscribe_cell(1, 0, &mut rng).unwrap();
         // Ages 1 and 2: still stored.
         assert_eq!(system.advance_epoch(), 0, "{backend:?}: age 1");
@@ -160,4 +183,5 @@ fn ttl_boundary_evicts_exactly_at_ttl_epochs() {
         assert!(system.subscription_epochs().is_empty(), "{backend:?}");
         assert_eq!(system.store_stats().evicted, 1, "{backend:?}");
     }
+    std::fs::remove_dir_all(&persist_dir).unwrap();
 }
