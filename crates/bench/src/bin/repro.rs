@@ -23,6 +23,9 @@ struct Opts {
     /// Store backend for the smoke's end-to-end alert round
     /// (`contiguous` | `sharded` | `concurrent` | `persistent`).
     store: String,
+    /// Batch widths for the serial-vs-lockstep kernel rows of the
+    /// `primitives` figure (`--batch-width`, comma-separated).
+    batch_widths: Vec<usize>,
 }
 
 fn parse_args() -> Opts {
@@ -32,9 +35,21 @@ fn parse_args() -> Opts {
     let mut parallel = false;
     let mut smoke = false;
     let mut store = "sharded".to_string();
+    let mut batch_widths = vec![1usize, 4, 8];
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--batch-width" => {
+                let spec = args.next().expect("--batch-width needs a number or list");
+                batch_widths = spec
+                    .split(',')
+                    .map(|w| w.trim().parse().expect("--batch-width entries are numbers"))
+                    .collect();
+                assert!(
+                    !batch_widths.is_empty(),
+                    "--batch-width needs at least one width"
+                );
+            }
             "--quick" => zones = 10,
             "--parallel" => parallel = true,
             "--smoke" => smoke = true,
@@ -65,6 +80,7 @@ fn parse_args() -> Opts {
         parallel,
         smoke,
         store,
+        batch_widths,
     }
 }
 
@@ -98,11 +114,12 @@ fn resolve_store(name: &str) -> (sla_core::StoreBackend, Option<PathBuf>) {
 /// round with the live-vs-analytic invariants asserted. Panics (failing
 /// the CI step) on any mismatch; writes a side artifact so it never
 /// clobbers the tracked `BENCH_primitives.json`.
-fn run_smoke(out_dir: &std::path::Path, store: &str) {
+fn run_smoke(out_dir: &std::path::Path, store: &str, batch_widths: &[usize]) {
     println!("# smoke: primitives");
     let rows = vec![primitives::measure(32, SEED)];
     let phases = vec![primitives::measure_phases(24, 8, SEED)];
     let churn = primitives::measure_churn(SEED);
+    let lockstep = primitives::measure_lockstep(32, batch_widths, SEED);
     for r in &rows {
         println!(
             "primitives[{} bit N]: mod_pow {:.0} -> {:.0} ns ({:.2}x), fixed-base {:.0} ns ({:.2}x)",
@@ -131,9 +148,25 @@ fn run_smoke(out_dir: &std::path::Path, store: &str) {
             c.backend, c.upsert_ns, c.remove_insert_ns, c.match_per_record_ns
         );
     }
+    for l in &lockstep {
+        println!(
+            "lockstep[{} bit N, batch {}]: {:.0} -> {:.0} ns/product ({:.2}x, kernel {})",
+            l.modulus_bits,
+            l.batch,
+            l.serial_ns,
+            l.lockstep_ns,
+            l.speedup(),
+            l.kernel,
+        );
+    }
     let path = out_dir.join("BENCH_primitives_smoke.json");
     let write = std::fs::create_dir_all(out_dir)
-        .and_then(|()| std::fs::write(&path, primitives::to_json(&rows, &phases, &churn)))
+        .and_then(|()| {
+            std::fs::write(
+                &path,
+                primitives::to_json(&rows, &phases, &churn, &lockstep),
+            )
+        })
         .map(|()| path);
     report(write);
 
@@ -205,7 +238,7 @@ fn run_smoke(out_dir: &std::path::Path, store: &str) {
 fn main() {
     let opts = parse_args();
     if opts.smoke {
-        run_smoke(&opts.out_dir, &opts.store);
+        run_smoke(&opts.out_dir, &opts.store, &opts.batch_widths);
         return;
     }
     println!("# Reproducing EDBT 2021 'Location-based Alert Protocol using SE and Huffman Codes'");
@@ -355,10 +388,31 @@ fn main() {
                         c.users,
                     );
                 }
+                // Serial-vs-lockstep kernel rows at every modulus size
+                // (batch widths from --batch-width, default 1,4,8).
+                let lockstep: Vec<_> = [32usize, 48, 64]
+                    .iter()
+                    .flat_map(|&bits| primitives::measure_lockstep(bits, &opts.batch_widths, SEED))
+                    .collect();
+                for l in &lockstep {
+                    println!(
+                        "lockstep[{} bit N, batch {}]: {:.0} -> {:.0} ns/product \
+                         ({:.2}x, kernel {})",
+                        l.modulus_bits,
+                        l.batch,
+                        l.serial_ns,
+                        l.lockstep_ns,
+                        l.speedup(),
+                        l.kernel,
+                    );
+                }
                 let path = opts.out_dir.join("BENCH_primitives.json");
                 let write = std::fs::create_dir_all(&opts.out_dir)
                     .and_then(|()| {
-                        std::fs::write(&path, primitives::to_json(&rows, &phases, &churn))
+                        std::fs::write(
+                            &path,
+                            primitives::to_json(&rows, &phases, &churn, &lockstep),
+                        )
                     })
                     .map(|()| path);
                 report(write);

@@ -15,8 +15,14 @@
 //! takes Barrett passes, and the division-based ladder survives only as
 //! the explicitly-named [`BigUint::mod_pow_naive`] baseline.
 
+use crate::montgomery::{limbs_lt, limbs_sub_assign};
 use crate::pow::{window_pow_res, ResidueOps};
 use crate::BigUint;
+
+/// Limb cap for the fixed stack-buffer reduction path (512-bit moduli,
+/// mirroring the CIOS kernels' cap). Larger moduli take the allocating
+/// `BigUint` path.
+const STACK_K: usize = 8;
 
 /// Precomputed per-modulus state for division-free reduction by an
 /// arbitrary modulus `N > 1`.
@@ -65,6 +71,10 @@ impl BarrettCtx {
         if x.bit_len() > 128 * self.k {
             return x % &self.n; // outside Barrett's input range
         }
+        if self.k <= STACK_K {
+            return self.reduce_limbs(x.limbs());
+        }
+        // Allocating fallback for oversized moduli.
         // q̂ = ⌊ ⌊x / b^{k-1}⌋ · µ / b^{k+1} ⌋  underestimates the true
         // quotient by at most 2 (HAC Theorem 14.43, given x < b^{2k} and
         // µ = ⌊b^{2k}/N⌋), so r = x - q̂·N lands in [0, 3N) and at most
@@ -86,6 +96,57 @@ impl BarrettCtx {
         r
     }
 
+    /// The HAC 14.42 reduction over fixed stack limb buffers — the same
+    /// q̂ as the allocating path, with every intermediate (`q1·µ`,
+    /// `q3·N`, `x − q3·N mod b^{k+1}`) living in a stack array, so a
+    /// reduction allocates exactly once (the result). `xl` may carry
+    /// trailing zero limbs; callers guarantee `xl` spans ≤ `2k` limbs.
+    fn reduce_limbs(&self, xl: &[u64]) -> BigUint {
+        let k = self.k;
+        let nl = self.n.limbs();
+        let ml = self.mu.limbs(); // µ ≤ b^{k+1} (k+2 limbs when N = b^{k-1})
+        debug_assert!(xl.len() <= 2 * k && ml.len() <= k + 2);
+
+        // q1 = ⌊x / b^{k-1}⌋ — a limb-slice view, no copy.
+        let q1 = if xl.len() > k - 1 { &xl[k - 1..] } else { &[] };
+        // q2 = q1·µ  (≤ 2k+3 limbs).
+        let mut q2 = [0u64; 2 * STACK_K + 4];
+        limbs_mul_into(q1, ml, &mut q2[..q1.len() + ml.len()]);
+        // q3 = ⌊q2 / b^{k+1}⌋ — again a slice view.
+        let q2_len = q1.len() + ml.len();
+        let q3 = if q2_len > k + 1 {
+            &q2[k + 1..q2_len]
+        } else {
+            &[]
+        };
+        // q3·N (≤ 2k+2 limbs).
+        let mut q3n = [0u64; 2 * STACK_K + 4];
+        limbs_mul_into(q3, nl, &mut q3n[..q3.len() + nl.len()]);
+        // r = (x − q3·N) mod b^{k+1}: the true difference is in [0, 3N)
+        // ⊂ [0, b^{k+1}), so the wrap-around subtraction is exact.
+        let mut r = [0u64; STACK_K + 1];
+        let mut borrow = 0u64;
+        for (i, ri) in r.iter_mut().enumerate().take(k + 1) {
+            let xi = xl.get(i).copied().unwrap_or(0);
+            let yi = q3n.get(i).copied().unwrap_or(0);
+            let (d1, o1) = xi.overflowing_sub(yi);
+            let (d2, o2) = d1.overflowing_sub(borrow);
+            *ri = d2;
+            borrow = (o1 | o2) as u64;
+        }
+        // At most two correcting subtractions (HAC 14.43).
+        let mut corrections = 0u32;
+        while r[k] != 0 || !limbs_lt(&r[..k], nl) {
+            limbs_sub_assign(&mut r[..=k], nl);
+            corrections += 1;
+            debug_assert!(
+                corrections <= 2,
+                "Barrett correction bound violated: q̂ underestimated by more than 2 (k = {k})",
+            );
+        }
+        BigUint::from_limbs(r[..k].to_vec())
+    }
+
     /// `(a · b) mod N` via one full product and one Barrett reduction.
     pub fn mod_mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
         let (ra, rb);
@@ -101,7 +162,22 @@ impl BarrettCtx {
             rb = b % &self.n;
             &rb
         };
-        self.reduce(&(a * b))
+        self.mul_reduced(a, b)
+    }
+
+    /// Product + reduction of already-reduced operands: the hot path
+    /// behind [`ResidueOps::mul_res`]. For stack-sized moduli the full
+    /// product lands in a fixed limb buffer — no `BigUint` temporary.
+    fn mul_reduced(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        debug_assert!(a < &self.n && b < &self.n);
+        if self.k <= STACK_K {
+            let (al, bl) = (a.limbs(), b.limbs());
+            let mut prod = [0u64; 2 * STACK_K];
+            limbs_mul_into(al, bl, &mut prod[..al.len() + bl.len()]);
+            self.reduce_limbs(&prod[..al.len() + bl.len()])
+        } else {
+            self.reduce(&(a * b))
+        }
     }
 
     /// `base^exp mod N` via the shared sliding-window ladder with a
@@ -123,7 +199,35 @@ impl ResidueOps for BarrettCtx {
         }
     }
     fn mul_res(&self, a: &BigUint, b: &BigUint) -> BigUint {
-        self.reduce(&(a * b))
+        self.mul_reduced(a, b)
+    }
+}
+
+/// Schoolbook product `a·b` accumulated into the zeroed buffer `out`
+/// (`out.len() >= a.len() + b.len()`); trailing zero limbs in either
+/// operand are harmless.
+fn limbs_mul_into(a: &[u64], b: &[u64], out: &mut [u64]) {
+    debug_assert!(out.len() >= a.len() + b.len());
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry = 0u128;
+        for (j, &bj) in b.iter().enumerate() {
+            let s = out[i + j] as u128 + ai as u128 * bj as u128 + carry;
+            out[i + j] = s as u64;
+            carry = s >> 64;
+        }
+        // The final carry fits one limb and, because the total product
+        // is < b^{a.len()+b.len()}, the ripple never leaves `out`.
+        let mut idx = i + b.len();
+        let mut c = carry as u64;
+        while c != 0 {
+            let (v, overflow) = out[idx].overflowing_add(c);
+            out[idx] = v;
+            c = overflow as u64;
+            idx += 1;
+        }
     }
 }
 
@@ -185,6 +289,37 @@ mod tests {
                 "base = {base}, exp = {exp}"
             );
         }
+    }
+
+    #[test]
+    fn stack_path_agrees_on_power_of_two_and_near_cap_moduli() {
+        // N = b^{k-1} exactly (µ occupies k+2 limbs) and an 8-limb
+        // (cap-sized) even modulus, with full-width products.
+        let mut near_cap = BigUint::one().shl_bits(64 * 8 - 1);
+        near_cap.set_bit(1); // even, 8 limbs
+        for m in [
+            BigUint::one().shl_bits(64),
+            BigUint::one().shl_bits(128),
+            near_cap,
+        ] {
+            let ctx = BarrettCtx::new(&m).unwrap();
+            let a = &(&BigUint::one().shl_bits(64 * ctx.k) - &BigUint::one()) % &m;
+            let b = &(&BigUint::one().shl_bits(64 * ctx.k - 7) - &b(99)) % &m;
+            assert_eq!(ctx.mod_mul(&a, &b), a.mod_mul(&b, &m));
+            assert_eq!(ctx.mul_res(&a, &b), a.mod_mul(&b, &m));
+            assert_eq!(ctx.reduce(&(&a * &b)), (&a * &b) % &m);
+        }
+    }
+
+    #[test]
+    fn oversized_moduli_use_allocating_fallback() {
+        // 9-limb even modulus exceeds the stack path's cap.
+        let mut m = BigUint::one().shl_bits(64 * 8 + 13);
+        m.set_bit(1);
+        let ctx = BarrettCtx::new(&m).unwrap();
+        let a = &BigUint::one().shl_bits(64 * 9 - 5) % &m;
+        let b = &(&BigUint::one().shl_bits(64 * 9 - 11) - &b(7)) % &m;
+        assert_eq!(ctx.mod_mul(&a, &b), a.mod_mul(&b, &m));
     }
 
     #[test]

@@ -1,0 +1,698 @@
+//! Runtime-dispatched CIOS multiplication kernels (SIMD + lockstep).
+//!
+//! [`crate::MontgomeryCtx::mont_mul`] bottoms out in a CIOS pass — the
+//! single hottest loop in the stack. This module supplies drop-in
+//! replacements for that pass that produce **byte-identical** results
+//! (same `[0, N)` representative, same limb vector) while exploiting
+//! data parallelism two different ways:
+//!
+//! * **Single-operation SIMD** ([`cios_avx2`], `cios_neon`): the 64-bit
+//!   limbs are split into 32-bit digits stored one-per-64-bit-lane, so
+//!   the lane multiplier the ISA actually has (`vpmuludq` on AVX2,
+//!   `umull` on NEON — both 32×32→64) covers a full digit product.
+//!   Carries are *not* propagated inside the loop: each digit slot
+//!   accumulates raw `lo32`/`hi32` pieces, which is safe because a
+//!   `k ≤ 8`-limb pass deposits at most `8·k·(2^32−1) < 2^38` into any
+//!   slot — far below `u64` overflow. The two per-iteration scalar
+//!   fix-ups (the `m = t₀·n' mod 2^64` factor and the exact ÷2^64 shift
+//!   carry) read the lazy digits directly; see the proofs inline.
+//! * **Lockstep SoA batching** ([`lockstep_portable`], `lockstep_avx2`):
+//!   four *independent* multiplications advance through the same
+//!   instruction stream with operands transposed into `[limb][lane]`
+//!   (struct-of-arrays) buffers. The portable variant interleaves four
+//!   u128 carry chains (instruction-level parallelism the serial loop
+//!   can't expose); the AVX2 variant runs the digit algorithm with one
+//!   lane per element.
+//!
+//! Dispatch is decided once per process by [`KernelKind::active`]:
+//! runtime feature detection (`is_x86_feature_detected!`), overridable
+//! via the `SLA_SIMD` environment variable (`auto`/`scalar`/`portable`/
+//! `avx2`/`neon`) so CI can pin either path. The scalar loop in
+//! `montgomery.rs` remains the proptest oracle; every kernel here is
+//! pinned byte-identical to it (`tests/proptest_kernels.rs`).
+
+// The crate denies `unsafe_code`; the `std::arch` intrinsics below are
+// the one sanctioned exception, scoped to this module. Every unsafe
+// block carries its safety argument.
+#![allow(unsafe_code)]
+
+use std::sync::OnceLock;
+
+/// Maximum modulus limb count the vector kernels cover (512-bit moduli —
+/// beyond every group order the simulation uses). Larger moduli fall
+/// back to the scalar loop.
+pub(crate) const KMAX: usize = 8;
+/// 32-bit digits per operand.
+const DMAX: usize = 2 * KMAX;
+/// Digit-buffer capacity: `2k` digits plus padding so 4-digit vector
+/// loads at the tail stay in bounds (padding digits are zero, so the
+/// extra lanes contribute nothing).
+const DIG_PAD: usize = DMAX + 8;
+/// Accumulator capacity in digits: the offset advances 2 per iteration
+/// (≤ `2(KMAX−1)`), live digits span `2k + 2` more, and tail vector
+/// stores may touch 3 past that.
+const ACC_PAD: usize = 4 * KMAX + 8;
+/// Lockstep width: independent elements advanced per batch group.
+pub(crate) const LANES: usize = 4;
+const MASK32: u64 = 0xffff_ffff;
+
+/// Which CIOS kernel the active [`crate::MontgomeryCtx`] dispatch uses.
+///
+/// Selected once per process by [`KernelKind::active`]; tests pin a
+/// specific kernel through `MontgomeryCtx::mont_mul_with` instead (the
+/// env override is process-global, so in-process oracle comparisons
+/// need the explicit API).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelKind {
+    /// The u128 schoolbook CIOS loop — the oracle every other kernel is
+    /// pinned against. Batches run serially.
+    Scalar,
+    /// Scalar single multiplications, but batches run the lockstep
+    /// struct-of-arrays path with four interleaved carry chains (an ILP
+    /// win on any 64-bit CPU, no intrinsics required).
+    Portable,
+    /// AVX2 digit kernels for both single multiplications and lockstep
+    /// batches (x86-64 with AVX2).
+    Avx2,
+    /// NEON digit kernel for single multiplications (aarch64); batches
+    /// run the portable lockstep path.
+    Neon,
+}
+
+impl KernelKind {
+    /// Stable lower-case name (matches the `SLA_SIMD` tokens).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelKind::Scalar => "scalar",
+            KernelKind::Portable => "portable",
+            KernelKind::Avx2 => "avx2",
+            KernelKind::Neon => "neon",
+        }
+    }
+
+    /// Whether this kernel can run on the current CPU.
+    pub fn available(self) -> bool {
+        match self {
+            KernelKind::Scalar | KernelKind::Portable => true,
+            KernelKind::Avx2 => {
+                #[cfg(target_arch = "x86_64")]
+                {
+                    std::arch::is_x86_feature_detected!("avx2")
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                {
+                    false
+                }
+            }
+            KernelKind::Neon => cfg!(target_arch = "aarch64"),
+        }
+    }
+
+    /// Every kernel runnable on this CPU (used by the oracle proptests
+    /// to sweep all locally testable paths).
+    pub fn all_available() -> Vec<KernelKind> {
+        [
+            KernelKind::Scalar,
+            KernelKind::Portable,
+            KernelKind::Avx2,
+            KernelKind::Neon,
+        ]
+        .into_iter()
+        .filter(|k| k.available())
+        .collect()
+    }
+
+    /// Best kernel the current CPU supports.
+    fn detect() -> KernelKind {
+        if KernelKind::Avx2.available() {
+            KernelKind::Avx2
+        } else if KernelKind::Neon.available() {
+            KernelKind::Neon
+        } else {
+            KernelKind::Portable
+        }
+    }
+
+    /// The process-wide kernel: `SLA_SIMD` override if set, runtime
+    /// detection otherwise. Decided once and cached.
+    ///
+    /// # Panics
+    /// Panics (once, at first arithmetic) if `SLA_SIMD` names an unknown
+    /// kernel or one the CPU lacks — a forced override that silently
+    /// fell back would defeat its purpose (CI legs pin each path).
+    pub fn active() -> KernelKind {
+        Self::resolve().0
+    }
+
+    /// Like [`KernelKind::active`], but also reports whether `SLA_SIMD`
+    /// **forced** the choice (anything but unset/`auto`). Auto-detected
+    /// and forced dispatch differ on *single* multiplications: one CIOS
+    /// pass is a serial carry chain, and the digit kernels measure
+    /// slower than the scalar loop at every limb count they accept, so
+    /// auto reserves vector execution for the lockstep batch path (four
+    /// independent products per instruction — where it wins). A forced
+    /// kernel runs single ops too, which is what the oracle CI legs pin.
+    pub fn active_forced() -> (KernelKind, bool) {
+        Self::resolve()
+    }
+
+    fn resolve() -> (KernelKind, bool) {
+        static ACTIVE: OnceLock<(KernelKind, bool)> = OnceLock::new();
+        *ACTIVE.get_or_init(|| {
+            let (kind, forced) = match std::env::var("SLA_SIMD") {
+                Err(_) => (KernelKind::detect(), false),
+                Ok(v) => match v.to_ascii_lowercase().as_str() {
+                    "" | "auto" => (KernelKind::detect(), false),
+                    "scalar" => (KernelKind::Scalar, true),
+                    "portable" => (KernelKind::Portable, true),
+                    "avx2" => (KernelKind::Avx2, true),
+                    "neon" => (KernelKind::Neon, true),
+                    other => panic!(
+                        "SLA_SIMD={other:?}: unknown kernel \
+                         (expected auto|scalar|portable|avx2|neon)"
+                    ),
+                },
+            };
+            assert!(
+                kind.available(),
+                "SLA_SIMD forced the {} kernel but this CPU does not support it",
+                kind.name()
+            );
+            (kind, forced)
+        })
+    }
+}
+
+/// Below this limb count, auto-detected batch dispatch prefers the
+/// portable lockstep kernel over the AVX2 digit kernel.
+///
+/// The AVX2 lockstep works in 32-bit digits (`_mm256_mul_epu32` is the
+/// widest lanewise multiply AVX2 offers), doubling the recurrence length
+/// per product; four interleaved u128 carry chains keep 64-bit scalar
+/// multipliers saturated instead and measure faster up to roughly this
+/// many limbs, where the digit kernel reaches parity. A forced
+/// `SLA_SIMD` override bypasses the heuristic.
+pub(crate) const AVX2_MIN_BATCH_LIMBS: usize = 6;
+
+/// Splits little-endian limbs into 32-bit digits stored one per `u64`
+/// slot of `out` (which the caller pre-zeroed; `src` may be shorter
+/// than `k` — missing limbs are zero).
+#[inline]
+fn to_digits(src: &[u64], k: usize, out: &mut [u64]) {
+    for i in 0..k {
+        let l = src.get(i).copied().unwrap_or(0);
+        out[2 * i] = l & MASK32;
+        out[2 * i + 1] = l >> 32;
+    }
+}
+
+/// The modulus' digit expansion, padded for vector loads — precomputed
+/// once per [`crate::MontgomeryCtx`] when `k ≤ KMAX`.
+pub(crate) fn modulus_digits(nl: &[u64]) -> Vec<u64> {
+    let mut v = vec![0u64; DIG_PAD];
+    to_digits(nl, nl.len(), &mut v);
+    v
+}
+
+/// Carries the lazy digit accumulator into limbs, then applies the same
+/// conditional subtraction as the scalar loop. Writes the reduced
+/// result into `t[..k]` with `t[k] == 0`, matching the scalar CIOS
+/// output contract exactly.
+#[inline]
+fn finish_digits(acc: &[u64], o: usize, nl: &[u64], t: &mut [u64]) {
+    let k = nl.len();
+    let mut carry = 0u128;
+    for (limb, tl) in t.iter_mut().enumerate().take(k + 1) {
+        // Digit magnitudes are < 2^39 (see the accumulation bound), so
+        // lo + (hi << 32) + carry < 2^72 — no u128 overflow.
+        let v = acc[o + 2 * limb] as u128 + ((acc[o + 2 * limb + 1] as u128) << 32) + carry;
+        *tl = v as u64;
+        carry = v >> 64;
+    }
+    // The pre-subtraction CIOS result is < 2N < 2^{64(k+1)}.
+    debug_assert_eq!(carry, 0);
+    if t[k] != 0 || !crate::montgomery::limbs_lt(&t[..k], nl) {
+        crate::montgomery::limbs_sub_assign(&mut t[..=k], nl);
+    }
+    debug_assert_eq!(t[k], 0);
+}
+
+// ---------------------------------------------------------------------
+// AVX2 single-operation digit kernel (x86-64)
+// ---------------------------------------------------------------------
+
+/// One CIOS pass via AVX2 digit vectors; same contract as the scalar
+/// `MontgomeryCtx::cios` (result in `t[..k]`, `t[k..] == 0`).
+///
+/// `nd` is the padded digit expansion from [`modulus_digits`].
+#[cfg(target_arch = "x86_64")]
+pub(crate) fn cios_avx2(nl: &[u64], nd: &[u64], n0_inv: u64, a: &[u64], b: &[u64], t: &mut [u64]) {
+    debug_assert!(KernelKind::Avx2.available());
+    // SAFETY: the dispatch (and the debug assert above) guarantees AVX2
+    // is present on this CPU.
+    unsafe { cios_avx2_inner(nl, nd, n0_inv, a, b, t) }
+}
+
+/// Adds the digit products `factor_lo·digits` and `factor_hi·digits·2^32`
+/// into `acc` (both factors < 2^32), four digits per step. Each 64-bit
+/// product is pre-split into `lo32`/`hi32` pieces so the lazy
+/// accumulator slots stay far below overflow. Chunks overlap by two
+/// digit positions; the loads/stores of consecutive steps are ordered,
+/// so the overlap is carried correctly.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn accumulate_avx2(
+    digits: &[u64],
+    d: usize,
+    factor_lo: u64,
+    factor_hi: u64,
+    acc: &mut [u64],
+) {
+    use std::arch::x86_64::*;
+    debug_assert!(digits.len() >= d + 2 && acc.len() >= d + 8);
+    let vlo = _mm256_set1_epi64x(factor_lo as i64);
+    let vhi = _mm256_set1_epi64x(factor_hi as i64);
+    let mask = _mm256_set1_epi64x(MASK32 as i64);
+    let dp = digits.as_ptr();
+    let ap = acc.as_mut_ptr();
+    let mut j = 0;
+    while j < d {
+        // SAFETY: j ≤ d−1, so the widest access (acc[j+2 .. j+6)) stays
+        // within the padded buffers per the debug bound above.
+        let vb = _mm256_loadu_si256(dp.add(j) as *const __m256i);
+        let plo = _mm256_mul_epu32(vb, vlo);
+        let phi = _mm256_mul_epu32(vb, vhi);
+        let add0 = _mm256_and_si256(plo, mask);
+        let add1 = _mm256_add_epi64(_mm256_srli_epi64::<32>(plo), _mm256_and_si256(phi, mask));
+        let add2 = _mm256_srli_epi64::<32>(phi);
+        let t0 = _mm256_loadu_si256(ap.add(j) as *const __m256i);
+        _mm256_storeu_si256(ap.add(j) as *mut __m256i, _mm256_add_epi64(t0, add0));
+        let t1 = _mm256_loadu_si256(ap.add(j + 1) as *const __m256i);
+        _mm256_storeu_si256(ap.add(j + 1) as *mut __m256i, _mm256_add_epi64(t1, add1));
+        let t2 = _mm256_loadu_si256(ap.add(j + 2) as *const __m256i);
+        _mm256_storeu_si256(ap.add(j + 2) as *mut __m256i, _mm256_add_epi64(t2, add2));
+        j += 4;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn cios_avx2_inner(
+    nl: &[u64],
+    nd: &[u64],
+    n0_inv: u64,
+    a: &[u64],
+    b: &[u64],
+    t: &mut [u64],
+) {
+    let k = nl.len();
+    let d = 2 * k;
+    debug_assert!(k <= KMAX && nd.len() >= DIG_PAD);
+    let mut bd = [0u64; DIG_PAD];
+    to_digits(b, k, &mut bd);
+    let mut acc = [0u64; ACC_PAD];
+    let mut o = 0usize; // digit offset: consumed digits are never revisited
+    for i in 0..k {
+        let ai = a.get(i).copied().unwrap_or(0);
+        accumulate_avx2(&bd, d, ai & MASK32, ai >> 32, &mut acc[o..]);
+        // m = t₀·n' mod 2^64. The lazy digits satisfy
+        // t mod 2^64 = (acc[o] + acc[o+1]·2^32) mod 2^64, because every
+        // higher digit contributes a multiple of 2^64.
+        let m = acc[o].wrapping_add(acc[o + 1] << 32).wrapping_mul(n0_inv);
+        accumulate_avx2(nd, d, m & MASK32, m >> 32, &mut acc[o..]);
+        // Exact ÷2^64 shift: S = acc[o] + (acc[o+1] mod 2^32)·2^32 is
+        // ≡ 0 (mod 2^64) by choice of m and < 2^65, hence S ∈ {0, 2^64};
+        // S = 2^64 exactly when acc[o] ≠ 0.
+        debug_assert_eq!(acc[o].wrapping_add(acc[o + 1] << 32), 0);
+        let carry = (acc[o + 1] >> 32) + (acc[o] != 0) as u64;
+        acc[o + 2] += carry;
+        o += 2;
+    }
+    finish_digits(&acc, o, nl, t);
+}
+
+// ---------------------------------------------------------------------
+// NEON single-operation digit kernel (aarch64)
+// ---------------------------------------------------------------------
+
+/// One CIOS pass via NEON digit vectors (`umull`); same contract and
+/// algorithm as [`cios_avx2`], two digits per step.
+#[cfg(target_arch = "aarch64")]
+pub(crate) fn cios_neon(nl: &[u64], nd: &[u64], n0_inv: u64, a: &[u64], b: &[u64], t: &mut [u64]) {
+    // SAFETY: NEON is part of the aarch64 baseline ISA.
+    unsafe { cios_neon_inner(nl, nd, n0_inv, a, b, t) }
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn accumulate_neon(
+    digits: &[u64],
+    d: usize,
+    factor_lo: u64,
+    factor_hi: u64,
+    acc: &mut [u64],
+) {
+    use std::arch::aarch64::*;
+    debug_assert!(digits.len() >= d && acc.len() >= d + 4);
+    let vlo = vdup_n_u32(factor_lo as u32);
+    let vhi = vdup_n_u32(factor_hi as u32);
+    let mask = vdupq_n_u64(MASK32);
+    let dp = digits.as_ptr();
+    let ap = acc.as_mut_ptr();
+    let mut j = 0;
+    while j < d {
+        // SAFETY: d is even and j ≤ d−2, so the widest access
+        // (acc[j+2 .. j+4)) stays inside the padded buffers.
+        let vb = vmovn_u64(vld1q_u64(dp.add(j))); // digits < 2^32: lossless narrow
+        let plo = vmull_u32(vb, vlo);
+        let phi = vmull_u32(vb, vhi);
+        let add0 = vandq_u64(plo, mask);
+        let add1 = vaddq_u64(vshrq_n_u64::<32>(plo), vandq_u64(phi, mask));
+        let add2 = vshrq_n_u64::<32>(phi);
+        vst1q_u64(ap.add(j), vaddq_u64(vld1q_u64(ap.add(j)), add0));
+        vst1q_u64(ap.add(j + 1), vaddq_u64(vld1q_u64(ap.add(j + 1)), add1));
+        vst1q_u64(ap.add(j + 2), vaddq_u64(vld1q_u64(ap.add(j + 2)), add2));
+        j += 2;
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn cios_neon_inner(
+    nl: &[u64],
+    nd: &[u64],
+    n0_inv: u64,
+    a: &[u64],
+    b: &[u64],
+    t: &mut [u64],
+) {
+    let k = nl.len();
+    let d = 2 * k;
+    debug_assert!(k <= KMAX && nd.len() >= DIG_PAD);
+    let mut bd = [0u64; DIG_PAD];
+    to_digits(b, k, &mut bd);
+    let mut acc = [0u64; ACC_PAD];
+    let mut o = 0usize;
+    for i in 0..k {
+        let ai = a.get(i).copied().unwrap_or(0);
+        accumulate_neon(&bd, d, ai & MASK32, ai >> 32, &mut acc[o..]);
+        let m = acc[o].wrapping_add(acc[o + 1] << 32).wrapping_mul(n0_inv);
+        accumulate_neon(nd, d, m & MASK32, m >> 32, &mut acc[o..]);
+        debug_assert_eq!(acc[o].wrapping_add(acc[o + 1] << 32), 0);
+        let carry = (acc[o + 1] >> 32) + (acc[o] != 0) as u64;
+        acc[o + 2] += carry;
+        o += 2;
+    }
+    finish_digits(&acc, o, nl, t);
+}
+
+// ---------------------------------------------------------------------
+// Lockstep struct-of-arrays batch kernels
+// ---------------------------------------------------------------------
+
+/// Four independent CIOS passes in lockstep, portable Rust: the exact
+/// scalar recurrence per lane, but with operands transposed into
+/// `[limb][lane]` (SoA) buffers so the four u128 carry chains
+/// interleave — the compiler schedules them in parallel where the
+/// serial loop is one long dependency chain. Byte-identical to four
+/// scalar passes by construction (same arithmetic per lane).
+///
+/// `out[limb][lane]` receives the reduced results (`out.len() >= k`).
+#[allow(clippy::needless_range_loop)] // lane/limb index math mirrors the SoA layout
+pub(crate) fn lockstep_portable(
+    nl: &[u64],
+    n0_inv: u64,
+    a: &[&[u64]; LANES],
+    b: &[&[u64]; LANES],
+    out: &mut [[u64; LANES]],
+) {
+    let k = nl.len();
+    debug_assert!(k <= KMAX && out.len() >= k);
+    // SoA transpose of b: bt[limb][lane].
+    let mut bt = [[0u64; LANES]; KMAX];
+    for lane in 0..LANES {
+        for j in 0..k {
+            bt[j][lane] = b[lane].get(j).copied().unwrap_or(0);
+        }
+    }
+    let mut t = [[0u64; LANES]; KMAX + 2];
+    for i in 0..k {
+        let mut ai = [0u64; LANES];
+        for lane in 0..LANES {
+            ai[lane] = a[lane].get(i).copied().unwrap_or(0);
+        }
+        // t += a_i · b, four carry chains interleaved.
+        let mut carry = [0u128; LANES];
+        for j in 0..k {
+            for lane in 0..LANES {
+                let s = t[j][lane] as u128 + ai[lane] as u128 * bt[j][lane] as u128 + carry[lane];
+                t[j][lane] = s as u64;
+                carry[lane] = s >> 64;
+            }
+        }
+        let mut m = [0u64; LANES];
+        for lane in 0..LANES {
+            let s = t[k][lane] as u128 + carry[lane];
+            t[k][lane] = s as u64;
+            t[k + 1][lane] = (s >> 64) as u64;
+            m[lane] = t[0][lane].wrapping_mul(n0_inv);
+            carry[lane] = (t[0][lane] as u128 + m[lane] as u128 * nl[0] as u128) >> 64;
+        }
+        // t = (t + m·N) >> 64
+        for j in 1..k {
+            for lane in 0..LANES {
+                let s = t[j][lane] as u128 + m[lane] as u128 * nl[j] as u128 + carry[lane];
+                t[j - 1][lane] = s as u64;
+                carry[lane] = s >> 64;
+            }
+        }
+        for lane in 0..LANES {
+            let s = t[k][lane] as u128 + carry[lane];
+            t[k - 1][lane] = s as u64;
+            t[k][lane] = t[k + 1][lane].wrapping_add((s >> 64) as u64);
+            t[k + 1][lane] = 0;
+        }
+    }
+    for lane in 0..LANES {
+        let mut tl = [0u64; KMAX + 2];
+        for j in 0..=k {
+            tl[j] = t[j][lane];
+        }
+        if tl[k] != 0 || !crate::montgomery::limbs_lt(&tl[..k], nl) {
+            crate::montgomery::limbs_sub_assign(&mut tl[..=k], nl);
+        }
+        debug_assert_eq!(tl[k], 0);
+        for j in 0..k {
+            out[j][lane] = tl[j];
+        }
+    }
+}
+
+/// Four independent CIOS passes in lockstep via AVX2: the digit
+/// algorithm of [`cios_avx2`] with one *element* per 64-bit lane
+/// instead of four digits of one element — digit `j` of the four
+/// operands occupies one vector. The modulus is shared across lanes
+/// (broadcast); the per-lane `m` factors need a lanewise 64-bit low
+/// product, composed from three `vpmuludq` partials.
+#[cfg(target_arch = "x86_64")]
+pub(crate) fn lockstep_avx2(
+    nl: &[u64],
+    nd: &[u64],
+    n0_inv: u64,
+    a: &[&[u64]; LANES],
+    b: &[&[u64]; LANES],
+    out: &mut [[u64; LANES]],
+) {
+    debug_assert!(KernelKind::Avx2.available());
+    // SAFETY: the dispatch guarantees AVX2 is present.
+    unsafe { lockstep_avx2_inner(nl, nd, n0_inv, a, b, out) }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::needless_range_loop)] // lane/digit index math mirrors the SoA layout
+unsafe fn lockstep_avx2_inner(
+    nl: &[u64],
+    nd: &[u64],
+    n0_inv: u64,
+    a: &[&[u64]; LANES],
+    b: &[&[u64]; LANES],
+    out: &mut [[u64; LANES]],
+) {
+    use std::arch::x86_64::*;
+
+    /// Lanewise 64-bit low product from three 32×32 partials.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn mullo64(x: __m256i, y: __m256i) -> __m256i {
+        let lo = _mm256_mul_epu32(x, y);
+        let cross = _mm256_add_epi64(
+            _mm256_mul_epu32(_mm256_srli_epi64::<32>(x), y),
+            _mm256_mul_epu32(x, _mm256_srli_epi64::<32>(y)),
+        );
+        _mm256_add_epi64(lo, _mm256_slli_epi64::<32>(cross))
+    }
+
+    let k = nl.len();
+    let d = 2 * k;
+    debug_assert!(k <= KMAX && nd.len() >= DIG_PAD && out.len() >= k);
+
+    // Digit-strided SoA transpose of b: digit j's four lanes live at
+    // bt[LANES*j .. LANES*j + LANES] — every vector access is a whole,
+    // aligned-by-construction 4-lane group, so unlike the single-op
+    // kernel no accesses overlap.
+    let mut bt = [0u64; LANES * DIG_PAD];
+    for lane in 0..LANES {
+        for i in 0..k {
+            let l = b[lane].get(i).copied().unwrap_or(0);
+            bt[LANES * (2 * i) + lane] = l & MASK32;
+            bt[LANES * (2 * i + 1) + lane] = l >> 32;
+        }
+    }
+    let mut acc = [0u64; LANES * ACC_PAD];
+    let mask = _mm256_set1_epi64x(MASK32 as i64);
+    let zero = _mm256_setzero_si256();
+    let one = _mm256_set1_epi64x(1);
+    let n0v = _mm256_set1_epi64x(n0_inv as i64);
+
+    // acc digit s, as a 4-lane vector.
+    macro_rules! lo {
+        ($s:expr) => {
+            _mm256_loadu_si256(acc.as_ptr().add(LANES * ($s)) as *const __m256i)
+        };
+    }
+    macro_rules! st {
+        ($s:expr, $v:expr) => {
+            _mm256_storeu_si256(acc.as_mut_ptr().add(LANES * ($s)) as *mut __m256i, $v)
+        };
+    }
+
+    let mut o = 0usize;
+    for i in 0..k {
+        let av = _mm256_set_epi64x(
+            a[3].get(i).copied().unwrap_or(0) as i64,
+            a[2].get(i).copied().unwrap_or(0) as i64,
+            a[1].get(i).copied().unwrap_or(0) as i64,
+            a[0].get(i).copied().unwrap_or(0) as i64,
+        );
+        let al = _mm256_and_si256(av, mask);
+        let ah = _mm256_srli_epi64::<32>(av);
+        // acc += a_i · b (digit products, per-lane operand digits).
+        for j in 0..d {
+            let vb = _mm256_loadu_si256(bt.as_ptr().add(LANES * j) as *const __m256i);
+            let plo = _mm256_mul_epu32(vb, al);
+            let phi = _mm256_mul_epu32(vb, ah);
+            st!(
+                o + j,
+                _mm256_add_epi64(lo!(o + j), _mm256_and_si256(plo, mask))
+            );
+            st!(
+                o + j + 1,
+                _mm256_add_epi64(
+                    lo!(o + j + 1),
+                    _mm256_add_epi64(_mm256_srli_epi64::<32>(plo), _mm256_and_si256(phi, mask)),
+                )
+            );
+            st!(
+                o + j + 2,
+                _mm256_add_epi64(lo!(o + j + 2), _mm256_srli_epi64::<32>(phi))
+            );
+        }
+        // Per-lane m = t₀·n' mod 2^64 from the lazy digits.
+        let t0 = _mm256_add_epi64(lo!(o), _mm256_slli_epi64::<32>(lo!(o + 1)));
+        let m = mullo64(t0, n0v);
+        let ml = _mm256_and_si256(m, mask);
+        let mh = _mm256_srli_epi64::<32>(m);
+        // acc += m · N (modulus digits broadcast — shared across lanes).
+        for j in 0..d {
+            let vn = _mm256_set1_epi64x(nd[j] as i64);
+            let plo = _mm256_mul_epu32(vn, ml);
+            let phi = _mm256_mul_epu32(vn, mh);
+            st!(
+                o + j,
+                _mm256_add_epi64(lo!(o + j), _mm256_and_si256(plo, mask))
+            );
+            st!(
+                o + j + 1,
+                _mm256_add_epi64(
+                    lo!(o + j + 1),
+                    _mm256_add_epi64(_mm256_srli_epi64::<32>(plo), _mm256_and_si256(phi, mask)),
+                )
+            );
+            st!(
+                o + j + 2,
+                _mm256_add_epi64(lo!(o + j + 2), _mm256_srli_epi64::<32>(phi))
+            );
+        }
+        // Exact ÷2^64 shift per lane (same argument as the single-op
+        // kernel, vectorized: the +1 materializes via a compare mask).
+        let acc0 = lo!(o);
+        let acc1 = lo!(o + 1);
+        let nz = _mm256_andnot_si256(_mm256_cmpeq_epi64(acc0, zero), one);
+        let carry = _mm256_add_epi64(_mm256_srli_epi64::<32>(acc1), nz);
+        st!(o + 2, _mm256_add_epi64(lo!(o + 2), carry));
+        o += 2;
+    }
+
+    // Per-lane digit→limb carry propagation + conditional subtract.
+    for lane in 0..LANES {
+        let mut tl = [0u64; KMAX + 2];
+        let mut carry = 0u128;
+        for limb in 0..=k {
+            let v = acc[LANES * (o + 2 * limb) + lane] as u128
+                + ((acc[LANES * (o + 2 * limb + 1) + lane] as u128) << 32)
+                + carry;
+            tl[limb] = v as u64;
+            carry = v >> 64;
+        }
+        debug_assert_eq!(carry, 0);
+        if tl[k] != 0 || !crate::montgomery::limbs_lt(&tl[..k], nl) {
+            crate::montgomery::limbs_sub_assign(&mut tl[..=k], nl);
+        }
+        debug_assert_eq!(tl[k], 0);
+        for j in 0..k {
+            out[j][lane] = tl[j];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_and_portable_always_available() {
+        assert!(KernelKind::Scalar.available());
+        assert!(KernelKind::Portable.available());
+        assert!(KernelKind::all_available().contains(&KernelKind::Scalar));
+    }
+
+    #[test]
+    fn names_match_env_tokens() {
+        for k in [
+            KernelKind::Scalar,
+            KernelKind::Portable,
+            KernelKind::Avx2,
+            KernelKind::Neon,
+        ] {
+            assert!(!k.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn active_is_available() {
+        let k = KernelKind::active();
+        assert!(k.available(), "active kernel {} must be runnable", k.name());
+    }
+
+    #[test]
+    fn digit_split_roundtrip() {
+        let limbs = [u64::MAX, 0x0123_4567_89ab_cdef, 0];
+        let mut digits = [0u64; DIG_PAD];
+        to_digits(&limbs, 3, &mut digits);
+        for (i, &l) in limbs.iter().enumerate() {
+            assert_eq!(digits[2 * i] | (digits[2 * i + 1] << 32), l);
+            assert!(digits[2 * i] <= MASK32 && digits[2 * i + 1] <= MASK32);
+        }
+    }
+}

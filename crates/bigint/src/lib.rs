@@ -24,8 +24,19 @@
 //!   prime generation ([`gen_prime`]).
 //! * Random sampling — [`random_below`], [`random_bits`].
 //!
-//! The crate is `#![forbid(unsafe_code)]` and deterministic given a seeded
-//! RNG, which the experiment harness relies on for reproducibility.
+//! Montgomery multiplication additionally dispatches through runtime-
+//! detected kernels ([`KernelKind`]; AVX2 digit kernels on x86-64, NEON
+//! on aarch64, a portable u128 lockstep path everywhere) with the
+//! scalar CIOS loop kept as the always-available oracle: batches of
+//! independent products ([`MontgomeryCtx::mont_mul_batch`]) advance
+//! four elements in lockstep, while single products stay on the scalar
+//! loop unless the `SLA_SIMD` environment variable
+//! (`auto|scalar|portable|avx2|neon`) forces a kernel.
+//!
+//! The crate is `#![deny(unsafe_code)]` — the sole sanctioned exception
+//! is the `std::arch` intrinsics inside the kernel module — and
+//! deterministic given a seeded RNG, which the experiment harness
+//! relies on for reproducibility.
 //!
 //! ## Example
 //!
@@ -38,7 +49,7 @@
 //! assert_eq!((&a * &b) % &n, (&b % &n * &(a % &n)) % &n);
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod arith;
@@ -46,6 +57,7 @@ mod barrett;
 mod biguint;
 mod div;
 mod fixed_base;
+mod kernels;
 mod modular;
 mod montgomery;
 mod pow;
@@ -56,6 +68,7 @@ mod reducer;
 pub use barrett::BarrettCtx;
 pub use biguint::{BigUint, ParseBigUintError};
 pub use fixed_base::FixedBaseTable;
+pub use kernels::KernelKind;
 pub use montgomery::MontgomeryCtx;
 pub use prime::{gen_prime, is_probable_prime, MillerRabinConfig};
 pub use random::{random_below, random_bits, random_nonzero_below};

@@ -20,6 +20,7 @@
 //! [`crate::Reducer`] dispatch routes those moduli through the Barrett
 //! context instead, keeping every `mod_pow` division-free.
 
+use crate::kernels::{self, KernelKind, LANES};
 use crate::BigUint;
 
 /// Stack-buffer capacity in limbs (`k + 2` scratch for `k ≤ 32`, i.e.
@@ -46,6 +47,9 @@ pub struct MontgomeryCtx {
     /// `R^2 mod N` — converts standard → Montgomery form via one
     /// `mont_mul`.
     r2: BigUint,
+    /// 32-bit digit expansion of `N`, padded for vector loads; empty
+    /// when `k` exceeds the SIMD kernels' limb cap.
+    n_digits: Vec<u64>,
 }
 
 impl MontgomeryCtx {
@@ -67,13 +71,57 @@ impl MontgomeryCtx {
 
         let r1 = &BigUint::one().shl_bits(64 * k) % n;
         let r2 = &BigUint::one().shl_bits(128 * k) % n;
+        let n_digits = if k <= kernels::KMAX {
+            kernels::modulus_digits(n.limbs())
+        } else {
+            Vec::new()
+        };
         Some(MontgomeryCtx {
             n: n.clone(),
             k,
             n0_inv,
             r1,
             r2,
+            n_digits,
         })
+    }
+
+    /// The kernel [`Self::mont_mul_batch`] dispatches to for this
+    /// modulus: the process-wide [`KernelKind::active`] choice, with two
+    /// measured adjustments under auto-detection — moduli beyond the
+    /// vector kernels' limb cap fall back to scalar, and AVX2 yields to
+    /// the portable lockstep below the limb count where its 32-bit-digit
+    /// recurrence reaches parity with four interleaved u128 carry
+    /// chains. A forced `SLA_SIMD` override is always honored verbatim.
+    pub fn kernel(&self) -> KernelKind {
+        let (kind, forced) = KernelKind::active_forced();
+        if self.k > kernels::KMAX {
+            return KernelKind::Scalar;
+        }
+        if forced {
+            return kind;
+        }
+        match kind {
+            KernelKind::Avx2 if self.k < kernels::AVX2_MIN_BATCH_LIMBS => KernelKind::Portable,
+            other => other,
+        }
+    }
+
+    /// The kernel a **single** multiplication dispatches to. One CIOS
+    /// pass is a serial carry chain, and the digit kernels measure
+    /// slower than the u128 scalar loop at every limb count they accept
+    /// (the 32-bit digit split doubles the iteration count without
+    /// independent work to fill the lanes), so auto-detected dispatch
+    /// keeps single ops scalar and reserves the vector kernels for the
+    /// lockstep batch path. An explicit `SLA_SIMD` override forces its
+    /// kernel into single ops too — that is what the oracle CI legs pin.
+    fn single_kernel(&self) -> KernelKind {
+        let (kind, forced) = KernelKind::active_forced();
+        if forced && self.k <= kernels::KMAX {
+            kind
+        } else {
+            KernelKind::Scalar
+        }
     }
 
     /// The modulus this context reduces by.
@@ -90,7 +138,30 @@ impl MontgomeryCtx {
     ///
     /// `t` is a zeroed scratch of `k + 2` limbs; `a`/`b` hold reduced
     /// operands (shorter-than-`k` slices are implicitly zero-padded).
+    /// Dispatches to the active SIMD kernel; the scalar loop below is
+    /// the oracle every kernel is pinned byte-identical to.
     fn cios(&self, a: &[u64], b: &[u64], t: &mut [u64]) {
+        self.cios_with(self.single_kernel(), a, b, t)
+    }
+
+    /// [`Self::cios`] through an explicit kernel (callers guarantee the
+    /// kernel is available and, for non-scalar kinds, `k ≤ KMAX`).
+    fn cios_with(&self, kernel: KernelKind, a: &[u64], b: &[u64], t: &mut [u64]) {
+        match kernel {
+            #[cfg(target_arch = "x86_64")]
+            KernelKind::Avx2 => {
+                kernels::cios_avx2(self.n.limbs(), &self.n_digits, self.n0_inv, a, b, t)
+            }
+            #[cfg(target_arch = "aarch64")]
+            KernelKind::Neon => {
+                kernels::cios_neon(self.n.limbs(), &self.n_digits, self.n0_inv, a, b, t)
+            }
+            _ => self.cios_scalar(a, b, t),
+        }
+    }
+
+    /// The u128 schoolbook CIOS loop — the correctness oracle.
+    fn cios_scalar(&self, a: &[u64], b: &[u64], t: &mut [u64]) {
         let k = self.k;
         let nl = self.n.limbs();
         debug_assert_eq!(t.len(), k + 2);
@@ -180,6 +251,112 @@ impl MontgomeryCtx {
         })
     }
 
+    /// [`Self::mont_mul`] through an **explicit** kernel, bypassing the
+    /// process-wide dispatch — the oracle hook for the proptest suite
+    /// (the `SLA_SIMD` override is process-global, so in-process
+    /// comparisons of several kernels need this API).
+    ///
+    /// # Panics
+    /// Panics if the requested kernel is not available on this CPU.
+    pub fn mont_mul_with(&self, a: &BigUint, b: &BigUint, kernel: KernelKind) -> BigUint {
+        assert!(
+            kernel.available(),
+            "kernel {} is not available on this CPU",
+            kernel.name()
+        );
+        debug_assert!(a < &self.n && b < &self.n, "operands must be reduced");
+        let kernel = if self.k <= kernels::KMAX {
+            kernel
+        } else {
+            KernelKind::Scalar
+        };
+        self.with_scratch(|t| {
+            self.cios_with(kernel, a.limbs(), b.limbs(), t);
+            BigUint::from_limbs(t[..self.k].to_vec())
+        })
+    }
+
+    /// Montgomery products for a batch of independent reduced pairs,
+    /// four elements advanced in lockstep through a struct-of-arrays
+    /// layout (remainders fall back to [`Self::mont_mul`]'s path).
+    /// Results are byte-identical to mapping [`Self::mont_mul`] over
+    /// the slice, in order.
+    pub fn mont_mul_batch(&self, pairs: &[(&BigUint, &BigUint)]) -> Vec<BigUint> {
+        self.mont_mul_batch_with(pairs, self.kernel())
+    }
+
+    /// [`Self::mont_mul_batch`] through an explicit kernel (see
+    /// [`Self::mont_mul_with`]).
+    ///
+    /// # Panics
+    /// Panics if the requested kernel is not available on this CPU.
+    // The lane loop reads column `lane` across rows of `group`; an
+    // iterator over `group` would walk the wrong axis.
+    #[allow(clippy::needless_range_loop)]
+    pub fn mont_mul_batch_with(
+        &self,
+        pairs: &[(&BigUint, &BigUint)],
+        kernel: KernelKind,
+    ) -> Vec<BigUint> {
+        assert!(
+            kernel.available(),
+            "kernel {} is not available on this CPU",
+            kernel.name()
+        );
+        let kernel = if self.k <= kernels::KMAX {
+            kernel
+        } else {
+            KernelKind::Scalar
+        };
+        let mut out = Vec::with_capacity(pairs.len());
+        let mut i = 0;
+        if kernel != KernelKind::Scalar {
+            let mut group = [[0u64; LANES]; kernels::KMAX];
+            while i + LANES <= pairs.len() {
+                let g = &pairs[i..i + LANES];
+                debug_assert!(
+                    g.iter().all(|(a, b)| *a < &self.n && *b < &self.n),
+                    "operands must be reduced"
+                );
+                let a_ops: [&[u64]; LANES] = std::array::from_fn(|l| g[l].0.limbs());
+                let b_ops: [&[u64]; LANES] = std::array::from_fn(|l| g[l].1.limbs());
+                match kernel {
+                    #[cfg(target_arch = "x86_64")]
+                    KernelKind::Avx2 => kernels::lockstep_avx2(
+                        self.n.limbs(),
+                        &self.n_digits,
+                        self.n0_inv,
+                        &a_ops,
+                        &b_ops,
+                        &mut group,
+                    ),
+                    // NEON batches share the portable lockstep path.
+                    _ => kernels::lockstep_portable(
+                        self.n.limbs(),
+                        self.n0_inv,
+                        &a_ops,
+                        &b_ops,
+                        &mut group,
+                    ),
+                }
+                for lane in 0..LANES {
+                    out.push(BigUint::from_limbs(
+                        (0..self.k).map(|j| group[j][lane]).collect(),
+                    ));
+                }
+                i += LANES;
+            }
+        }
+        // Remainder lanes (fewer than LANES left): a lone product has no
+        // independent work to fill vector lanes with, so the scalar
+        // single-op path is the fast one — byte-identical by the kernel
+        // contract, as the oracle suite pins.
+        for (a, b) in &pairs[i..] {
+            out.push(self.mont_mul_with(a, b, KernelKind::Scalar));
+        }
+        out
+    }
+
     /// `(a · b) mod N` without any division: one conversion pass plus one
     /// Montgomery pass (`mont_mul(a·R, b) = a·b`), all in stack buffers
     /// with a single allocation for the result.
@@ -214,6 +391,41 @@ impl MontgomeryCtx {
         }
     }
 
+    /// `(a · b) mod N` for a batch of independent canonical pairs: the
+    /// two CIOS passes of [`Self::mod_mul`] each run as one lockstep
+    /// sweep over the whole batch. Byte-identical to mapping
+    /// [`Self::mod_mul`] over the slice, in order.
+    pub fn mod_mul_batch(&self, pairs: &[(&BigUint, &BigUint)]) -> Vec<BigUint> {
+        let owned: Vec<(BigUint, BigUint)> = pairs
+            .iter()
+            .map(|(a, b)| {
+                (
+                    if *a < &self.n {
+                        (*a).clone()
+                    } else {
+                        *a % &self.n
+                    },
+                    if *b < &self.n {
+                        (*b).clone()
+                    } else {
+                        *b % &self.n
+                    },
+                )
+            })
+            .collect();
+        // Pass 1: a·R = mont_mul(a, R²) across the batch.
+        let pass1_pairs: Vec<(&BigUint, &BigUint)> =
+            owned.iter().map(|(a, _)| (a, &self.r2)).collect();
+        let a_mont = self.mont_mul_batch(&pass1_pairs);
+        // Pass 2: mont_mul(a·R, b) = a·b mod N across the batch.
+        let pass2_pairs: Vec<(&BigUint, &BigUint)> = a_mont
+            .iter()
+            .zip(&owned)
+            .map(|(am, (_, b))| (am, b))
+            .collect();
+        self.mont_mul_batch(&pass2_pairs)
+    }
+
     /// `base^exp mod N` with a sliding window over a table of odd powers,
     /// performed entirely in the Montgomery domain (the shared ladder in
     /// `pow.rs`, instantiated with CIOS products).
@@ -239,7 +451,7 @@ impl crate::pow::ResidueOps for MontgomeryCtx {
 }
 
 /// `a < b` over little-endian limb slices of equal length.
-fn limbs_lt(a: &[u64], b: &[u64]) -> bool {
+pub(crate) fn limbs_lt(a: &[u64], b: &[u64]) -> bool {
     debug_assert_eq!(a.len(), b.len());
     for (x, y) in a.iter().rev().zip(b.iter().rev()) {
         if x != y {
@@ -251,7 +463,7 @@ fn limbs_lt(a: &[u64], b: &[u64]) -> bool {
 
 /// `a -= b` over limb slices; `a` may be one limb longer than `b` (the
 /// borrow drains into it). Caller guarantees `a >= b`.
-fn limbs_sub_assign(a: &mut [u64], b: &[u64]) {
+pub(crate) fn limbs_sub_assign(a: &mut [u64], b: &[u64]) {
     let mut borrow = 0u64;
     for (i, ai) in a.iter_mut().enumerate() {
         let bi = b.get(i).copied().unwrap_or(0);
@@ -367,6 +579,86 @@ mod tests {
         for a in [2u128, 3, 65537, 999_999_999] {
             assert_eq!(ctx.mod_pow(&b(a), &(&p - &b(1))), BigUint::one());
         }
+    }
+
+    #[test]
+    fn explicit_kernels_match_scalar() {
+        let n = &b(0x8000_0000_0000_0000_0000_0001u128) + &b(6);
+        let ctx = MontgomeryCtx::new(&n).unwrap();
+        let mut x = ctx.to_mont(&b(0x0123_4567_89ab_cdef_1111_2222));
+        let mut y = ctx.to_mont(&b(0xfeed_face_dead_c0de_3333_4444));
+        for _ in 0..25 {
+            let want = ctx.mont_mul_with(&x, &y, KernelKind::Scalar);
+            for kernel in KernelKind::all_available() {
+                assert_eq!(ctx.mont_mul_with(&x, &y, kernel), want, "{}", kernel.name());
+            }
+            x = want;
+            y = ctx.mont_mul(&y, &y);
+        }
+    }
+
+    #[test]
+    fn batch_matches_serial_all_kernels_and_widths() {
+        let n = &b(0x8000_0000_0000_0000_0000_0001u128) + &b(6);
+        let ctx = MontgomeryCtx::new(&n).unwrap();
+        let elems: Vec<BigUint> = (0..9u64)
+            .map(|i| ctx.to_mont(&b(0x1234_5678_9abc_def0 + 977 * i as u128)))
+            .collect();
+        for width in 0..=elems.len() {
+            let pairs: Vec<(&BigUint, &BigUint)> = (0..width)
+                .map(|i| (&elems[i], &elems[(i * 7 + 3) % elems.len()]))
+                .collect();
+            let want: Vec<BigUint> = pairs
+                .iter()
+                .map(|(a, b)| ctx.mont_mul_with(a, b, KernelKind::Scalar))
+                .collect();
+            for kernel in KernelKind::all_available() {
+                assert_eq!(
+                    ctx.mont_mul_batch_with(&pairs, kernel),
+                    want,
+                    "kernel {}, width {width}",
+                    kernel.name()
+                );
+            }
+            assert_eq!(ctx.mont_mul_batch(&pairs), want, "active kernel");
+        }
+    }
+
+    #[test]
+    fn mod_mul_batch_matches_serial_with_unreduced_operands() {
+        let n = &b(0x8000_0000_0000_0000_0000_0001u128) + &b(6);
+        let ctx = MontgomeryCtx::new(&n).unwrap();
+        let elems: Vec<BigUint> = (0..7u64)
+            .map(|i| b(u128::MAX - 0xdead_beef * i as u128))
+            .collect();
+        let pairs: Vec<(&BigUint, &BigUint)> = elems
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a, &elems[(i + 3) % elems.len()]))
+            .collect();
+        let want: Vec<BigUint> = pairs.iter().map(|(a, b)| ctx.mod_mul(a, b)).collect();
+        assert_eq!(ctx.mod_mul_batch(&pairs), want);
+    }
+
+    #[test]
+    fn oversized_moduli_downgrade_to_scalar() {
+        let mut n = BigUint::one().shl_bits(64 * 12 + 3); // 13 limbs > KMAX
+        n.set_bit(0);
+        let ctx = MontgomeryCtx::new(&n).unwrap();
+        assert_eq!(ctx.kernel(), KernelKind::Scalar);
+        let x = ctx.to_mont(&BigUint::one().shl_bits(700));
+        let y = ctx.to_mont(&(&BigUint::one().shl_bits(765) - &b(3)));
+        for kernel in KernelKind::all_available() {
+            assert_eq!(
+                ctx.mont_mul_with(&x, &y, kernel),
+                ctx.mont_mul(&x, &y),
+                "{}",
+                kernel.name()
+            );
+        }
+        let pairs = [(&x, &y), (&y, &x), (&x, &x), (&y, &y), (&x, &y)];
+        let want: Vec<BigUint> = pairs.iter().map(|(a, b)| ctx.mont_mul(a, b)).collect();
+        assert_eq!(ctx.mont_mul_batch(&pairs), want);
     }
 
     #[test]

@@ -605,24 +605,36 @@ impl ServiceProvider {
     /// the serial and the parallel batch paths share, so their outcomes
     /// are identical by construction. Decides every pair in the residue
     /// domain — no canonical conversions.
+    ///
+    /// Evaluation is **token-outer / lockstep-inner**: each token sweeps
+    /// the whole chunk through [`HveScheme::match_token_batch`], which
+    /// drives the chunk's ciphertexts through one shared instruction
+    /// stream (the engine's SIMD batch kernels), and per-subscription
+    /// hits are OR-accumulated across tokens. Notified ids are still
+    /// pushed in subscription order, and every (token, ciphertext) pair
+    /// is still decided by the same residue-domain primitive, so the
+    /// result and the pairing count are identical to the old
+    /// subscription-outer loop.
     fn match_chunk_exhaustive<G: BilinearGroup>(
         chunk: &[StoredSubscription],
         scheme: &HveScheme<'_, G>,
         tokens: &[Token],
     ) -> Vec<u64> {
-        let mut notified = Vec::new();
-        for sub in chunk {
-            let mut hit = false;
-            for token in tokens {
-                if scheme.match_token(token, &sub.ciphertext, &sub.expected) {
-                    hit = true;
-                }
-            }
-            if hit {
-                notified.push(sub.user_id);
+        let pairs: Vec<(&Ciphertext, &sla_pairing::GtElem)> = chunk
+            .iter()
+            .map(|sub| (&sub.ciphertext, &sub.expected))
+            .collect();
+        let mut hit = vec![false; chunk.len()];
+        for token in tokens {
+            for (h, matched) in hit.iter_mut().zip(scheme.match_token_batch(token, &pairs)) {
+                *h |= matched;
             }
         }
-        notified
+        chunk
+            .iter()
+            .zip(hit)
+            .filter_map(|(sub, h)| h.then_some(sub.user_id))
+            .collect()
     }
 
     /// Default chunk size for [`Self::process_alert_batch`]: a handful of

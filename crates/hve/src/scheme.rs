@@ -19,6 +19,14 @@ use sla_pairing::{BilinearGroup, GElem, GtElem};
 /// valid message domain".
 pub const MESSAGE_DOMAIN_BITS: u32 = 32;
 
+/// Ciphertexts per lockstep chunk in [`HveScheme::query_many`].
+///
+/// Each chunk flattens `BATCH_CHUNK · (1 + 2·|J|)` pairings into one
+/// [`BilinearGroup::pair_batch`] call — large enough to keep the SIMD
+/// batch kernels saturated (the lockstep width is 4), small enough that
+/// the pair scratch list and the chunk's `GT` outputs stay cache-resident.
+const BATCH_CHUNK: usize = 16;
+
 /// HVE scheme bound to a bilinear group engine and a fixed width `l`.
 #[derive(Debug, Clone, Copy)]
 pub struct HveScheme<'g, G: BilinearGroup> {
@@ -292,23 +300,66 @@ impl<'g, G: BilinearGroup> HveScheme<'g, G> {
     /// # Panics
     /// Panics if token and ciphertext widths differ.
     pub fn query(&self, token: &Token, ct: &Ciphertext) -> GtElem {
-        assert_eq!(
-            token.pattern.len(),
-            ct.width(),
-            "token/ciphertext width mismatch"
-        );
+        self.query_many(token, &[ct])
+            .pop()
+            .expect("one ciphertext in, one candidate out")
+    }
+
+    /// [`Self::query`] over many ciphertexts under **one token**, the
+    /// shape of the alert protocol's hot loop (one subscription token
+    /// swept over every reported ciphertext).
+    ///
+    /// Ciphertexts are evaluated in lockstep chunks: each contributes its
+    /// `1 + 2·|J|` pairings to a flat, ciphertext-major pair list that is
+    /// handed to [`BilinearGroup::pair_batch`] in one call per chunk, so
+    /// the engine can drive four pairings per instruction through the
+    /// SIMD batch kernels. The pair order within each ciphertext is
+    /// exactly the serial [`Self::query`] order, and the `GT` folds
+    /// replay per ciphertext afterwards — candidate `i` is
+    /// **byte-identical** to `self.query(token, cts[i])` and every
+    /// counter total (`pairings`, `gt_mults`, …) advances exactly as the
+    /// serial loop would. The pair scratch buffer is reused across
+    /// chunks, so a sweep performs O(1) list allocations regardless of
+    /// batch size.
+    ///
+    /// # Panics
+    /// Panics if any ciphertext's width differs from the token's.
+    pub fn query_many(&self, token: &Token, cts: &[&Ciphertext]) -> Vec<GtElem> {
         let grp = self.group;
+        let per_ct = 1 + 2 * token.k.len();
+        let mut results = Vec::with_capacity(cts.len());
+        let mut pairs: Vec<(&GElem, &GElem)> =
+            Vec::with_capacity(per_ct * BATCH_CHUNK.min(cts.len().max(1)));
 
-        let numer = grp.pair(&ct.c0, &token.k0);
-        let mut denom = GtElem::identity();
-        for (i, k1, k2) in &token.k {
-            let (c1, c2) = &ct.c[*i];
-            denom = grp.mul_gt(&denom, &grp.pair(c1, k1));
-            denom = grp.mul_gt(&denom, &grp.pair(c2, k2));
+        for chunk in cts.chunks(BATCH_CHUNK.max(1)) {
+            pairs.clear();
+            for ct in chunk {
+                assert_eq!(
+                    token.pattern.len(),
+                    ct.width(),
+                    "token/ciphertext width mismatch"
+                );
+                pairs.push((&ct.c0, &token.k0));
+                for (i, k1, k2) in &token.k {
+                    let (c1, c2) = &ct.c[*i];
+                    pairs.push((c1, k1));
+                    pairs.push((c2, k2));
+                }
+            }
+            let gts = grp.pair_batch(&pairs);
+
+            for (j, ct) in chunk.iter().enumerate() {
+                let mut slots = gts[j * per_ct..(j + 1) * per_ct].iter();
+                let numer = slots.next().expect("numerator pairing present");
+                let mut denom = GtElem::identity();
+                for gt in slots {
+                    denom = grp.mul_gt(&denom, gt);
+                }
+                let blinding = grp.div_gt(numer, &denom);
+                results.push(grp.div_gt(&ct.c_prime, &blinding));
+            }
         }
-
-        let blinding = grp.div_gt(&numer, &denom);
-        grp.div_gt(&ct.c_prime, &blinding)
+        results
     }
 
     /// Convenience: query and decode; `Some(id)` on match, `None` (⊥)
@@ -344,6 +395,23 @@ impl<'g, G: BilinearGroup> HveScheme<'g, G> {
         self.group.eq_gt(&self.query(token, ct), expected)
     }
 
+    /// Lockstep [`Self::match_token`] over `(ciphertext, expected)` pairs
+    /// sharing one token: candidates come from [`Self::query_many`] (one
+    /// `pair_batch` call per chunk), decisions stay in the residue domain
+    /// (zero canonicalizations). Decision `i` equals
+    /// `match_token(token, cts[i], expected_i)` exactly.
+    ///
+    /// # Panics
+    /// Panics if any ciphertext's width differs from the token's.
+    pub fn match_token_batch(&self, token: &Token, pairs: &[(&Ciphertext, &GtElem)]) -> Vec<bool> {
+        let cts: Vec<&Ciphertext> = pairs.iter().map(|(ct, _)| *ct).collect();
+        self.query_many(token, &cts)
+            .iter()
+            .zip(pairs)
+            .map(|(candidate, (_, expected))| self.group.eq_gt(candidate, expected))
+            .collect()
+    }
+
     /// Batch [`Self::query_decode`] against `(ciphertext, expected)`
     /// pairs: each candidate is compared in the residue domain and the
     /// canonical conversion is paid **only on match** — non-matching
@@ -361,12 +429,14 @@ impl<'g, G: BilinearGroup> HveScheme<'g, G> {
     where
         I: IntoIterator<Item = (&'a Ciphertext, &'a GtElem)>,
     {
-        pairs
-            .into_iter()
-            .map(|(ct, expected)| {
-                let candidate = self.query(token, ct);
-                if self.group.eq_gt(&candidate, expected) {
-                    self.decode_message(&candidate)
+        let pairs: Vec<(&Ciphertext, &GtElem)> = pairs.into_iter().collect();
+        let cts: Vec<&Ciphertext> = pairs.iter().map(|(ct, _)| *ct).collect();
+        self.query_many(token, &cts)
+            .iter()
+            .zip(&pairs)
+            .map(|(candidate, (_, expected))| {
+                if self.group.eq_gt(candidate, expected) {
+                    self.decode_message(candidate)
                 } else {
                     None
                 }
@@ -760,6 +830,84 @@ mod tests {
             .collect();
         let delta = grp.counters().snapshot() - before;
         assert_eq!(delta.canonicalizations, population.len() as u64);
+    }
+
+    #[test]
+    fn query_many_is_byte_identical_to_serial_query_with_equal_counters() {
+        // The lockstep sweep: candidates, counter totals and residue
+        // limbs must all equal the one-at-a-time loop, across batch
+        // sizes that cover the empty batch, a partial chunk, an exact
+        // chunk boundary and a ragged multi-chunk sweep.
+        let (grp, mut rng) = fixture(4);
+        let scheme = HveScheme::new(&grp, 4);
+        let (pk, sk) = scheme.setup(&mut rng);
+
+        let population: Vec<Ciphertext> = (0..37u64)
+            .map(|i| {
+                let bits = i % 16;
+                let index: AttributeVector = format!("{bits:04b}").parse().unwrap();
+                let msg = scheme.encode_message(bits);
+                scheme.encrypt(&pk, &index, &msg, &mut rng)
+            })
+            .collect();
+        let tk = scheme.gen_token(&sk, &"1*0*".parse().unwrap(), &mut rng);
+
+        for n in [0usize, 1, 5, 16, 17, 37] {
+            let cts: Vec<&Ciphertext> = population[..n].iter().collect();
+            let before = grp.counters().snapshot();
+            let serial: Vec<GtElem> = cts.iter().map(|ct| scheme.query(&tk, ct)).collect();
+            let mid = grp.counters().snapshot();
+            let batched = scheme.query_many(&tk, &cts);
+            let after = grp.counters().snapshot();
+
+            assert_eq!(batched, serial, "n = {n}");
+            for (x, y) in batched.iter().zip(&serial) {
+                assert_eq!(x.discrete_log(), y.discrete_log(), "n = {n}");
+            }
+            assert_eq!(
+                after - mid,
+                mid - before,
+                "lockstep sweep must meter exactly like the serial loop (n = {n})"
+            );
+        }
+    }
+
+    #[test]
+    fn match_token_batch_agrees_with_serial_and_stays_in_domain() {
+        let (grp, mut rng) = fixture(4);
+        let scheme = HveScheme::new(&grp, 4);
+        let (pk, sk) = scheme.setup(&mut rng);
+
+        let population: Vec<(Ciphertext, GtElem)> = (0..16u64)
+            .map(|bits| {
+                let index: AttributeVector = format!("{bits:04b}").parse().unwrap();
+                let msg = scheme.encode_message(bits);
+                (scheme.encrypt(&pk, &index, &msg, &mut rng), msg)
+            })
+            .collect();
+        let tk = scheme.gen_token(&sk, &"1*0*".parse().unwrap(), &mut rng);
+        let pairs: Vec<(&Ciphertext, &GtElem)> =
+            population.iter().map(|(ct, msg)| (ct, msg)).collect();
+
+        let serial: Vec<bool> = pairs
+            .iter()
+            .map(|(ct, msg)| scheme.match_token(&tk, ct, msg))
+            .collect();
+        assert_eq!(serial.iter().filter(|&&b| b).count(), 4);
+
+        let before = grp.counters().snapshot();
+        let batched = scheme.match_token_batch(&tk, &pairs);
+        let delta = grp.counters().snapshot() - before;
+        assert_eq!(batched, serial);
+        assert_eq!(
+            delta.canonicalizations, 0,
+            "batch matching must decide in the residue domain"
+        );
+        assert_eq!(
+            delta.pairings,
+            pairs.len() as u64 * tk.pairing_cost(),
+            "batching must not change the pairing count"
+        );
     }
 
     #[test]

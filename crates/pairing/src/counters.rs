@@ -28,6 +28,9 @@ impl OpCounters {
     pub(crate) fn record_pairing(&self) {
         self.pairings.fetch_add(1, Ordering::Relaxed);
     }
+    pub(crate) fn record_pairings(&self, n: u64) {
+        self.pairings.fetch_add(n, Ordering::Relaxed);
+    }
     pub(crate) fn record_g_mult(&self) {
         self.g_mults.fetch_add(1, Ordering::Relaxed);
     }

@@ -51,6 +51,19 @@ pub trait BilinearGroup {
     /// The bilinear map `e : G × G → GT`.
     fn pair(&self, a: &GElem, b: &GElem) -> GtElem;
 
+    /// The bilinear map over a batch of **independent** pairs.
+    ///
+    /// Engines may drive all pairs through one lockstep instruction
+    /// stream (the simulated engine uses the SIMD batch kernels of the
+    /// bigint layer); the default is a serial loop. The contract is
+    /// strict: output `i` is **byte-identical** to `self.pair(a_i, b_i)`,
+    /// results are in input order, and the pairing counter advances by
+    /// exactly `pairs.len()` — batching is a throughput optimization,
+    /// never a semantic or accounting change.
+    fn pair_batch(&self, pairs: &[(&GElem, &GElem)]) -> Vec<GtElem> {
+        pairs.iter().map(|(a, b)| self.pair(a, b)).collect()
+    }
+
     /// The canonical discrete log of a `GT` element, metered as one
     /// canonicalization in [`OpCounters`]. This is the **conversion
     /// boundary** out of the engine's residue domain: every call pays
@@ -303,6 +316,31 @@ impl BilinearGroup for SimulatedGroup {
         self.gt_elem(out)
     }
 
+    fn pair_batch(&self, pairs: &[(&GElem, &GElem)]) -> Vec<GtElem> {
+        self.counters.record_pairings(pairs.len() as u64);
+        // Lockstep path: gather every log into the residue domain once,
+        // then hand the whole slice to the batch multiplier, which
+        // advances four products per instruction through the SIMD
+        // kernels. Cost burning stays per-output so the Calibrated model
+        // meters exactly as many modmuls as the serial path.
+        let residues: Vec<(Cow<'_, BigUint>, Cow<'_, BigUint>)> = pairs
+            .iter()
+            .map(|(a, b)| (self.residue_of(&a.0), self.residue_of(&b.0)))
+            .collect();
+        let refs: Vec<(&BigUint, &BigUint)> = residues
+            .iter()
+            .map(|(ra, rb)| (ra.as_ref(), rb.as_ref()))
+            .collect();
+        self.reducer
+            .residue_mul_batch(&refs)
+            .into_iter()
+            .map(|out| {
+                self.cost.burn(&out, &self.reducer);
+                self.gt_elem(out)
+            })
+            .collect()
+    }
+
     fn prepare_g(&self, a: &GElem) -> PreparedG {
         let res = self.residue_of(&a.0).into_owned();
         PreparedG {
@@ -440,6 +478,62 @@ mod tests {
         assert_eq!(grp.counters().pairings(), 2);
         grp.counters().reset();
         assert_eq!(grp.counters().pairings(), 0);
+    }
+
+    #[test]
+    fn pair_batch_is_byte_identical_to_serial_pairs() {
+        let (grp, mut rng) = setup();
+        let elems: Vec<GElem> = (0..9)
+            .map(|i| {
+                if i % 3 == 0 {
+                    grp.random_gq(&mut rng)
+                } else {
+                    grp.random_gp(&mut rng)
+                }
+            })
+            .collect();
+        // Mix in a canonical-form operand (post-serde state) so the
+        // batch path exercises the Cow conversion arm too.
+        let canonical = GElem::canonical(elems[1].discrete_log());
+        let mut pairs: Vec<(&GElem, &GElem)> = elems
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a, &elems[(i + 4) % elems.len()]))
+            .collect();
+        pairs.push((&canonical, &elems[5]));
+
+        // Every width, including the empty batch and ragged remainders.
+        for w in 0..=pairs.len() {
+            let before = grp.counters().snapshot();
+            let serial: Vec<GtElem> = pairs[..w].iter().map(|(a, b)| grp.pair(a, b)).collect();
+            let mid = grp.counters().snapshot();
+            let batched = grp.pair_batch(&pairs[..w]);
+            let after = grp.counters().snapshot();
+            assert_eq!(batched, serial, "width {w}");
+            for (x, y) in batched.iter().zip(&serial) {
+                assert_eq!(x.discrete_log(), y.discrete_log(), "width {w}");
+            }
+            assert_eq!((mid - before).pairings, w as u64);
+            assert_eq!(
+                after - mid,
+                mid - before,
+                "batch must meter exactly like serial at width {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn pair_batch_burns_calibrated_cost_per_output() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let grp = SimulatedGroup::generate(32, &mut rng).with_cost_model(CostModel::Calibrated {
+            modmuls_per_pairing: 4,
+        });
+        let a = grp.random_gp(&mut rng);
+        let b = grp.random_gp(&mut rng);
+        let pairs = [(&a, &b), (&b, &a), (&a, &a), (&b, &b), (&a, &b)];
+        let serial: Vec<GtElem> = pairs.iter().map(|(x, y)| grp.pair(x, y)).collect();
+        assert_eq!(grp.pair_batch(&pairs), serial);
+        assert_eq!(grp.counters().pairings(), 10);
     }
 
     #[test]
