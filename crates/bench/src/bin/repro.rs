@@ -6,6 +6,7 @@
 //! cargo run -p sla-bench --bin repro --release -- fig10 --quick
 //! cargo run -p sla-bench --bin repro --release -- --smoke  # CI smoke test
 //! cargo run -p sla-bench --bin repro --release -- --smoke --store persistent
+//! cargo run -p sla-bench --bin repro --release -- --exp-batch --batch-width 1,4,8
 //! ```
 //!
 //! Tables are printed to stdout and written as CSV under `results/`.
@@ -28,7 +29,72 @@ struct Opts {
     batch_widths: Vec<usize>,
 }
 
-fn parse_args() -> Opts {
+/// Typed rejection of a malformed command line. The lockstep kernels
+/// group lanes 8-then-4-then-scalar, so only power-of-two batch widths
+/// describe a configuration the dispatcher can actually run — anything
+/// else is refused up front instead of producing a misleading bench row.
+#[derive(Debug, PartialEq, Eq)]
+enum ArgError {
+    /// `--batch-width` with no value.
+    Missing,
+    /// An entry that did not parse as an integer.
+    NotANumber(String),
+    /// `--batch-width 0`: a zero-wide ladder measures nothing.
+    Zero,
+    /// A width that is not a power of two.
+    NotPowerOfTwo(usize),
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::Missing => {
+                write!(f, "--batch-width needs a number or comma-separated list")
+            }
+            ArgError::NotANumber(s) => {
+                write!(f, "--batch-width entry '{s}' is not a number")
+            }
+            ArgError::Zero => {
+                write!(
+                    f,
+                    "--batch-width 0 is rejected: a zero-wide batch measures nothing"
+                )
+            }
+            ArgError::NotPowerOfTwo(w) => write!(
+                f,
+                "--batch-width {w} is rejected: widths must be powers of two \
+                 (the lockstep kernels group lanes 8/4/1)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parses a `--batch-width` value (`"8"` or `"1,4,8"`) into validated
+/// widths: every entry numeric, nonzero, and a power of two.
+fn parse_batch_widths(spec: &str) -> Result<Vec<usize>, ArgError> {
+    let mut widths = Vec::new();
+    for entry in spec.split(',') {
+        let entry = entry.trim();
+        let w: usize = entry
+            .parse()
+            .map_err(|_| ArgError::NotANumber(entry.to_string()))?;
+        if w == 0 {
+            return Err(ArgError::Zero);
+        }
+        if !w.is_power_of_two() {
+            return Err(ArgError::NotPowerOfTwo(w));
+        }
+        widths.push(w);
+    }
+    if widths.is_empty() {
+        return Err(ArgError::Missing);
+    }
+    Ok(widths)
+}
+
+fn parse_args() -> Result<Opts, ArgError> {
     let mut figures = Vec::new();
     let mut zones = 50usize;
     let mut out_dir = PathBuf::from("results");
@@ -40,15 +106,8 @@ fn parse_args() -> Opts {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--batch-width" => {
-                let spec = args.next().expect("--batch-width needs a number or list");
-                batch_widths = spec
-                    .split(',')
-                    .map(|w| w.trim().parse().expect("--batch-width entries are numbers"))
-                    .collect();
-                assert!(
-                    !batch_widths.is_empty(),
-                    "--batch-width needs at least one width"
-                );
+                let spec = args.next().ok_or(ArgError::Missing)?;
+                batch_widths = parse_batch_widths(&spec)?;
             }
             "--quick" => zones = 10,
             "--parallel" => parallel = true,
@@ -73,7 +132,7 @@ fn parse_args() -> Opts {
         figures = (7..=14).map(|i| format!("fig{i}")).collect();
         figures.push("primitives".to_string());
     }
-    Opts {
+    Ok(Opts {
         figures,
         zones,
         out_dir,
@@ -81,7 +140,7 @@ fn parse_args() -> Opts {
         smoke,
         store,
         batch_widths,
-    }
+    })
 }
 
 /// Resolves a `--store` name; the persistent backend gets a scratch
@@ -114,12 +173,32 @@ fn resolve_store(name: &str) -> (sla_core::StoreBackend, Option<PathBuf>) {
 /// round with the live-vs-analytic invariants asserted. Panics (failing
 /// the CI step) on any mismatch; writes a side artifact so it never
 /// clobbers the tracked `BENCH_primitives.json`.
+/// Prints the end-to-end batched Encrypt/GenToken rows (shared by the
+/// smoke, the `primitives` figure, and the standalone `--exp-batch`
+/// target).
+fn print_exp_batch(rows: &[primitives::ExpBatchTimings]) {
+    for e in rows {
+        println!(
+            "exp_batch[{} bit N, l={}, {}]: batch {} at {:.1} -> {:.1} µs/op ({:.2}x, kernel {})",
+            e.modulus_bits,
+            e.width,
+            e.phase,
+            e.batch,
+            e.serial_ns / 1e3,
+            e.batch_ns / 1e3,
+            e.speedup(),
+            e.kernel,
+        );
+    }
+}
+
 fn run_smoke(out_dir: &std::path::Path, store: &str, batch_widths: &[usize]) {
     println!("# smoke: primitives");
     let rows = vec![primitives::measure(32, SEED)];
     let phases = vec![primitives::measure_phases(24, 8, SEED)];
     let churn = primitives::measure_churn(SEED);
     let lockstep = primitives::measure_lockstep(32, batch_widths, SEED);
+    let exp_batch = primitives::measure_exp_batch(24, batch_widths, SEED);
     for r in &rows {
         println!(
             "primitives[{} bit N]: mod_pow {:.0} -> {:.0} ns ({:.2}x), fixed-base {:.0} ns ({:.2}x)",
@@ -159,12 +238,13 @@ fn run_smoke(out_dir: &std::path::Path, store: &str, batch_widths: &[usize]) {
             l.kernel,
         );
     }
+    print_exp_batch(&exp_batch);
     let path = out_dir.join("BENCH_primitives_smoke.json");
     let write = std::fs::create_dir_all(out_dir)
         .and_then(|()| {
             std::fs::write(
                 &path,
-                primitives::to_json(&rows, &phases, &churn, &lockstep),
+                primitives::to_json(&rows, &phases, &churn, &lockstep, &exp_batch),
             )
         })
         .map(|()| path);
@@ -236,7 +316,10 @@ fn run_smoke(out_dir: &std::path::Path, store: &str, batch_widths: &[usize]) {
 }
 
 fn main() {
-    let opts = parse_args();
+    let opts = parse_args().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
     if opts.smoke {
         run_smoke(&opts.out_dir, &opts.store, &opts.batch_widths);
         return;
@@ -406,18 +489,46 @@ fn main() {
                         l.kernel,
                     );
                 }
+                // End-to-end lockstep rows: the batched prepared
+                // Encrypt/GenToken entry points vs their serial loops,
+                // at every modulus size and --batch-width.
+                let exp_batch: Vec<_> = [32usize, 48, 64]
+                    .iter()
+                    .flat_map(|&bits| primitives::measure_exp_batch(bits, &opts.batch_widths, SEED))
+                    .collect();
+                print_exp_batch(&exp_batch);
                 let path = opts.out_dir.join("BENCH_primitives.json");
                 let write = std::fs::create_dir_all(&opts.out_dir)
                     .and_then(|()| {
                         std::fs::write(
                             &path,
-                            primitives::to_json(&rows, &phases, &churn, &lockstep),
+                            primitives::to_json(&rows, &phases, &churn, &lockstep, &exp_batch),
                         )
                     })
                     .map(|()| path);
                 report(write);
             }
-            other => eprintln!("unknown figure '{other}' (expected fig7..fig14 or primitives)"),
+            "exp-batch" | "exp_batch" => {
+                // Standalone Encrypt/GenToken batching rows — the fast
+                // way to re-measure the lockstep-ladder win without
+                // rerunning the full primitives sweep. Writes a side
+                // artifact so it never clobbers BENCH_primitives.json.
+                let exp_batch: Vec<_> = [32usize, 48, 64]
+                    .iter()
+                    .flat_map(|&bits| primitives::measure_exp_batch(bits, &opts.batch_widths, SEED))
+                    .collect();
+                print_exp_batch(&exp_batch);
+                let path = opts.out_dir.join("BENCH_exp_batch.json");
+                let write = std::fs::create_dir_all(&opts.out_dir)
+                    .and_then(|()| {
+                        std::fs::write(&path, primitives::to_json(&[], &[], &[], &[], &exp_batch))
+                    })
+                    .map(|()| path);
+                report(write);
+            }
+            other => eprintln!(
+                "unknown figure '{other}' (expected fig7..fig14, primitives, or exp-batch)"
+            ),
         }
         println!();
     }
@@ -427,5 +538,46 @@ fn report(result: std::io::Result<PathBuf>) {
     match result {
         Ok(path) => println!("-> wrote {}", path.display()),
         Err(e) => eprintln!("!! csv write failed: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_widths_accept_powers_of_two() {
+        assert_eq!(parse_batch_widths("8"), Ok(vec![8]));
+        assert_eq!(parse_batch_widths("1, 4,8"), Ok(vec![1, 4, 8]));
+        assert_eq!(parse_batch_widths("16"), Ok(vec![16]));
+    }
+
+    #[test]
+    fn batch_width_zero_is_a_typed_error() {
+        assert_eq!(parse_batch_widths("0"), Err(ArgError::Zero));
+        assert_eq!(parse_batch_widths("4,0,8"), Err(ArgError::Zero));
+    }
+
+    #[test]
+    fn batch_width_non_power_of_two_is_a_typed_error() {
+        assert_eq!(parse_batch_widths("6"), Err(ArgError::NotPowerOfTwo(6)));
+        assert_eq!(parse_batch_widths("1,4,7"), Err(ArgError::NotPowerOfTwo(7)));
+    }
+
+    #[test]
+    fn batch_width_garbage_is_a_typed_error() {
+        assert_eq!(
+            parse_batch_widths("four"),
+            Err(ArgError::NotANumber("four".to_string()))
+        );
+        assert_eq!(
+            parse_batch_widths(""),
+            Err(ArgError::NotANumber(String::new()))
+        );
+        // The messages are what the operator sees — keep them loud.
+        assert!(ArgError::Zero.to_string().contains("rejected"));
+        assert!(ArgError::NotPowerOfTwo(6)
+            .to_string()
+            .contains("powers of two"));
     }
 }

@@ -52,8 +52,13 @@ const DIG_PAD: usize = DMAX + 8;
 /// (≤ `2(KMAX−1)`), live digits span `2k + 2` more, and tail vector
 /// stores may touch 3 past that.
 const ACC_PAD: usize = 4 * KMAX + 8;
-/// Lockstep width: independent elements advanced per batch group.
+/// Base lockstep width: one element per 64-bit AVX2 vector lane.
 pub(crate) const LANES: usize = 4;
+/// Wide lockstep width: two interleaved 4-lane groups per instruction
+/// stream. Exponentiation ladders supply batches deep enough to fill it;
+/// the extra independent chains hide the multiply latency a single
+/// 4-lane group leaves on the table.
+pub(crate) const LANES8: usize = 2 * LANES;
 const MASK32: u64 = 0xffff_ffff;
 
 /// Which CIOS kernel the active [`crate::MontgomeryCtx`] dispatch uses.
@@ -156,22 +161,34 @@ impl KernelKind {
         Self::resolve()
     }
 
+    /// Parses one `SLA_SIMD` token (case-insensitive); `None` for
+    /// unknown values, which the dispatch turns into a loud panic via
+    /// [`KernelKind::unknown_env_message`] — a forced override that
+    /// silently fell back would defeat its purpose.
+    fn parse_env_token(v: &str) -> Option<(KernelKind, bool)> {
+        match v.to_ascii_lowercase().as_str() {
+            "" | "auto" => Some((KernelKind::detect(), false)),
+            "scalar" => Some((KernelKind::Scalar, true)),
+            "portable" => Some((KernelKind::Portable, true)),
+            "avx2" => Some((KernelKind::Avx2, true)),
+            "neon" => Some((KernelKind::Neon, true)),
+            _ => None,
+        }
+    }
+
+    /// The error raised at first dispatch for an unknown `SLA_SIMD`
+    /// value — always surfaces the full accepted set.
+    fn unknown_env_message(other: &str) -> String {
+        format!("SLA_SIMD={other:?}: unknown kernel (expected auto|scalar|portable|avx2|neon)")
+    }
+
     fn resolve() -> (KernelKind, bool) {
         static ACTIVE: OnceLock<(KernelKind, bool)> = OnceLock::new();
         *ACTIVE.get_or_init(|| {
             let (kind, forced) = match std::env::var("SLA_SIMD") {
                 Err(_) => (KernelKind::detect(), false),
-                Ok(v) => match v.to_ascii_lowercase().as_str() {
-                    "" | "auto" => (KernelKind::detect(), false),
-                    "scalar" => (KernelKind::Scalar, true),
-                    "portable" => (KernelKind::Portable, true),
-                    "avx2" => (KernelKind::Avx2, true),
-                    "neon" => (KernelKind::Neon, true),
-                    other => panic!(
-                        "SLA_SIMD={other:?}: unknown kernel \
-                         (expected auto|scalar|portable|avx2|neon)"
-                    ),
-                },
+                Ok(v) => Self::parse_env_token(&v)
+                    .unwrap_or_else(|| panic!("{}", Self::unknown_env_message(&v))),
             };
             assert!(
                 kind.available(),
@@ -410,48 +427,52 @@ unsafe fn cios_neon_inner(
 // Lockstep struct-of-arrays batch kernels
 // ---------------------------------------------------------------------
 
-/// Four independent CIOS passes in lockstep, portable Rust: the exact
+/// `L` independent CIOS passes in lockstep, portable Rust: the exact
 /// scalar recurrence per lane, but with operands transposed into
-/// `[limb][lane]` (SoA) buffers so the four u128 carry chains
+/// `[limb][lane]` (SoA) buffers so the `L` u128 carry chains
 /// interleave — the compiler schedules them in parallel where the
-/// serial loop is one long dependency chain. Byte-identical to four
+/// serial loop is one long dependency chain. Byte-identical to `L`
 /// scalar passes by construction (same arithmetic per lane).
+///
+/// Instantiated at [`LANES`] (4) for shallow batches and [`LANES8`] (8)
+/// for ladder-depth ones; the width is a const generic so each
+/// instantiation unrolls its lane loops fully.
 ///
 /// `out[limb][lane]` receives the reduced results (`out.len() >= k`).
 #[allow(clippy::needless_range_loop)] // lane/limb index math mirrors the SoA layout
-pub(crate) fn lockstep_portable(
+pub(crate) fn lockstep_portable<const L: usize>(
     nl: &[u64],
     n0_inv: u64,
-    a: &[&[u64]; LANES],
-    b: &[&[u64]; LANES],
-    out: &mut [[u64; LANES]],
+    a: &[&[u64]; L],
+    b: &[&[u64]; L],
+    out: &mut [[u64; L]],
 ) {
     let k = nl.len();
     debug_assert!(k <= KMAX && out.len() >= k);
     // SoA transpose of b: bt[limb][lane].
-    let mut bt = [[0u64; LANES]; KMAX];
-    for lane in 0..LANES {
+    let mut bt = [[0u64; L]; KMAX];
+    for lane in 0..L {
         for j in 0..k {
             bt[j][lane] = b[lane].get(j).copied().unwrap_or(0);
         }
     }
-    let mut t = [[0u64; LANES]; KMAX + 2];
+    let mut t = [[0u64; L]; KMAX + 2];
     for i in 0..k {
-        let mut ai = [0u64; LANES];
-        for lane in 0..LANES {
+        let mut ai = [0u64; L];
+        for lane in 0..L {
             ai[lane] = a[lane].get(i).copied().unwrap_or(0);
         }
-        // t += a_i · b, four carry chains interleaved.
-        let mut carry = [0u128; LANES];
+        // t += a_i · b, L carry chains interleaved.
+        let mut carry = [0u128; L];
         for j in 0..k {
-            for lane in 0..LANES {
+            for lane in 0..L {
                 let s = t[j][lane] as u128 + ai[lane] as u128 * bt[j][lane] as u128 + carry[lane];
                 t[j][lane] = s as u64;
                 carry[lane] = s >> 64;
             }
         }
-        let mut m = [0u64; LANES];
-        for lane in 0..LANES {
+        let mut m = [0u64; L];
+        for lane in 0..L {
             let s = t[k][lane] as u128 + carry[lane];
             t[k][lane] = s as u64;
             t[k + 1][lane] = (s >> 64) as u64;
@@ -460,20 +481,20 @@ pub(crate) fn lockstep_portable(
         }
         // t = (t + m·N) >> 64
         for j in 1..k {
-            for lane in 0..LANES {
+            for lane in 0..L {
                 let s = t[j][lane] as u128 + m[lane] as u128 * nl[j] as u128 + carry[lane];
                 t[j - 1][lane] = s as u64;
                 carry[lane] = s >> 64;
             }
         }
-        for lane in 0..LANES {
+        for lane in 0..L {
             let s = t[k][lane] as u128 + carry[lane];
             t[k - 1][lane] = s as u64;
             t[k][lane] = t[k + 1][lane].wrapping_add((s >> 64) as u64);
             t[k + 1][lane] = 0;
         }
     }
-    for lane in 0..LANES {
+    for lane in 0..L {
         let mut tl = [0u64; KMAX + 2];
         for j in 0..=k {
             tl[j] = t[j][lane];
@@ -656,6 +677,211 @@ unsafe fn lockstep_avx2_inner(
     }
 }
 
+/// Eight independent CIOS passes in lockstep via AVX2: the digit
+/// algorithm of [`lockstep_avx2`], but with two 4-lane half-groups
+/// interleaved through one instruction stream (digit `j` of the eight
+/// operands spans two consecutive vectors at stride [`LANES8`]). A
+/// single 4-lane group leaves the 5-cycle `vpmuludq` latency exposed on
+/// its dependent accumulate chain; the second half-group's independent
+/// chain fills those slots, which is where the 8-wide ladder speedup
+/// comes from.
+#[cfg(target_arch = "x86_64")]
+pub(crate) fn lockstep_avx2_8(
+    nl: &[u64],
+    nd: &[u64],
+    n0_inv: u64,
+    a: &[&[u64]; LANES8],
+    b: &[&[u64]; LANES8],
+    out: &mut [[u64; LANES8]],
+) {
+    debug_assert!(KernelKind::Avx2.available());
+    // SAFETY: the dispatch guarantees AVX2 is present.
+    unsafe { lockstep_avx2_8_inner(nl, nd, n0_inv, a, b, out) }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::needless_range_loop)] // lane/digit index math mirrors the SoA layout
+unsafe fn lockstep_avx2_8_inner(
+    nl: &[u64],
+    nd: &[u64],
+    n0_inv: u64,
+    a: &[&[u64]; LANES8],
+    b: &[&[u64]; LANES8],
+    out: &mut [[u64; LANES8]],
+) {
+    use std::arch::x86_64::*;
+
+    /// Lanewise 64-bit low product from three 32×32 partials.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn mullo64(x: __m256i, y: __m256i) -> __m256i {
+        let lo = _mm256_mul_epu32(x, y);
+        let cross = _mm256_add_epi64(
+            _mm256_mul_epu32(_mm256_srli_epi64::<32>(x), y),
+            _mm256_mul_epu32(x, _mm256_srli_epi64::<32>(y)),
+        );
+        _mm256_add_epi64(lo, _mm256_slli_epi64::<32>(cross))
+    }
+
+    let k = nl.len();
+    let d = 2 * k;
+    debug_assert!(k <= KMAX && nd.len() >= DIG_PAD && out.len() >= k);
+
+    // Digit-strided SoA transpose of b at stride 8: digit j's lanes live
+    // at bt[LANES8*j .. LANES8*j + LANES8], half-group h occupying the
+    // vector at offset 4h. Whole-group accesses only — no overlap.
+    let mut bt = [0u64; LANES8 * DIG_PAD];
+    for lane in 0..LANES8 {
+        for i in 0..k {
+            let l = b[lane].get(i).copied().unwrap_or(0);
+            bt[LANES8 * (2 * i) + lane] = l & MASK32;
+            bt[LANES8 * (2 * i + 1) + lane] = l >> 32;
+        }
+    }
+    let mut acc = [0u64; LANES8 * ACC_PAD];
+    let mask = _mm256_set1_epi64x(MASK32 as i64);
+    let zero = _mm256_setzero_si256();
+    let one = _mm256_set1_epi64x(1);
+    let n0v = _mm256_set1_epi64x(n0_inv as i64);
+
+    // acc digit s, half-group h, as a 4-lane vector.
+    macro_rules! lo {
+        ($s:expr, $h:expr) => {
+            _mm256_loadu_si256(acc.as_ptr().add(LANES8 * ($s) + LANES * ($h)) as *const __m256i)
+        };
+    }
+    macro_rules! st {
+        ($s:expr, $h:expr, $v:expr) => {
+            _mm256_storeu_si256(
+                acc.as_mut_ptr().add(LANES8 * ($s) + LANES * ($h)) as *mut __m256i,
+                $v,
+            )
+        };
+    }
+
+    let mut o = 0usize;
+    for i in 0..k {
+        let av = [
+            _mm256_set_epi64x(
+                a[3].get(i).copied().unwrap_or(0) as i64,
+                a[2].get(i).copied().unwrap_or(0) as i64,
+                a[1].get(i).copied().unwrap_or(0) as i64,
+                a[0].get(i).copied().unwrap_or(0) as i64,
+            ),
+            _mm256_set_epi64x(
+                a[7].get(i).copied().unwrap_or(0) as i64,
+                a[6].get(i).copied().unwrap_or(0) as i64,
+                a[5].get(i).copied().unwrap_or(0) as i64,
+                a[4].get(i).copied().unwrap_or(0) as i64,
+            ),
+        ];
+        let al = [_mm256_and_si256(av[0], mask), _mm256_and_si256(av[1], mask)];
+        let ah = [
+            _mm256_srli_epi64::<32>(av[0]),
+            _mm256_srli_epi64::<32>(av[1]),
+        ];
+        // acc += a_i · b (digit products, per-lane operand digits); the
+        // two half-groups' dependent chains interleave per digit.
+        for j in 0..d {
+            for h in 0..2 {
+                let vb =
+                    _mm256_loadu_si256(bt.as_ptr().add(LANES8 * j + LANES * h) as *const __m256i);
+                let plo = _mm256_mul_epu32(vb, al[h]);
+                let phi = _mm256_mul_epu32(vb, ah[h]);
+                st!(
+                    o + j,
+                    h,
+                    _mm256_add_epi64(lo!(o + j, h), _mm256_and_si256(plo, mask))
+                );
+                st!(
+                    o + j + 1,
+                    h,
+                    _mm256_add_epi64(
+                        lo!(o + j + 1, h),
+                        _mm256_add_epi64(_mm256_srli_epi64::<32>(plo), _mm256_and_si256(phi, mask),),
+                    )
+                );
+                st!(
+                    o + j + 2,
+                    h,
+                    _mm256_add_epi64(lo!(o + j + 2, h), _mm256_srli_epi64::<32>(phi))
+                );
+            }
+        }
+        // Per-lane m = t₀·n' mod 2^64 from the lazy digits, per half.
+        let m = [
+            mullo64(
+                _mm256_add_epi64(lo!(o, 0), _mm256_slli_epi64::<32>(lo!(o + 1, 0))),
+                n0v,
+            ),
+            mullo64(
+                _mm256_add_epi64(lo!(o, 1), _mm256_slli_epi64::<32>(lo!(o + 1, 1))),
+                n0v,
+            ),
+        ];
+        let ml = [_mm256_and_si256(m[0], mask), _mm256_and_si256(m[1], mask)];
+        let mh = [_mm256_srli_epi64::<32>(m[0]), _mm256_srli_epi64::<32>(m[1])];
+        // acc += m · N (modulus digits broadcast — shared across lanes).
+        for j in 0..d {
+            let vn = _mm256_set1_epi64x(nd[j] as i64);
+            for h in 0..2 {
+                let plo = _mm256_mul_epu32(vn, ml[h]);
+                let phi = _mm256_mul_epu32(vn, mh[h]);
+                st!(
+                    o + j,
+                    h,
+                    _mm256_add_epi64(lo!(o + j, h), _mm256_and_si256(plo, mask))
+                );
+                st!(
+                    o + j + 1,
+                    h,
+                    _mm256_add_epi64(
+                        lo!(o + j + 1, h),
+                        _mm256_add_epi64(_mm256_srli_epi64::<32>(plo), _mm256_and_si256(phi, mask),),
+                    )
+                );
+                st!(
+                    o + j + 2,
+                    h,
+                    _mm256_add_epi64(lo!(o + j + 2, h), _mm256_srli_epi64::<32>(phi))
+                );
+            }
+        }
+        // Exact ÷2^64 shift per lane (same argument as the 4-wide
+        // kernel, per half-group).
+        for h in 0..2 {
+            let acc0 = lo!(o, h);
+            let acc1 = lo!(o + 1, h);
+            let nz = _mm256_andnot_si256(_mm256_cmpeq_epi64(acc0, zero), one);
+            let carry = _mm256_add_epi64(_mm256_srli_epi64::<32>(acc1), nz);
+            st!(o + 2, h, _mm256_add_epi64(lo!(o + 2, h), carry));
+        }
+        o += 2;
+    }
+
+    // Per-lane digit→limb carry propagation + conditional subtract.
+    for lane in 0..LANES8 {
+        let mut tl = [0u64; KMAX + 2];
+        let mut carry = 0u128;
+        for limb in 0..=k {
+            let v = acc[LANES8 * (o + 2 * limb) + lane] as u128
+                + ((acc[LANES8 * (o + 2 * limb + 1) + lane] as u128) << 32)
+                + carry;
+            tl[limb] = v as u64;
+            carry = v >> 64;
+        }
+        debug_assert_eq!(carry, 0);
+        if tl[k] != 0 || !crate::montgomery::limbs_lt(&tl[..k], nl) {
+            crate::montgomery::limbs_sub_assign(&mut tl[..=k], nl);
+        }
+        debug_assert_eq!(tl[k], 0);
+        for j in 0..k {
+            out[j][lane] = tl[j];
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -683,6 +909,47 @@ mod tests {
     fn active_is_available() {
         let k = KernelKind::active();
         assert!(k.available(), "active kernel {} must be runnable", k.name());
+    }
+
+    #[test]
+    fn env_tokens_parse_case_insensitively() {
+        for (token, want, forced) in [
+            ("scalar", KernelKind::Scalar, true),
+            ("SCALAR", KernelKind::Scalar, true),
+            ("portable", KernelKind::Portable, true),
+            ("Avx2", KernelKind::Avx2, true),
+            ("neon", KernelKind::Neon, true),
+        ] {
+            assert_eq!(
+                KernelKind::parse_env_token(token),
+                Some((want, forced)),
+                "token {token:?}"
+            );
+        }
+        for token in ["", "auto", "AUTO"] {
+            let (kind, forced) = KernelKind::parse_env_token(token).expect("auto parses");
+            assert!(!forced, "token {token:?} must not force");
+            assert!(kind.available());
+        }
+    }
+
+    #[test]
+    fn unknown_env_tokens_are_rejected_loudly() {
+        for bogus in ["avx512", "sse2", "yes", "scalar ", "0"] {
+            assert_eq!(
+                KernelKind::parse_env_token(bogus),
+                None,
+                "token {bogus:?} must not parse"
+            );
+            let msg = KernelKind::unknown_env_message(bogus);
+            assert!(msg.contains(bogus), "message must echo the bad value");
+            for accepted in ["auto", "scalar", "portable", "avx2", "neon"] {
+                assert!(
+                    msg.contains(accepted),
+                    "message must surface the accepted set ({accepted}): {msg}"
+                );
+            }
+        }
     }
 
     #[test]

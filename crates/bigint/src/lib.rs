@@ -29,8 +29,11 @@
 //! on aarch64, a portable u128 lockstep path everywhere) with the
 //! scalar CIOS loop kept as the always-available oracle: batches of
 //! independent products ([`MontgomeryCtx::mont_mul_batch`]) advance
-//! four elements in lockstep, while single products stay on the scalar
-//! loop unless the `SLA_SIMD` environment variable
+//! eight (then four) elements in lockstep, and batch exponentiation
+//! ([`Reducer::mod_pow_batch`], [`FixedBaseTable::pow_batch`]) runs N
+//! windowed ladders on a shared fixed-window schedule so every squaring
+//! and table product is one lockstep sweep. Single products stay on the
+//! scalar loop unless the `SLA_SIMD` environment variable
 //! (`auto|scalar|portable|avx2|neon`) forces a kernel.
 //!
 //! The crate is `#![deny(unsafe_code)]` — the sole sanctioned exception

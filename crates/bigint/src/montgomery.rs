@@ -20,7 +20,7 @@
 //! [`crate::Reducer`] dispatch routes those moduli through the Barrett
 //! context instead, keeping every `mod_pow` division-free.
 
-use crate::kernels::{self, KernelKind, LANES};
+use crate::kernels::{self, KernelKind, LANES, LANES8};
 use crate::BigUint;
 
 /// Stack-buffer capacity in limbs (`k + 2` scratch for `k ≤ 32`, i.e.
@@ -277,10 +277,10 @@ impl MontgomeryCtx {
     }
 
     /// Montgomery products for a batch of independent reduced pairs,
-    /// four elements advanced in lockstep through a struct-of-arrays
-    /// layout (remainders fall back to [`Self::mont_mul`]'s path).
-    /// Results are byte-identical to mapping [`Self::mont_mul`] over
-    /// the slice, in order.
+    /// eight (then four) elements advanced in lockstep through a
+    /// struct-of-arrays layout (remainders fall back to
+    /// [`Self::mont_mul`]'s path). Results are byte-identical to
+    /// mapping [`Self::mont_mul`] over the slice, in order.
     pub fn mont_mul_batch(&self, pairs: &[(&BigUint, &BigUint)]) -> Vec<BigUint> {
         self.mont_mul_batch_with(pairs, self.kernel())
     }
@@ -311,6 +311,44 @@ impl MontgomeryCtx {
         let mut out = Vec::with_capacity(pairs.len());
         let mut i = 0;
         if kernel != KernelKind::Scalar {
+            // Wide groups first: exponentiation ladders supply batches
+            // deep enough that most of the work runs 8 lanes per
+            // instruction stream, with one 4-lane group mopping up.
+            let mut group8 = [[0u64; LANES8]; kernels::KMAX];
+            while i + LANES8 <= pairs.len() {
+                let g = &pairs[i..i + LANES8];
+                debug_assert!(
+                    g.iter().all(|(a, b)| *a < &self.n && *b < &self.n),
+                    "operands must be reduced"
+                );
+                let a_ops: [&[u64]; LANES8] = std::array::from_fn(|l| g[l].0.limbs());
+                let b_ops: [&[u64]; LANES8] = std::array::from_fn(|l| g[l].1.limbs());
+                match kernel {
+                    #[cfg(target_arch = "x86_64")]
+                    KernelKind::Avx2 => kernels::lockstep_avx2_8(
+                        self.n.limbs(),
+                        &self.n_digits,
+                        self.n0_inv,
+                        &a_ops,
+                        &b_ops,
+                        &mut group8,
+                    ),
+                    // NEON batches share the portable lockstep path.
+                    _ => kernels::lockstep_portable::<LANES8>(
+                        self.n.limbs(),
+                        self.n0_inv,
+                        &a_ops,
+                        &b_ops,
+                        &mut group8,
+                    ),
+                }
+                for lane in 0..LANES8 {
+                    out.push(BigUint::from_limbs(
+                        (0..self.k).map(|j| group8[j][lane]).collect(),
+                    ));
+                }
+                i += LANES8;
+            }
             let mut group = [[0u64; LANES]; kernels::KMAX];
             while i + LANES <= pairs.len() {
                 let g = &pairs[i..i + LANES];
@@ -331,7 +369,7 @@ impl MontgomeryCtx {
                         &mut group,
                     ),
                     // NEON batches share the portable lockstep path.
-                    _ => kernels::lockstep_portable(
+                    _ => kernels::lockstep_portable::<LANES>(
                         self.n.limbs(),
                         self.n0_inv,
                         &a_ops,
@@ -436,6 +474,46 @@ impl MontgomeryCtx {
         let base_m = self.to_mont(base);
         self.from_mont(&crate::pow::window_pow_res(self, &base_m, exp))
     }
+
+    /// `base^exp` for a batch of independent `(base, exp)` pairs, bases
+    /// and results in the Montgomery domain: N windowed ladders advanced
+    /// in lockstep, every squaring and table product a batched CIOS
+    /// sweep through the SIMD kernels. Byte-identical, in order, to the
+    /// serial per-element ladder (residues have a unique representative).
+    pub fn mont_pow_batch(&self, items: &[(&BigUint, &BigUint)]) -> Vec<BigUint> {
+        crate::pow::window_pow_res_batch(self, items)
+    }
+
+    /// `base^exp mod N` for a batch of independent canonical pairs: the
+    /// domain conversions run as lockstep sweeps and the ladders run via
+    /// [`Self::mont_pow_batch`]. Byte-identical, in order, to mapping
+    /// [`Self::mod_pow`] over the slice.
+    pub fn mod_pow_batch(&self, pairs: &[(&BigUint, &BigUint)]) -> Vec<BigUint> {
+        // Pass 1: canonicalize + convert every base (one lockstep sweep).
+        let reduced: Vec<BigUint> = pairs
+            .iter()
+            .map(|(b, _)| {
+                if *b < &self.n {
+                    (*b).clone()
+                } else {
+                    *b % &self.n
+                }
+            })
+            .collect();
+        let conv_pairs: Vec<(&BigUint, &BigUint)> = reduced.iter().map(|b| (b, &self.r2)).collect();
+        let bases_m = self.mont_mul_batch(&conv_pairs);
+        // Pass 2: the lockstep ladders.
+        let items: Vec<(&BigUint, &BigUint)> = bases_m
+            .iter()
+            .zip(pairs)
+            .map(|(bm, (_, e))| (bm, *e))
+            .collect();
+        let res = self.mont_pow_batch(&items);
+        // Pass 3: convert back (mont_mul by 1, one lockstep sweep).
+        let one = BigUint::one();
+        let back_pairs: Vec<(&BigUint, &BigUint)> = res.iter().map(|r| (r, &one)).collect();
+        self.mont_mul_batch(&back_pairs)
+    }
 }
 
 impl crate::pow::ResidueOps for MontgomeryCtx {
@@ -447,6 +525,9 @@ impl crate::pow::ResidueOps for MontgomeryCtx {
     }
     fn mul_res(&self, a: &BigUint, b: &BigUint) -> BigUint {
         self.mont_mul(a, b)
+    }
+    fn mul_res_batch(&self, pairs: &[(&BigUint, &BigUint)]) -> Vec<BigUint> {
+        self.mont_mul_batch(pairs)
     }
 }
 

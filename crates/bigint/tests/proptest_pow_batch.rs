@@ -1,0 +1,189 @@
+//! Property tests: the lockstep exponentiation ladders must be
+//! **byte-identical** to the serial pow paths.
+//!
+//! `mod_pow_batch` (and `residue_pow_batch`) run N windowed ladders in
+//! lockstep — one shared fixed-window schedule, per-lane exponent digits
+//! selecting precomputed powers — while serial `mod_pow` takes a
+//! per-exponent sliding window. Residues have unique representatives in
+//! `[0, N)`, so the two schedules must still agree limb-for-limb on
+//! every lane, for every limb count the kernels accept (1..=8), every
+//! batch width including ragged tails past the 8/4-wide lockstep
+//! groups, and the directed exponent edges (0, 1, all-ones, order − 1)
+//! that random sampling rarely hits.
+//!
+//! The CI matrix reruns this file under `SLA_SIMD=scalar` and
+//! `SLA_SIMD=avx2`, which force the dispatch process-globally — the
+//! same assertions then pin the forced kernels.
+
+use proptest::prelude::*;
+use sla_bigint::{BigUint, MontgomeryCtx, Reducer};
+
+/// Odd modulus with **exactly** `k` limbs: top limb forced nonzero,
+/// bottom bit forced set.
+fn odd_modulus_exact(limbs: &[u64]) -> BigUint {
+    let mut limbs = limbs.to_vec();
+    let top = limbs.len() - 1;
+    limbs[top] |= 1 << 63;
+    limbs[0] |= 1;
+    BigUint::from_limbs(limbs)
+}
+
+/// Asserts `mod_pow_batch` equals a serial `mod_pow` map at every width
+/// prefix of `pairs` (so ragged tails of the 8- and 4-wide lockstep
+/// groups are all exercised), and likewise for the residue-domain entry.
+fn assert_batch_matches_serial(ctx: &MontgomeryCtx, bases: &[BigUint], exps: &[BigUint]) {
+    let pairs: Vec<(&BigUint, &BigUint)> = bases.iter().zip(exps).collect();
+    let want: Vec<BigUint> = pairs.iter().map(|(b, e)| ctx.mod_pow(b, e)).collect();
+    for w in 0..=pairs.len() {
+        let got = ctx.mod_pow_batch(&pairs[..w]);
+        assert_eq!(got, want[..w], "width {w}");
+        for (g, s) in got.iter().zip(&want[..w]) {
+            assert_eq!(
+                g.limbs(),
+                s.limbs(),
+                "non-canonical limb vector at width {w}"
+            );
+        }
+    }
+}
+
+proptest! {
+    /// Random moduli with an exact top limb for every k in 1..=8, random
+    /// reduced bases and random exponents of mixed magnitude: batch
+    /// ladders equal the serial pow map at every width (1..=9 lanes, so
+    /// both lockstep group sizes and their ragged tails appear).
+    #[test]
+    fn mod_pow_batch_matches_serial_on_random_inputs(
+        k in 1usize..9,
+        seed in prop::collection::vec(any::<u64>(), 8),
+        lanes in prop::collection::vec(prop::collection::vec(any::<u64>(), 4), 1..10),
+        exp_limbs in 1usize..5,
+    ) {
+        let n = odd_modulus_exact(&seed[..k]);
+        let ctx = MontgomeryCtx::new(&n).expect("odd modulus accepted");
+        let bases: Vec<BigUint> = lanes
+            .iter()
+            .map(|raw| &BigUint::from_limbs(raw[..2].to_vec()) % &n)
+            .collect();
+        // Exponents of varying bit length so lanes disagree on digit
+        // counts and the shared schedule must pad/mask correctly.
+        let exps: Vec<BigUint> = lanes
+            .iter()
+            .enumerate()
+            .map(|(i, raw)| BigUint::from_limbs(raw[..1 + (i + exp_limbs) % 4].to_vec()))
+            .collect();
+        assert_batch_matches_serial(&ctx, &bases, &exps);
+    }
+
+    /// Both Reducer backends (Montgomery for odd, Barrett for even
+    /// moduli): `mod_pow_batch` and `residue_pow_batch` equal their
+    /// serial counterparts lane-for-lane.
+    #[test]
+    fn reducer_pow_batch_matches_serial_both_backends(
+        m_odd in 3u64..u64::MAX,
+        bs in prop::collection::vec(any::<u64>(), 1..9),
+        es in prop::collection::vec(any::<u64>(), 1..9),
+    ) {
+        for n in [BigUint::from_u64(m_odd | 1), BigUint::from_u64((m_odd | 2) & !1)] {
+            let ctx = Reducer::new(&n).expect("modulus > 1");
+            let pairs_owned: Vec<(BigUint, BigUint)> = bs
+                .iter()
+                .zip(&es)
+                .map(|(&b, &e)| (BigUint::from_u64(b), BigUint::from_u64(e)))
+                .collect();
+            let pairs: Vec<(&BigUint, &BigUint)> =
+                pairs_owned.iter().map(|(b, e)| (b, e)).collect();
+            let want: Vec<BigUint> =
+                pairs.iter().map(|(b, e)| ctx.mod_pow(b, e)).collect();
+            prop_assert_eq!(ctx.mod_pow_batch(&pairs), want.clone());
+
+            // The residue-domain entry must agree after conversion back.
+            let res_owned: Vec<(BigUint, BigUint)> = pairs_owned
+                .iter()
+                .map(|(b, e)| (ctx.to_residue(b), e.clone()))
+                .collect();
+            let res_items: Vec<(&BigUint, &BigUint)> =
+                res_owned.iter().map(|(b, e)| (b, e)).collect();
+            let got: Vec<BigUint> = ctx
+                .residue_pow_batch(&res_items)
+                .iter()
+                .map(|r| ctx.from_residue(r))
+                .collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+}
+
+/// Directed exponent edges for every limb count: 0 (must yield 1), 1
+/// (identity — the ladder's top-digit seeding), all-ones exponents
+/// (every window digit nonzero, maximal table traffic), `N − 1`
+/// (Fermat-adjacent full-length exponent), and a power-of-two exponent
+/// (exactly one nonzero digit, every other step a pure squaring) —
+/// mixed in one batch so the shared schedule must serve all of them
+/// under one window width.
+#[test]
+fn directed_exponent_edges_all_limb_counts() {
+    for k in 1usize..=8 {
+        let mut limbs = vec![0xa5a5_a5a5_5a5a_5a5au64; k];
+        limbs[k - 1] |= 1 << 63;
+        limbs[0] |= 1;
+        let n = BigUint::from_limbs(limbs);
+        let ctx = MontgomeryCtx::new(&n).expect("odd modulus accepted");
+
+        let n_minus_1 = &n - &BigUint::one();
+        let all_ones = BigUint::from_limbs(vec![u64::MAX; k]);
+        let pow2 = BigUint::one().shl_bits(64 * k - 7);
+        let exps = [
+            BigUint::zero(),
+            BigUint::one(),
+            all_ones,
+            n_minus_1.clone(),
+            pow2,
+            BigUint::from_u64(2),
+            BigUint::from_u64(0xfeed_face),
+        ];
+        let base_small = BigUint::from_u64(0xdead_beef) % &n;
+        let bases: Vec<BigUint> = exps
+            .iter()
+            .enumerate()
+            .map(|(i, _)| match i % 3 {
+                0 => base_small.clone(),
+                1 => n_minus_1.clone(),
+                _ => &n + &base_small, // unreduced: canonicalization path
+            })
+            .collect();
+        let exps: Vec<BigUint> = exps.to_vec();
+        assert_batch_matches_serial(&ctx, &bases, &exps);
+    }
+}
+
+/// Exponent-0 and short-lane idling: a batch mixing `e = 0` lanes with
+/// full-length lanes must keep the zero lanes at exactly `1` (canonical
+/// limbs) while long lanes ladder on — the `powers[0] = one` masking
+/// path of the shared schedule.
+#[test]
+fn zero_exponent_lanes_idle_at_one() {
+    let n = odd_modulus_exact(&[0x1234_5678_9abc_def1, 0xfeed_face, u64::MAX]);
+    let ctx = MontgomeryCtx::new(&n).expect("odd modulus accepted");
+    let long = &n - &BigUint::from_u64(2);
+    let bases: Vec<BigUint> = (1..=9u64).map(BigUint::from_u64).collect();
+    let exps: Vec<BigUint> = (0..9)
+        .map(|i| {
+            if i % 2 == 0 {
+                BigUint::zero()
+            } else {
+                long.clone()
+            }
+        })
+        .collect();
+    let pairs: Vec<(&BigUint, &BigUint)> = bases.iter().zip(&exps).collect();
+    let got = ctx.mod_pow_batch(&pairs);
+    for (i, r) in got.iter().enumerate() {
+        if i % 2 == 0 {
+            assert_eq!(*r, BigUint::one(), "lane {i} must be exactly 1");
+            assert_eq!(r.limbs(), BigUint::one().limbs(), "lane {i} limbs");
+        } else {
+            assert_eq!(*r, ctx.mod_pow(&bases[i], &exps[i]), "lane {i}");
+        }
+    }
+}

@@ -81,6 +81,13 @@ impl TrustedAuthority {
     /// Issues the minimized token set for an alert zone (Fig. 3's
     /// "minimization algorithm" + token encryption), through the prepared
     /// key tables when [`Self::prepare`] has run.
+    ///
+    /// With a prepared key the whole set is generated through
+    /// [`HveScheme::gen_token_prepared_batch`], so the tokens'
+    /// exponentiations run in lockstep through the engine's SIMD batch
+    /// kernels — byte-identical to per-token generation against the same
+    /// RNG, with identical operation counts.
+    ///
     /// `Err(SlaError::CellOutOfRange)` on alert cells outside the grid.
     pub fn issue_tokens<G: BilinearGroup, R: Rng>(
         &self,
@@ -88,18 +95,22 @@ impl TrustedAuthority {
         alert_cells: &[usize],
         rng: &mut R,
     ) -> SlaResult<Vec<Token>> {
-        Ok(self
+        let patterns: Vec<_> = self
             .codebook
             .try_tokens_for(alert_cells)?
             .iter()
-            .map(|cw| {
-                let pattern = codeword_to_pattern(cw);
-                match &self.key {
-                    TaKey::Prepared(psk) => scheme.gen_token_prepared(psk, &pattern, rng),
-                    TaKey::Plain(sk) => scheme.gen_token(sk, &pattern, rng),
-                }
-            })
-            .collect())
+            .map(codeword_to_pattern)
+            .collect();
+        match &self.key {
+            TaKey::Prepared(psk) => {
+                let refs: Vec<_> = patterns.iter().collect();
+                Ok(scheme.gen_token_prepared_batch(psk, &refs, rng))
+            }
+            TaKey::Plain(sk) => Ok(patterns
+                .iter()
+                .map(|pattern| scheme.gen_token(sk, pattern, rng))
+                .collect()),
+        }
     }
 
     /// Analytic pairing cost of an alert against `n_ciphertexts`

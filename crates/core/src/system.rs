@@ -1,6 +1,7 @@
 //! [`SystemBuilder`] / [`AlertSystem`]: owns the bilinear group and wires
 //! the three parties together for long-lived service runs.
 
+use crate::convert::index_to_attribute;
 use crate::entities::{MobileUser, ServiceProvider, Subscription, TrustedAuthority};
 use crate::error::{SlaError, SlaResult, MAX_GROUP_BITS, MIN_GROUP_BITS};
 use crate::store::{StoreBackend, StoreStats, UpsertOutcome};
@@ -260,6 +261,52 @@ impl AlertSystem {
             rng,
         )?;
         self.sp.upsert(&scheme, subscription)
+    }
+
+    /// Bulk [`Self::subscribe_cell`]: encrypts every `(user_id, cell)`
+    /// update in one [`HveScheme::encrypt_prepared_batch`] call, so the
+    /// subscriptions' exponentiations run in lockstep through the
+    /// engine's SIMD batch kernels. Ciphertext `j` is byte-identical to
+    /// what the `j`-th serial `subscribe_cell` call would have stored
+    /// against the same RNG, and outcomes are returned in request order.
+    ///
+    /// Validation is all-or-nothing: every request is checked
+    /// (`CellOutOfRange`, `MessageOutOfDomain`) before any cryptography
+    /// runs or any record is stored.
+    pub fn subscribe_cells_bulk<R: Rng>(
+        &mut self,
+        requests: &[(u64, usize)],
+        rng: &mut R,
+    ) -> SlaResult<Vec<UpsertOutcome>> {
+        let scheme = HveScheme::new(&self.group, self.ta.codebook().width_bits());
+        let mut attrs = Vec::with_capacity(requests.len());
+        let mut msgs = Vec::with_capacity(requests.len());
+        for &(user_id, cell) in requests {
+            if cell >= self.grid.n_cells() {
+                return Err(SlaError::CellOutOfRange {
+                    cell,
+                    n_cells: self.grid.n_cells(),
+                });
+            }
+            attrs.push(index_to_attribute(self.ta.codebook().index_of(cell)));
+            msgs.push(scheme.try_encode_message(user_id)?);
+        }
+        let items: Vec<_> = attrs.iter().zip(msgs.iter()).collect();
+        let cts = scheme.encrypt_prepared_batch(&self.ppk, &items, rng);
+        requests
+            .iter()
+            .zip(cts)
+            .map(|(&(user_id, _), ciphertext)| {
+                let outcome = self.sp.upsert(
+                    &scheme,
+                    Subscription {
+                        user_id,
+                        ciphertext,
+                    },
+                )?;
+                Ok(outcome)
+            })
+            .collect()
     }
 
     /// [`Self::subscribe_cell`] through a shared reference — the entry
@@ -622,6 +669,55 @@ mod tests {
         );
         assert_eq!(concurrent.n_subscriptions(), 0);
         assert_eq!(concurrent.store_stats().backend, "concurrent-sharded");
+    }
+
+    #[test]
+    fn bulk_subscribe_matches_serial_exactly() {
+        // Same seed through the bulk and the serial path: identical
+        // stored ciphertexts (hence identical alert outcomes), identical
+        // counter deltas, outcomes in request order.
+        let requests: Vec<(u64, usize)> = vec![(100, 1), (101, 4), (102, 1), (103, 0), (104, 5)];
+
+        let (mut serial_sys, _) = small_system(EncoderKind::Huffman);
+        let mut r1 = StdRng::seed_from_u64(0xb01);
+        let before = serial_sys.counters().snapshot();
+        let serial_outcomes: Vec<UpsertOutcome> = requests
+            .iter()
+            .map(|&(id, cell)| serial_sys.subscribe_cell(id, cell, &mut r1).unwrap())
+            .collect();
+        let serial_delta = serial_sys.counters().snapshot() - before;
+
+        let (mut bulk_sys, _) = small_system(EncoderKind::Huffman);
+        let mut r2 = StdRng::seed_from_u64(0xb01);
+        let before = bulk_sys.counters().snapshot();
+        let bulk_outcomes = bulk_sys.subscribe_cells_bulk(&requests, &mut r2).unwrap();
+        let bulk_delta = bulk_sys.counters().snapshot() - before;
+
+        assert_eq!(bulk_outcomes, serial_outcomes);
+        assert_eq!(bulk_delta, serial_delta, "op counts must be identical");
+        assert_eq!(
+            bulk_sys.subscription_epochs(),
+            serial_sys.subscription_epochs()
+        );
+        // Both systems were built from the same seed, so the alert
+        // outcomes (notified sets AND pairing counts) must agree.
+        let mut ra = StdRng::seed_from_u64(7);
+        let mut rb = StdRng::seed_from_u64(7);
+        let a = serial_sys.issue_alert(&[1, 4], &mut ra).unwrap();
+        let b = bulk_sys.issue_alert(&[1, 4], &mut rb).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.notified, vec![100, 101, 102]);
+
+        // Validation is all-or-nothing: a bad cell leaves the store
+        // untouched.
+        let before_len = bulk_sys.n_subscriptions();
+        assert!(matches!(
+            bulk_sys.subscribe_cells_bulk(&[(200, 0), (201, 99)], &mut r2),
+            Err(SlaError::CellOutOfRange { cell: 99, .. })
+        ));
+        assert_eq!(bulk_sys.n_subscriptions(), before_len);
+        // Empty bulk is a no-op.
+        assert_eq!(bulk_sys.subscribe_cells_bulk(&[], &mut r2), Ok(vec![]));
     }
 
     #[test]
