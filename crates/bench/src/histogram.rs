@@ -1,0 +1,271 @@
+//! A fixed-bucket latency histogram for the service-plane load
+//! generator (`sla-loadgen`) and any other consumer that needs cheap
+//! high-dynamic-range quantiles.
+//!
+//! ## Layout
+//!
+//! Values are bucketed HdrHistogram-style with a 4-bit mantissa: values
+//! below 16 get one exact bucket each; above that, each power-of-two
+//! range is split into 16 linear sub-buckets, so every recorded value
+//! lands in a bucket whose width is at most 1/16 (≈ 6.25 %) of the
+//! value. The whole `u64` range fits in [`N_BUCKETS`] buckets
+//! (< 8 KiB), `record` is branch-light integer arithmetic with **no
+//! allocation**, and merging two histograms is element-wise addition —
+//! exactly what per-thread recording needs.
+//!
+//! Quantiles report the **upper bound** of the bucket holding the
+//! requested rank (conservative: a reported p99 is never below the true
+//! p99), except the maximum, which is tracked exactly.
+
+/// Number of exact unit buckets at the bottom (values `0..16`).
+const UNIT_BUCKETS: usize = 16;
+
+/// Sub-buckets per power-of-two range (the 4-bit mantissa).
+const SUB_BUCKETS: usize = 16;
+
+/// Total bucket count covering the whole `u64` range: 16 exact unit
+/// buckets plus 16 sub-buckets for each exponent 4..=63.
+pub const N_BUCKETS: usize = UNIT_BUCKETS + SUB_BUCKETS * 60;
+
+/// A fixed-bucket histogram over `u64` samples (nanoseconds, by
+/// convention, but the structure is unit-agnostic).
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    counts: Box<[u64; N_BUCKETS]>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.total)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .field("p50", &self.quantile(0.50))
+            .field("p99", &self.quantile(0.99))
+            .finish()
+    }
+}
+
+/// The bucket a value lands in.
+fn bucket_of(v: u64) -> usize {
+    if v < UNIT_BUCKETS as u64 {
+        return v as usize;
+    }
+    // Exponent of the value's power-of-two range (>= 4 here) and the 4
+    // mantissa bits below the leading bit.
+    let e = 63 - v.leading_zeros() as usize;
+    let mantissa = ((v >> (e - 4)) & 0xF) as usize;
+    UNIT_BUCKETS + SUB_BUCKETS * (e - 4) + mantissa
+}
+
+/// The largest value mapping to `bucket` (the inverse of [`bucket_of`]'s
+/// upper edge) — what quantiles report.
+fn bucket_upper(bucket: usize) -> u64 {
+    if bucket < UNIT_BUCKETS {
+        return bucket as u64;
+    }
+    let e = (bucket - UNIT_BUCKETS) / SUB_BUCKETS + 4;
+    let mantissa = ((bucket - UNIT_BUCKETS) % SUB_BUCKETS) as u128;
+    // Range start 2^e, sub-bucket width 2^(e-4); upper edge is the last
+    // value of the sub-bucket (in u128: the top bucket's edge is
+    // 2^63 + 16·2^59 - 1 = 2^64 - 1, which overflows u64 mid-formula).
+    let upper = (1u128 << e) + (mantissa + 1) * (1u128 << (e - 4)) - 1;
+    u64::try_from(upper).unwrap_or(u64::MAX)
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: Box::new([0; N_BUCKETS]),
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.total += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample, exact (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of the recorded samples (exact sum, not
+    /// bucket-approximated; 0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the upper bound of the
+    /// bucket holding the sample of rank `ceil(q · count)` (so the true
+    /// quantile is never above the reported one by more than the bucket
+    /// width, ≈ 6.25 %). `q >= 1` returns the exact maximum; an empty
+    /// histogram returns 0.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = ((q.max(0.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (bucket, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                // The exact extremes beat the bucket edge when the rank
+                // falls in the first or last occupied bucket.
+                return bucket_upper(bucket).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Element-wise merge of another histogram into this one — how
+    /// per-thread recordings combine into the report.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_cover_u64() {
+        let mut prev = 0;
+        for v in [
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            31,
+            32,
+            100,
+            1_000,
+            65_535,
+            65_536,
+            1 << 40,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let b = bucket_of(v);
+            assert!(b < N_BUCKETS, "{v} -> {b}");
+            assert!(b >= prev, "bucket must not decrease at {v}");
+            assert!(bucket_upper(b) >= v, "upper edge below the value {v}");
+            prev = b;
+        }
+        // The top bucket's upper edge is u64::MAX.
+        assert_eq!(bucket_upper(bucket_of(u64::MAX)), u64::MAX);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 16);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 15);
+        assert_eq!(h.quantile(0.5), 7);
+        assert_eq!(h.quantile(1.0), 15);
+    }
+
+    #[test]
+    fn quantile_error_is_bounded_by_bucket_width() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v * 100); // 100ns .. 1ms
+        }
+        for (q, exact) in [(0.50, 500_000u64), (0.99, 990_000), (0.999, 999_000)] {
+            let got = h.quantile(q);
+            assert!(got >= exact, "q={q}: {got} < exact {exact}");
+            assert!(
+                got as f64 <= exact as f64 * 1.0626,
+                "q={q}: {got} overshoots {exact} by more than a bucket"
+            );
+        }
+        assert_eq!(h.quantile(1.0), 1_000_000);
+        let mean = h.mean();
+        assert!((mean - 500_050.0).abs() < 1.0, "{mean}");
+    }
+
+    #[test]
+    fn merge_equals_concatenated_recording() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut both = LatencyHistogram::new();
+        for i in 0..1_000u64 {
+            let v = i * i + 17;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), both.count());
+        assert_eq!(a.min(), both.min());
+        assert_eq!(a.max(), both.max());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(a.quantile(q), both.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+}

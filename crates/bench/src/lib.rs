@@ -28,6 +28,7 @@ pub mod fig11;
 pub mod fig12;
 pub mod fig13;
 pub mod fig14;
+pub mod histogram;
 pub mod primitives;
 pub mod table;
 

@@ -199,6 +199,20 @@ pub struct Subscription {
     pub ciphertext: Ciphertext,
 }
 
+/// One cheap serving-plane snapshot of a [`ServiceProvider`]: the store
+/// layout and lifecycle counters plus the epoch a durable backend
+/// recovered at open. Assembled entirely from atomics through
+/// [`ServiceProvider::service_stats`] (`&self`, no write lock), so a
+/// `stats` RPC never stalls matching or churn.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Store layout and lifecycle counters.
+    pub store: StoreStats,
+    /// The epoch recovered from a durable directory at open (`None` on
+    /// volatile backends and fresh directories).
+    pub recovered_epoch: Option<u64>,
+}
+
 /// The Service Provider: stores encrypted updates, evaluates tokens, and
 /// notifies matched users. Learns only "user u is inside the alert zone" /
 /// "user u is not" — nothing else (§6).
@@ -315,6 +329,23 @@ impl ServiceProvider {
             replaced: self.replaced.load(Ordering::Relaxed),
             unsubscribed: self.unsubscribed.load(Ordering::Relaxed),
             evicted: self.evicted.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The epoch a durable backend recovered from its directory at open,
+    /// `None` on volatile backends and on fresh directories.
+    pub fn recovered_epoch(&self) -> Option<u64> {
+        self.store.recovered_epoch()
+    }
+
+    /// One-call serving snapshot: [`Self::stats`] plus the recovered
+    /// epoch. Everything here reads atomics (store length included) —
+    /// **no shard write lock is taken**, so a `stats` RPC can be answered
+    /// while matching and churn are running without perturbing either.
+    pub fn service_stats(&self) -> ServiceStats {
+        ServiceStats {
+            store: self.stats(),
+            recovered_epoch: self.recovered_epoch(),
         }
     }
 

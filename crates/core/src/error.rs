@@ -101,6 +101,23 @@ pub enum SlaError {
         /// The rendered `sla_persist::PersistError::Corrupt`.
         detail: String,
     },
+    /// A transport-level I/O failure (socket read/write, bind, accept).
+    /// Raised by the service plane (`sla-server`) so network failures
+    /// surface through the same taxonomy as every other service error.
+    /// (Carries the rendered `std::io::Error` — like [`SlaError::Storage`],
+    /// the inner error is neither `Clone` nor `PartialEq`.)
+    Io {
+        /// The rendered `std::io::Error`.
+        detail: String,
+    },
+    /// Bytes arrived over the wire that do not form a valid protocol
+    /// frame or payload (torn frame, CRC mismatch, oversized frame,
+    /// unknown tag, trailing bytes). The peer is misbehaving or speaking
+    /// a different protocol version; the connection cannot be resynced.
+    Protocol {
+        /// What failed to parse.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SlaError {
@@ -147,6 +164,8 @@ impl fmt::Display for SlaError {
             }
             SlaError::Storage { detail } => write!(f, "durable store I/O failure: {detail}"),
             SlaError::Corrupt { detail } => write!(f, "durable store corruption: {detail}"),
+            SlaError::Io { detail } => write!(f, "transport I/O failure: {detail}"),
+            SlaError::Protocol { detail } => write!(f, "wire protocol violation: {detail}"),
         }
     }
 }
@@ -208,6 +227,14 @@ impl From<PersistError> for SlaError {
     }
 }
 
+impl From<std::io::Error> for SlaError {
+    fn from(e: std::io::Error) -> Self {
+        SlaError::Io {
+            detail: e.to_string(),
+        }
+    }
+}
+
 impl From<HveError> for SlaError {
     fn from(e: HveError) -> Self {
         match e {
@@ -264,6 +291,18 @@ mod tests {
                 },
                 "durable store corruption",
             ),
+            (
+                SlaError::Io {
+                    detail: "connection reset by peer".into(),
+                },
+                "transport I/O failure",
+            ),
+            (
+                SlaError::Protocol {
+                    detail: "crc mismatch in request frame".into(),
+                },
+                "wire protocol violation",
+            ),
         ];
         for (err, needle) in cases {
             assert!(
@@ -307,5 +346,11 @@ mod tests {
             SlaError::from(PersistError::corrupt("/x/snapshot.bin", 9, "crc mismatch")),
             SlaError::Corrupt { .. }
         ));
+        // Transport errors keep their rendered detail so operators can
+        // tell a refused bind from a mid-stream reset.
+        match SlaError::from(std::io::Error::other("address in use")) {
+            SlaError::Io { detail } => assert!(detail.contains("address in use")),
+            other => panic!("{other:?}"),
+        }
     }
 }

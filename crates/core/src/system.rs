@@ -198,6 +198,22 @@ impl AlertSystem {
         self.sp.stats()
     }
 
+    /// One-call serving snapshot ([`ServiceProvider::service_stats`]):
+    /// store stats plus the recovered epoch, read entirely from atomics
+    /// through `&self` — the `stats` RPC of the service plane routes
+    /// here, so answering it never takes a shard write lock.
+    pub fn service_stats(&self) -> crate::ServiceStats {
+        self.sp.service_stats()
+    }
+
+    /// `true` iff the store backend supports shared-reference mutation
+    /// (`subscribe_cell_shared` / `unsubscribe_shared` /
+    /// `advance_epoch_shared`) — what a multi-connection server needs to
+    /// serve churn and matching concurrently.
+    pub fn supports_shared_mutation(&self) -> bool {
+        self.sp.supports_shared_mutation()
+    }
+
     /// Every stored `(user_id, epoch)` pair, sorted — a cheap content
     /// fingerprint (see [`ServiceProvider::subscription_epochs`]).
     pub fn subscription_epochs(&self) -> Vec<(u64, u64)> {
@@ -636,6 +652,7 @@ mod tests {
             .group_bits(40)
             .build(&probs, &mut rng)
             .unwrap();
+        assert!(!exclusive.supports_shared_mutation());
         assert_eq!(
             exclusive.subscribe_cell_shared(1, 0, &mut rng).unwrap_err(),
             SlaError::StoreNotConcurrent
@@ -669,6 +686,15 @@ mod tests {
         );
         assert_eq!(concurrent.n_subscriptions(), 0);
         assert_eq!(concurrent.store_stats().backend, "concurrent-sharded");
+        assert!(concurrent.supports_shared_mutation());
+        // The one-call serving snapshot agrees with the piecewise view
+        // and reports no recovered epoch on a volatile backend.
+        let snapshot = concurrent.service_stats();
+        assert_eq!(snapshot.store, concurrent.store_stats());
+        assert_eq!(snapshot.recovered_epoch, None);
+        assert_eq!(snapshot.store.inserted, 1);
+        assert_eq!(snapshot.store.replaced, 1);
+        assert_eq!(snapshot.store.unsubscribed, 1);
     }
 
     #[test]

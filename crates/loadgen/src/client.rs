@@ -1,0 +1,144 @@
+//! The blocking wire client: connect (with startup retry), one
+//! request/response call, and busy-retry.
+
+use sla_core::{SlaError, SlaResult};
+use sla_server::{
+    decode_response, encode_request, read_frame, write_frame, FrameIn, Request, Response,
+};
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Where the server lives.
+#[derive(Debug, Clone)]
+pub enum Endpoint {
+    /// A Unix-domain socket path.
+    Unix(PathBuf),
+    /// A TCP address, e.g. `127.0.0.1:4240`.
+    Tcp(String),
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Unix(path) => write!(f, "unix://{}", path.display()),
+            Endpoint::Tcp(addr) => write!(f, "tcp://{addr}"),
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Stream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// One connection to an `sla-server`.
+#[derive(Debug)]
+pub struct Client {
+    stream: Stream,
+}
+
+/// How long a blocked call waits before giving up (an alert over a
+/// large population can legitimately take a while).
+const CALL_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Backoff between retries of a [`Response::Busy`] rejection.
+const BUSY_BACKOFF: Duration = Duration::from_micros(200);
+
+impl Client {
+    /// Connects, retrying refused/missing endpoints until `patience`
+    /// runs out — so a freshly `exec`'d server needs no sleep-and-hope
+    /// coordination: start it, then connect.
+    pub fn connect(endpoint: &Endpoint, patience: Duration) -> SlaResult<Client> {
+        let deadline = Instant::now() + patience;
+        loop {
+            let attempt = match endpoint {
+                Endpoint::Unix(path) => UnixStream::connect(path).map(Stream::Unix),
+                Endpoint::Tcp(addr) => TcpStream::connect(addr.as_str()).map(Stream::Tcp),
+            };
+            match attempt {
+                Ok(stream) => {
+                    match &stream {
+                        Stream::Unix(s) => {
+                            s.set_read_timeout(Some(CALL_TIMEOUT))?;
+                            s.set_write_timeout(Some(CALL_TIMEOUT))?;
+                        }
+                        Stream::Tcp(s) => {
+                            s.set_read_timeout(Some(CALL_TIMEOUT))?;
+                            s.set_write_timeout(Some(CALL_TIMEOUT))?;
+                        }
+                    }
+                    return Ok(Client { stream });
+                }
+                Err(e) => {
+                    let retryable = matches!(
+                        e.kind(),
+                        io::ErrorKind::ConnectionRefused | io::ErrorKind::NotFound
+                    );
+                    if !retryable || Instant::now() >= deadline {
+                        return Err(SlaError::Io {
+                            detail: format!("connect {endpoint}: {e}"),
+                        });
+                    }
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+            }
+        }
+    }
+
+    /// One request/response round trip.
+    pub fn call(&mut self, req: &Request) -> SlaResult<Response> {
+        write_frame(&mut self.stream, &encode_request(req))?;
+        match read_frame(&mut self.stream)? {
+            FrameIn::Frame(payload) => Ok(decode_response(&payload)?),
+            FrameIn::Closed => Err(SlaError::Io {
+                detail: "server closed the connection mid-call".into(),
+            }),
+            FrameIn::Torn(detail) => Err(SlaError::Protocol { detail }),
+            FrameIn::Aborted => unreachable!("client reads have no abort condition"),
+        }
+    }
+
+    /// [`Self::call`], transparently retrying typed [`Response::Busy`]
+    /// rejections with a small backoff; each retry increments
+    /// `busy_retries`. The returned response is never `Busy`.
+    pub fn call_retrying(&mut self, req: &Request, busy_retries: &mut u64) -> SlaResult<Response> {
+        loop {
+            match self.call(req)? {
+                Response::Busy { .. } => {
+                    *busy_retries += 1;
+                    std::thread::sleep(BUSY_BACKOFF);
+                }
+                resp => return Ok(resp),
+            }
+        }
+    }
+}

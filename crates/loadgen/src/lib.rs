@@ -1,0 +1,19 @@
+//! # sla-loadgen
+//!
+//! Load generator and end-to-end checker for the `sla-server` service
+//! plane: replays `sla-datasets` churn workloads over the wire with N
+//! client threads, verifies every alert's notified set against the
+//! workload's plaintext ground truth, and records client-observed
+//! latency (p50/p99/p999 per op kind, via `sla-bench`'s fixed-bucket
+//! histogram) plus throughput into `results/BENCH_service.json`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod replay;
+
+pub use client::{Client, Endpoint};
+pub use replay::{
+    generate_workload, render_json, replay, OpHistograms, ReplayConfig, ReplayReport,
+};

@@ -1,0 +1,215 @@
+//! `sla-server` — serves the alert protocol over a Unix or TCP socket.
+//!
+//! ```text
+//! cargo run -p sla-server --release -- --socket /tmp/sla.sock
+//! cargo run -p sla-server --release -- --tcp 127.0.0.1:0
+//! cargo run -p sla-server --release -- --socket /tmp/sla.sock \
+//!     --store persistent --dir /var/lib/sla --flush-ms 2
+//! ```
+//!
+//! The system is built over the paper's Chicago-downtown 32×32 grid
+//! with a uniform probability map (the loadgen speaks the same grid, so
+//! cell indices agree on both ends). On startup the resolved endpoint
+//! is printed as `listening on <addr>` — with `--tcp 127.0.0.1:0` that
+//! line carries the kernel-assigned port. The server runs until a
+//! `shutdown` RPC arrives, then drains connections, flushes the durable
+//! store's WAL, and exits 0.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sla_core::{FlushPolicy, StoreBackend, SystemBuilder};
+use sla_grid::{Grid, ProbabilityMap};
+use sla_server::{AlertService, ServerConfig, SlaServer};
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Duration;
+
+struct Opts {
+    /// Exactly one endpoint: `--socket <path>` or `--tcp <addr>`.
+    endpoint: Endpoint,
+    /// `concurrent` (volatile) or `persistent` (WAL + snapshot).
+    store: String,
+    /// Directory for the persistent store.
+    dir: PathBuf,
+    /// Group-commit window for the persistent WAL; `0` fsyncs every op.
+    flush_ms: u64,
+    group_bits: usize,
+    shards: usize,
+    workers: usize,
+    inflight: usize,
+    seed: u64,
+}
+
+enum Endpoint {
+    Unix(PathBuf),
+    Tcp(String),
+}
+
+/// Typed rejection of a malformed command line.
+#[derive(Debug)]
+enum ArgError {
+    /// A flag that needs a value did not get one.
+    MissingValue(&'static str),
+    /// A value that did not parse as the expected type.
+    Invalid(&'static str, String),
+    /// Neither or both of `--socket` / `--tcp`.
+    Endpoint,
+    /// A flag this binary does not know.
+    Unknown(String),
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::MissingValue(flag) => write!(f, "{flag} needs a value"),
+            ArgError::Invalid(flag, v) => write!(f, "{flag}: invalid value '{v}'"),
+            ArgError::Endpoint => write!(
+                f,
+                "exactly one endpoint is required: --socket <path> or --tcp <addr>"
+            ),
+            ArgError::Unknown(flag) => write!(f, "unknown flag '{flag}' (see --help)"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+const USAGE: &str = "\
+sla-server — the alert protocol over a socket
+
+USAGE:
+    sla-server (--socket <path> | --tcp <addr>) [options]
+
+OPTIONS:
+    --socket <path>     Serve on a Unix-domain socket at <path>
+    --tcp <addr>        Serve on TCP, e.g. 127.0.0.1:4240 (port 0 = kernel picks)
+    --store <backend>   concurrent (default) | persistent
+    --dir <path>        Durable store directory (persistent only; default sla-server-store)
+    --flush-ms <n>      WAL group-commit window in ms; 0 = fsync every op (default 2)
+    --group-bits <n>    Bilinear group size in bits (default 40)
+    --shards <n>        Store lock shards (default 8)
+    --workers <n>       Worker threads = max concurrent connections (default 8)
+    --inflight <n>      Max data-plane requests in flight (default 64)
+    --seed <n>          Base RNG seed (default 20210323)
+    --help              This text";
+
+fn parse_number<T: std::str::FromStr>(
+    flag: &'static str,
+    value: Option<String>,
+) -> Result<T, ArgError> {
+    let v = value.ok_or(ArgError::MissingValue(flag))?;
+    v.parse().map_err(|_| ArgError::Invalid(flag, v))
+}
+
+fn parse_opts(args: impl Iterator<Item = String>) -> Result<Option<Opts>, ArgError> {
+    let mut socket = None;
+    let mut tcp = None;
+    let mut opts = Opts {
+        endpoint: Endpoint::Tcp(String::new()), // placeholder until validated
+        store: "concurrent".into(),
+        dir: PathBuf::from("sla-server-store"),
+        flush_ms: 2,
+        group_bits: 40,
+        shards: 8,
+        workers: 8,
+        inflight: 64,
+        seed: 20_210_323,
+    };
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--socket" => socket = Some(args.next().ok_or(ArgError::MissingValue("--socket"))?),
+            "--tcp" => tcp = Some(args.next().ok_or(ArgError::MissingValue("--tcp"))?),
+            "--store" => {
+                let v = args.next().ok_or(ArgError::MissingValue("--store"))?;
+                if v != "concurrent" && v != "persistent" {
+                    return Err(ArgError::Invalid("--store", v));
+                }
+                opts.store = v;
+            }
+            "--dir" => {
+                opts.dir = PathBuf::from(args.next().ok_or(ArgError::MissingValue("--dir"))?)
+            }
+            "--flush-ms" => opts.flush_ms = parse_number("--flush-ms", args.next())?,
+            "--group-bits" => opts.group_bits = parse_number("--group-bits", args.next())?,
+            "--shards" => opts.shards = parse_number("--shards", args.next())?,
+            "--workers" => opts.workers = parse_number("--workers", args.next())?,
+            "--inflight" => opts.inflight = parse_number("--inflight", args.next())?,
+            "--seed" => opts.seed = parse_number("--seed", args.next())?,
+            other => return Err(ArgError::Unknown(other.to_string())),
+        }
+    }
+    opts.endpoint = match (socket, tcp) {
+        (Some(path), None) => Endpoint::Unix(PathBuf::from(path)),
+        (None, Some(addr)) => Endpoint::Tcp(addr),
+        _ => return Err(ArgError::Endpoint),
+    };
+    Ok(Some(opts))
+}
+
+fn run(opts: Opts) -> Result<(), Box<dyn std::error::Error>> {
+    let backend = match opts.store.as_str() {
+        "persistent" => StoreBackend::Persistent {
+            dir: opts.dir.clone(),
+            flush: if opts.flush_ms == 0 {
+                FlushPolicy::EveryOp
+            } else {
+                FlushPolicy::Every(Duration::from_millis(opts.flush_ms))
+            },
+        },
+        _ => StoreBackend::ConcurrentSharded {
+            shards: opts.shards,
+        },
+    };
+    let grid = Grid::chicago_downtown_32();
+    let probs = ProbabilityMap::uniform(grid.n_cells());
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let system = SystemBuilder::new(grid)
+        .group_bits(opts.group_bits)
+        .store(backend)
+        .build(&probs, &mut rng)?;
+    let service = AlertService::new(system)?;
+
+    let config = ServerConfig {
+        workers: opts.workers,
+        max_in_flight: opts.inflight,
+        seed: opts.seed,
+        ..ServerConfig::default()
+    };
+    let server = match &opts.endpoint {
+        Endpoint::Unix(path) => SlaServer::bind_unix(service, path, config)?,
+        Endpoint::Tcp(addr) => SlaServer::bind_tcp(service, addr, config)?,
+    };
+
+    // The readiness line clients and CI wait for (flushed immediately:
+    // with `--tcp ...:0` it carries the kernel-assigned port).
+    println!("listening on {}", server.local_addr());
+    std::io::stdout().flush()?;
+
+    let report = server.serve()?;
+    println!(
+        "drained: {} connections served, {} rejected busy",
+        report.connections, report.rejected_connections
+    );
+    Ok(())
+}
+
+fn main() {
+    let opts = match parse_opts(std::env::args().skip(1)) {
+        Ok(Some(opts)) => opts,
+        Ok(None) => {
+            println!("{USAGE}");
+            return;
+        }
+        Err(e) => {
+            eprintln!("sla-server: {e}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = run(opts) {
+        eprintln!("sla-server: {e}");
+        std::process::exit(1);
+    }
+}
