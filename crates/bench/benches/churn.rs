@@ -106,64 +106,83 @@ fn bench_churn(c: &mut Criterion) {
 /// The churn-while-matching regime: `WRITERS` threads replay an epoch's
 /// writer streams through `subscribe_cell_shared`/`unsubscribe_shared`
 /// while the measuring thread runs the epoch's batch match concurrently.
-/// Only the `ConcurrentSharded` backend can serve this shape.
+/// Served by both concurrent-capable backends: the volatile sharded
+/// store and the persistent store, whose per-shard durability lanes let
+/// the four writers log without serializing on a single WAL gate.
 fn bench_churn_while_matching(c: &mut Criterion) {
     const WRITERS: usize = 4;
     let (grid, probs, workload) = fixture();
     let mut g = c.benchmark_group("churn");
     g.sample_size(10);
 
-    let (system, mut rng) = {
-        let mut rng = StdRng::seed_from_u64(SEED ^ 2);
-        let system = SystemBuilder::new(grid.clone())
-            .group_bits(48)
-            .store(StoreBackend::ConcurrentSharded { shards: 8 })
-            .build(&probs, &mut rng)
-            .expect("valid configuration");
-        (system, rng)
-    };
-    // Seed the population, then interleave epoch replays with matching.
-    for event in &workload.epochs[0].events {
-        if let ChurnEvent::Subscribe { user_id, cell } = *event {
-            system
-                .subscribe_cell_shared(user_id, cell, &mut rng)
-                .expect("workload cells are in range");
+    let persist_dir =
+        std::env::temp_dir().join(format!("sla-bench-churn-wm-{}", std::process::id()));
+    for (name, backend) in [
+        ("concurrent8", StoreBackend::ConcurrentSharded { shards: 8 }),
+        (
+            "persistent_sharded",
+            StoreBackend::Persistent {
+                dir: persist_dir.clone(),
+                flush: FlushPolicy::Every(Duration::from_millis(5)),
+            },
+        ),
+    ] {
+        let (system, mut rng) = {
+            let mut rng = StdRng::seed_from_u64(SEED ^ 2);
+            let system = SystemBuilder::new(grid.clone())
+                .group_bits(48)
+                .store(backend)
+                .build(&probs, &mut rng)
+                .expect("valid configuration");
+            (system, rng)
+        };
+        // Seed the population, then interleave epoch replays with
+        // matching.
+        for event in &workload.epochs[0].events {
+            if let ChurnEvent::Subscribe { user_id, cell } = *event {
+                system
+                    .subscribe_cell_shared(user_id, cell, &mut rng)
+                    .expect("workload cells are in range");
+            }
         }
-    }
 
-    let mut next = 1usize;
-    g.bench_function(format!("while_matching_concurrent8_w{WRITERS}"), |b| {
-        b.iter(|| {
-            let epoch = &workload.epochs[next];
-            next = 1 + next % (workload.epochs.len() - 1);
-            let streams = epoch.writer_streams(WRITERS);
-            std::thread::scope(|scope| {
-                for (w, stream) in streams.iter().enumerate() {
-                    let system = &system;
-                    scope.spawn(move || {
-                        let mut rng = StdRng::seed_from_u64(SEED ^ (0x100 + w as u64));
-                        for event in stream {
-                            match *event {
-                                ChurnEvent::Subscribe { user_id, cell }
-                                | ChurnEvent::Move { user_id, cell } => {
-                                    system
-                                        .subscribe_cell_shared(user_id, cell, &mut rng)
-                                        .expect("workload cells are in range");
-                                }
-                                ChurnEvent::Unsubscribe { user_id } => {
-                                    let _ = system.unsubscribe_shared(user_id);
+        let mut next = 1usize;
+        g.bench_function(format!("while_matching_{name}_w{WRITERS}"), |b| {
+            b.iter(|| {
+                let epoch = &workload.epochs[next];
+                next = 1 + next % (workload.epochs.len() - 1);
+                let streams = epoch.writer_streams(WRITERS);
+                std::thread::scope(|scope| {
+                    for (w, stream) in streams.iter().enumerate() {
+                        let system = &system;
+                        scope.spawn(move || {
+                            let mut rng = StdRng::seed_from_u64(SEED ^ (0x100 + w as u64));
+                            for event in stream {
+                                match *event {
+                                    ChurnEvent::Subscribe { user_id, cell }
+                                    | ChurnEvent::Move { user_id, cell } => {
+                                        system
+                                            .subscribe_cell_shared(user_id, cell, &mut rng)
+                                            .expect("workload cells are in range");
+                                    }
+                                    ChurnEvent::Unsubscribe { user_id } => {
+                                        let _ = system.unsubscribe_shared(user_id);
+                                    }
                                 }
                             }
-                        }
-                    });
-                }
-                let mut match_rng = StdRng::seed_from_u64(SEED ^ 3);
-                system
-                    .issue_alert_batch(&epoch.alert_cells, Some(8), &mut match_rng)
-                    .expect("workload cells are in range")
-            })
+                        });
+                    }
+                    let mut match_rng = StdRng::seed_from_u64(SEED ^ 3);
+                    system
+                        .issue_alert_batch(&epoch.alert_cells, Some(8), &mut match_rng)
+                        .expect("workload cells are in range")
+                })
+            });
         });
-    });
+    }
+    if persist_dir.exists() {
+        std::fs::remove_dir_all(&persist_dir).expect("bench scratch cleanup");
+    }
     g.finish();
 }
 

@@ -441,7 +441,8 @@ pub fn measure_phases(prime_bits: usize, width: usize, seed: u64) -> PhaseTiming
 #[derive(Debug, Clone)]
 pub struct ChurnTimings {
     /// Backend label (`contiguous`, `sharded8`, `concurrent8`,
-    /// `persistent`, `persistent_fsync`).
+    /// `persistent`, `persistent_fsync`, `persistent_sharded` — the
+    /// last measured under four concurrent writers).
     pub backend: &'static str,
     /// Store population during the measurement.
     pub users: usize,
@@ -591,16 +592,121 @@ pub fn measure_churn(seed: u64) -> Vec<ChurnTimings> {
         // before its directory is removed below.
         drop(store);
     }
+    // The sharded-durability row: the same persistent store, but churned
+    // by four writer threads at once — the per-shard WAL lanes are what
+    // keeps those writers from serializing on a single log gate.
+    out.push(measure_persistent_sharded_churn(
+        &tmp_base.join("sharded4w"),
+        &record,
+        &scheme,
+        &token,
+    ));
     if tmp_base.exists() {
         std::fs::remove_dir_all(&tmp_base).expect("scratch cleanup");
     }
     out
 }
 
+/// The `persistent_sharded` churn row: four writer threads drive the
+/// persistent store's shared (`&self`) mutation surface concurrently,
+/// each over its own user stripe so the churn spreads across the
+/// durability lanes, and the full-store token evaluation is timed
+/// **while the writers keep churning**. Mutation costs are wall-clock
+/// over total ops (the throughput view — per-lane group commit lets the
+/// four writers overlap their log appends), and the match figure pins
+/// the read-path claim that matching never touches the log.
+fn measure_persistent_sharded_churn(
+    dir: &std::path::Path,
+    record: &(dyn Fn(u64) -> StoredSubscription + Sync),
+    scheme: &HveScheme<'_, SimulatedGroup>,
+    token: &sla_hve::Token,
+) -> ChurnTimings {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    const WRITERS: usize = 4;
+    const USERS: u64 = 256;
+    const OPS_PER_WRITER: usize = 192;
+
+    let store = PersistentStore::open(dir, FlushPolicy::Every(Duration::from_millis(5)))
+        .expect("scratch dir is writable");
+    for user in 0..USERS {
+        store.upsert(record(user));
+    }
+
+    // Each writer walks its own residue class mod WRITERS, so no two
+    // writers ever touch the same user (or, with a lane count that is a
+    // multiple of WRITERS, contend on the same gate by accident).
+    let striped = |writer: usize, churn: &dyn Fn(u64)| {
+        let mut user = writer as u64;
+        for _ in 0..OPS_PER_WRITER {
+            user = (user + WRITERS as u64) % USERS;
+            churn(user);
+        }
+    };
+    let four_writer_ns = |churn: &(dyn Fn(u64) + Sync)| {
+        let t = Instant::now();
+        std::thread::scope(|s| {
+            for writer in 0..WRITERS {
+                s.spawn(move || striped(writer, churn));
+            }
+        });
+        t.elapsed().as_nanos() as f64 / (WRITERS * OPS_PER_WRITER) as f64
+    };
+
+    let upsert_ns = four_writer_ns(&|user| {
+        store.upsert(record(user));
+    });
+    let remove_insert_ns = four_writer_ns(&|user| {
+        store.remove(user);
+        store.upsert(record(user));
+    });
+
+    // Churn-while-matching: the writers loop until the measured match
+    // pass finishes, then are signalled to stop.
+    let stop = AtomicBool::new(false);
+    let match_per_record_ns = std::thread::scope(|s| {
+        for writer in 0..WRITERS {
+            let (store, stop) = (&store, &stop);
+            s.spawn(move || {
+                let mut user = writer as u64;
+                while !stop.load(Ordering::Relaxed) {
+                    user = (user + WRITERS as u64) % USERS;
+                    store.upsert(record(user));
+                }
+            });
+        }
+        let per_scan = time_ns(8, || {
+            let mut hits = 0usize;
+            let mut scan = |records: &[StoredSubscription]| {
+                for r in records {
+                    if scheme.match_token(token, &r.ciphertext, &r.expected) {
+                        hits += 1;
+                    }
+                }
+            };
+            for shard in 0..store.shard_count() {
+                store.read_shard(shard, &mut scan);
+            }
+            hits
+        });
+        stop.store(true, Ordering::Relaxed);
+        per_scan / USERS as f64
+    });
+    drop(store);
+
+    ChurnTimings {
+        backend: "persistent_sharded",
+        users: USERS as usize,
+        upsert_ns,
+        remove_insert_ns,
+        match_per_record_ns,
+    }
+}
+
 /// Renders the timing series as the `BENCH_primitives.json` artifact
-/// (schema v5: primitive rows, per-phase HVE timings, per-backend store
-/// churn timings, serial-vs-lockstep kernel timings, and end-to-end
-/// batched Encrypt/GenToken timings).
+/// (schema v6: primitive rows, per-phase HVE timings, per-backend store
+/// churn timings — including the four-writer `persistent_sharded` row —
+/// serial-vs-lockstep kernel timings, and end-to-end batched
+/// Encrypt/GenToken timings).
 pub fn to_json(
     rows: &[PrimitiveTimings],
     phases: &[PhaseTimings],
@@ -608,7 +714,7 @@ pub fn to_json(
     lockstep: &[LockstepTimings],
     exp_batch: &[ExpBatchTimings],
 ) -> String {
-    let mut out = String::from("{\n  \"schema\": \"sla-bench/primitives/v5\",\n  \"rows\": [\n");
+    let mut out = String::from("{\n  \"schema\": \"sla-bench/primitives/v6\",\n  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"modulus_bits\": {}, \"mod_mul_naive_ns\": {:.1}, \"mod_mul_mont_ns\": {:.1}, \
@@ -721,7 +827,7 @@ mod tests {
             assert!(v.is_finite() && v > 0.0);
         }
         let json = to_json(&[t], &[], &[], &[], &[]);
-        assert!(json.contains("\"schema\": \"sla-bench/primitives/v5\""));
+        assert!(json.contains("\"schema\": \"sla-bench/primitives/v6\""));
         assert!(json.contains("\"modulus_bits\": 64"));
         assert!(json.contains("fixed_base_speedup"));
     }
@@ -806,7 +912,8 @@ mod tests {
                 "sharded8",
                 "concurrent8",
                 "persistent",
-                "persistent_fsync"
+                "persistent_fsync",
+                "persistent_sharded"
             ]
         );
         for c in &churn {
@@ -819,6 +926,7 @@ mod tests {
         let json = to_json(&[], &[], &churn, &[], &[]);
         assert!(json.contains("\"churn\""));
         assert!(json.contains("persistent_fsync"));
+        assert!(json.contains("persistent_sharded"));
         // Tmpdir hygiene: the scratch directories are gone.
         let leaked = std::fs::read_dir(std::env::temp_dir())
             .unwrap()

@@ -4,45 +4,60 @@
 //! [`ConcurrentShardedStore`] (identical layout and shard hash to the
 //! volatile concurrent backend, so match outcomes are byte-identical),
 //! and every mutation is additionally appended to an `sla-persist`
-//! [`DurableLog`] before it is applied. Matching therefore runs at
-//! exactly in-memory speed — reads never touch the log — and **only
+//! [`ShardedWal`] — one durability lane per memory shard, lane-aligned
+//! with the shard map — before it is applied. Matching therefore runs
+//! at exactly in-memory speed — reads never touch the log — and **only
 //! mutations pay the durability cost** (one codec pass + one buffered
-//! write, plus an fsync per the [`FlushPolicy`]).
+//! write to the owning lane, plus an fsync per the [`FlushPolicy`]).
 //!
 //! ## Ordering
 //!
-//! A single `write_gate` mutex serializes mutations, so the WAL append
-//! order equals the in-memory apply order — replaying the log is
-//! guaranteed to rebuild the exact live set. Reads take only the inner
-//! store's shard read locks and never the gate, preserving the
-//! churn-while-matching property; lock order is always gate → one shard
-//! lock, and readers take a single shard lock, so no interleaving can
-//! deadlock. (This deliberately trades write concurrency for replay
-//! correctness: shard-parallel writers would need a per-shard log to
-//! keep ordering, which the single-directory layout does not provide.)
+//! One gate mutex **per shard** serializes that shard's mutations, so
+//! each lane's WAL append order equals its shard's in-memory apply
+//! order — replaying the lanes is guaranteed to rebuild the exact live
+//! set. There is no global serialization anywhere: a user's upsert
+//! contends only with writers of the same shard, so the 16-way write
+//! parallelism of the volatile concurrent backend survives durability.
+//! Cross-shard order is deliberately unconstrained — every user lives
+//! in exactly one shard, so ops on different shards commute (the
+//! cross-backend equivalence suite pins this). Ops that span shards
+//! (`note_epoch`, `evict_before`) are logged lane-by-lane under each
+//! lane's gate; both replay idempotently and order-free across lanes.
+//!
+//! Reads take only the inner store's shard read locks and never a gate,
+//! preserving the churn-while-matching property; lock order is always
+//! one gate → that shard's lock, and readers take a single shard lock,
+//! so no interleaving can deadlock.
 //!
 //! ## Compaction
 //!
-//! When the ops appended since the last snapshot exceed the configured
-//! budget, the WAL is rotated (under the gate, so the cut is exact) and
-//! the live record set is handed to a background thread that writes,
-//! fsyncs and atomically promotes a new snapshot, then deletes the
-//! stale WAL generations. See `sla_persist::log` for the crash matrix.
+//! Budgets are per lane: when the ops appended to a lane since its last
+//! snapshot exceed `compact_after_ops / shards`, that lane's WAL is
+//! rotated (under its gate, so the cut is exact) and the shard's live
+//! records are handed to a background thread that writes, fsyncs and
+//! atomically promotes a new **paged** snapshot for that lane only,
+//! then deletes its stale WAL generations. Other lanes keep appending
+//! throughout. See `sla_persist::sharded` for the crash matrix and the
+//! migration of pre-sharding directories.
 
 use crate::error::{SlaError, SlaResult};
 use crate::store::{
-    ConcurrentShardedStore, ConcurrentSubscriptionStore, StoredSubscription, UpsertOutcome,
+    shard_index, ConcurrentShardedStore, ConcurrentSubscriptionStore, DurabilityLaneStats,
+    StoredSubscription, UpsertOutcome,
 };
-use sla_persist::{DurableLog, FlushPolicy, LogOptions, Record, WalOp};
+use sla_persist::{FlushPolicy, LogOptions, Record, ShardedWal, WalOp};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
 /// Lock shards of the in-memory index backing the durable store — same
 /// default the churn benchmarks use for the volatile concurrent backend.
+/// Also the number of durability lanes: lanes are aligned 1:1 with the
+/// memory shards.
 const MEMORY_SHARDS: usize = 16;
 
-/// Ops appended since the last snapshot before compaction triggers.
+/// Ops appended across all lanes since their last snapshots before
+/// compaction triggers (divided evenly into per-lane budgets).
 const COMPACT_AFTER_OPS: usize = 4096;
 
 /// The durable backend behind [`crate::StoreBackend::Persistent`] (see
@@ -51,10 +66,13 @@ const COMPACT_AFTER_OPS: usize = 4096;
 pub struct PersistentStore {
     /// The in-memory matching index (authoritative for reads).
     inner: ConcurrentShardedStore,
-    /// The durable log (authoritative across restarts).
-    log: DurableLog,
-    /// Serializes mutations so WAL order equals apply order.
-    write_gate: Mutex<()>,
+    /// The durable lanes (authoritative across restarts), one per
+    /// memory shard.
+    wal: ShardedWal,
+    /// Per-shard gates: gate `s` serializes shard `s`'s mutations so
+    /// lane `s`'s WAL order equals shard `s`'s apply order. No global
+    /// gate exists.
+    gates: Vec<Mutex<()>>,
     /// The epoch recovered at open (what the Service Provider resumes
     /// from), or 0 for a fresh directory.
     recovered_epoch: Option<u64>,
@@ -81,22 +99,26 @@ fn from_wire(record: Record) -> StoredSubscription {
 }
 
 impl PersistentStore {
-    /// Opens (creating if necessary) the durable store at `dir`,
-    /// recovering the subscription base from snapshot + WAL replay. A
-    /// torn final WAL record is truncated away; corruption anywhere
-    /// else surfaces as [`SlaError::Corrupt`].
+    /// Opens (creating, or migrating a pre-sharding directory, if
+    /// necessary) the durable store at `dir`, recovering the
+    /// subscription base from every lane's snapshot + WAL replay in
+    /// parallel. A torn final WAL record in any lane is truncated away;
+    /// corruption anywhere else surfaces as [`SlaError::Corrupt`].
     pub fn open(dir: &Path, flush: FlushPolicy) -> SlaResult<Self> {
         Self::open_with(dir, flush, COMPACT_AFTER_OPS)
     }
 
-    /// [`Self::open`] with an explicit compaction budget (tests drive
-    /// compaction with small budgets).
+    /// [`Self::open`] with an explicit total compaction budget, divided
+    /// evenly into per-lane budgets (tests drive compaction with small
+    /// budgets).
     pub fn open_with(dir: &Path, flush: FlushPolicy, compact_after_ops: usize) -> SlaResult<Self> {
-        let (log, recovered) = DurableLog::open(
+        let (wal, recovered) = ShardedWal::open(
             dir,
+            MEMORY_SHARDS,
+            shard_index,
             LogOptions {
                 flush,
-                compact_after_ops,
+                compact_after_ops: (compact_after_ops / MEMORY_SHARDS).max(1),
             },
         )?;
         let inner = ConcurrentShardedStore::new(MEMORY_SHARDS);
@@ -106,38 +128,41 @@ impl PersistentStore {
         }
         Ok(PersistentStore {
             inner,
-            log,
-            write_gate: Mutex::new(()),
+            wal,
+            gates: (0..MEMORY_SHARDS).map(|_| Mutex::new(())).collect(),
             recovered_epoch: (!fresh).then_some(recovered.epoch),
             epoch: AtomicU64::new(recovered.epoch),
         })
     }
 
-    fn gate(&self) -> MutexGuard<'_, ()> {
-        self.write_gate
+    fn gate(&self, shard: usize) -> MutexGuard<'_, ()> {
+        self.gates[shard]
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
-    /// Appends `op` under the (held) gate; when the compaction budget is
-    /// exhausted, rotates the WAL and hands the live set to the
-    /// background snapshot writer.
+    /// Appends `op` to `shard`'s lane under that shard's (held) gate;
+    /// when the lane's compaction budget is exhausted, rotates its WAL
+    /// and hands the shard's live records to the background snapshot
+    /// writer. Only this shard is touched — other lanes compact on
+    /// their own schedules.
     ///
     /// Callers must apply the op to the in-memory index **before**
     /// calling this: the compaction snapshot is collected from the inner
     /// store here, so an op logged before it was applied would be
     /// missing from a snapshot whose covered WAL generation (holding the
     /// op) compaction then deletes — losing the op across a restart.
-    fn append_gated(&self, op: &WalOp) {
-        if self.log.append(op) && !self.log.compaction_in_flight() {
-            let mut live = Vec::with_capacity(self.inner.len());
-            for shard in 0..self.inner.shard_count() {
-                self.inner.read_shard(shard, &mut |records| {
-                    live.extend(records.iter().map(to_wire));
-                });
-            }
-            if let Err(e) = self.log.compact(live, self.epoch.load(Ordering::Relaxed)) {
-                self.log.defer_error(e);
+    fn append_gated(&self, shard: usize, op: &WalOp) {
+        if self.wal.append(shard, op) && !self.wal.compaction_in_flight(shard) {
+            let mut live = Vec::new();
+            self.inner.read_shard(shard, &mut |records| {
+                live.extend(records.iter().map(to_wire));
+            });
+            if let Err(e) = self
+                .wal
+                .compact(shard, live, self.epoch.load(Ordering::Relaxed))
+            {
+                self.wal.defer_error(shard, e);
             }
         }
     }
@@ -157,19 +182,21 @@ impl ConcurrentSubscriptionStore for PersistentStore {
     }
 
     fn upsert(&self, record: StoredSubscription) -> UpsertOutcome {
-        let _gate = self.gate();
+        let shard = shard_index(record.user_id, MEMORY_SHARDS);
+        let _gate = self.gate(shard);
         // Apply-then-log (see `append_gated`): the wire image is taken
         // first, the in-memory index updated, and only then the op
         // logged, so a compaction triggered by this very append
         // snapshots a live set that already contains the record.
         let op = WalOp::Upsert(to_wire(&record));
         let outcome = self.inner.upsert(record);
-        self.append_gated(&op);
+        self.append_gated(shard, &op);
         outcome
     }
 
     fn remove(&self, user_id: u64) -> bool {
-        let _gate = self.gate();
+        let shard = shard_index(user_id, MEMORY_SHARDS);
+        let _gate = self.gate(shard);
         // Logging an absent removal would be harmless on replay (it is
         // idempotent) but would bloat the WAL under repeated misses, so
         // check membership first — the gate makes the check-then-log
@@ -177,15 +204,25 @@ impl ConcurrentSubscriptionStore for PersistentStore {
         if !self.inner.remove(user_id) {
             return false;
         }
-        self.append_gated(&WalOp::Remove { user_id });
+        self.append_gated(shard, &WalOp::Remove { user_id });
         true
     }
 
     fn evict_before(&self, min_epoch: u64) -> usize {
-        let _gate = self.gate();
-        let evicted = self.inner.evict_before(min_epoch);
-        if evicted > 0 {
-            self.append_gated(&WalOp::EvictBefore { min_epoch });
+        // Shard-by-shard under each shard's gate: eviction of shard s
+        // and a racing upsert into shard t interleave freely (they
+        // commute), while within one shard the gate keeps lane order
+        // equal to apply order. The op is logged only in lanes that
+        // actually evicted something (replay is a per-record predicate,
+        // so lanes that skipped it recover identically).
+        let mut evicted = 0;
+        for shard in 0..self.inner.shard_count() {
+            let _gate = self.gate(shard);
+            let dropped = self.inner.evict_shard_before(shard, min_epoch);
+            if dropped > 0 {
+                self.append_gated(shard, &WalOp::EvictBefore { min_epoch });
+            }
+            evicted += dropped;
         }
         evicted
     }
@@ -195,13 +232,19 @@ impl ConcurrentSubscriptionStore for PersistentStore {
     }
 
     fn note_epoch(&self, epoch: u64) {
-        let _gate = self.gate();
         // fetch_max, not store: the Service Provider's epoch counter is
-        // bumped *outside* this gate, so two racing advances can arrive
+        // bumped *outside* the gates, so two racing advances can arrive
         // here out of order — the snapshot epoch must never regress
         // (WAL replay already takes the max of the Epoch ops).
         self.epoch.fetch_max(epoch, Ordering::Relaxed);
-        self.append_gated(&WalOp::Epoch { epoch });
+        // Broadcast to every lane, each under its own gate, so every
+        // lane independently recovers the full service epoch no matter
+        // which subset of lanes survives to replay (lane recovery takes
+        // the max across lanes).
+        for shard in 0..self.inner.shard_count() {
+            let _gate = self.gate(shard);
+            self.append_gated(shard, &WalOp::Epoch { epoch });
+        }
     }
 
     fn recovered_epoch(&self) -> Option<u64> {
@@ -209,7 +252,21 @@ impl ConcurrentSubscriptionStore for PersistentStore {
     }
 
     fn sync(&self) -> SlaResult<()> {
-        self.log.sync().map_err(SlaError::from)
+        // Aggregated across lanes: every failed lane's deferred error is
+        // surfaced (one healthy lane can never mask a broken one).
+        self.wal.sync().map_err(SlaError::from)
+    }
+
+    fn durability_lanes(&self) -> Vec<DurabilityLaneStats> {
+        self.wal
+            .lane_status()
+            .into_iter()
+            .map(|lane| DurabilityLaneStats {
+                shard: lane.shard,
+                wal_generation: lane.generation,
+                depth: lane.depth,
+            })
+            .collect()
     }
 }
 
@@ -220,6 +277,7 @@ mod tests {
     use rand::SeedableRng;
     use sla_hve::{AttributeVector, Ciphertext, HveScheme};
     use sla_pairing::{GtElem, SimulatedGroup};
+    use sla_persist::PersistError;
     use std::path::PathBuf;
     use std::sync::atomic::{AtomicU64 as TestSeq, Ordering as TestOrdering};
 
@@ -325,18 +383,20 @@ mod tests {
         // logged *before* it was applied to the in-memory index, so the
         // compaction snapshot (collected from that index) missed it
         // while its WAL op sat in the covered generation compaction
-        // deletes — silently losing exactly that record on reopen.
+        // deletes — silently losing exactly that record on reopen. With
+        // per-lane budgets (total 16 → 1 per lane) every upsert here
+        // trips its own lane's budget, so the window is exercised on
+        // every shard the ids land in.
         let dir = temp_dir("trigger");
         let ct = fixture_ciphertext();
         {
-            let store = PersistentStore::open_with(&dir, FlushPolicy::EveryOp, 8).unwrap();
+            let store = PersistentStore::open_with(&dir, FlushPolicy::EveryOp, 16).unwrap();
             for id in 0..8 {
-                // All ids distinct: the 8th (id 7) trips the budget.
                 store.upsert(record(&ct, id, 0));
             }
             store.sync().unwrap();
         }
-        let store = PersistentStore::open_with(&dir, FlushPolicy::EveryOp, 8).unwrap();
+        let store = PersistentStore::open_with(&dir, FlushPolicy::EveryOp, 16).unwrap();
         assert_eq!(
             all_ids(&store),
             (0..8).collect::<Vec<_>>(),
@@ -349,21 +409,21 @@ mod tests {
     fn out_of_order_epoch_notes_never_regress_the_snapshot_epoch() {
         // Regression: two racing `advance_epoch_shared` calls can reach
         // `note_epoch` out of order (the SP bumps its counter outside
-        // the write gate). The snapshot epoch must keep the maximum, or
-        // a compaction that deletes the covered WAL generation (and the
+        // the gates). The snapshot epoch must keep the maximum, or a
+        // compaction that deletes the covered WAL generation (and the
         // higher Epoch op with it) would recover a regressed epoch.
         let dir = temp_dir("epoch-race");
         let ct = fixture_ciphertext();
         {
-            let store = PersistentStore::open_with(&dir, FlushPolicy::EveryOp, 4).unwrap();
+            let store = PersistentStore::open_with(&dir, FlushPolicy::EveryOp, 16).unwrap();
             store.note_epoch(6);
             store.note_epoch(5); // out-of-order arrival
             store.upsert(record(&ct, 1, 6));
-            store.upsert(record(&ct, 2, 6)); // 4th op: triggers compaction
+            store.upsert(record(&ct, 2, 6));
             store.sync().unwrap();
+            store.wal.join_compactors().unwrap();
         }
-        assert!(dir.join("snapshot.bin").exists(), "compaction promoted");
-        let store = PersistentStore::open_with(&dir, FlushPolicy::EveryOp, 4).unwrap();
+        let store = PersistentStore::open_with(&dir, FlushPolicy::EveryOp, 16).unwrap();
         assert_eq!(store.recovered_epoch(), Some(6), "epoch must not regress");
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -373,17 +433,119 @@ mod tests {
         let dir = temp_dir("compact");
         let ct = fixture_ciphertext();
         {
-            let store = PersistentStore::open_with(&dir, FlushPolicy::EveryOp, 8).unwrap();
+            let store = PersistentStore::open_with(&dir, FlushPolicy::EveryOp, 16).unwrap();
             for round in 0..4u64 {
                 for id in 0..10 {
                     store.upsert(record(&ct, id, round));
                 }
             }
             store.sync().unwrap();
+            store.wal.join_compactors().unwrap();
         }
-        assert!(dir.join("snapshot.bin").exists(), "compaction promoted");
-        let store = PersistentStore::open_with(&dir, FlushPolicy::EveryOp, 8).unwrap();
+        // At least one lane compacted and promoted its paged snapshot.
+        let promoted = (0..MEMORY_SHARDS).any(|s| {
+            dir.join(sla_persist::sharded::shard_dir_name(s))
+                .join("snapshot.bin")
+                .exists()
+        });
+        assert!(promoted, "compaction promoted in at least one lane");
+        let store = PersistentStore::open_with(&dir, FlushPolicy::EveryOp, 16).unwrap();
         assert_eq!(all_ids(&store), (0..10).collect::<Vec<_>>());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn durability_gates_are_strictly_per_shard() {
+        // Structural pin for the sharding refactor: durability gates are
+        // strictly per shard. A global gate would re-serialize every
+        // writer the moment the persistent backend is selected.
+        let source = include_str!("durable.rs");
+        assert!(
+            !source.contains(concat!("write", "_gate")),
+            "durable.rs must not reintroduce a global write gate"
+        );
+        let dir = temp_dir("gates");
+        let store = PersistentStore::open(&dir, FlushPolicy::Manual).unwrap();
+        assert_eq!(store.gates.len(), store.shard_count(), "one gate per shard");
+        assert_eq!(store.durability_lanes().len(), store.shard_count());
+        drop(store);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn writers_on_different_shards_do_not_serialize() {
+        // Hold shard A's gate hostage from one thread; a writer to a
+        // different shard must complete anyway. (With a global gate this
+        // deadlocks the 2-second window and fails.)
+        let dir = temp_dir("parallel");
+        let ct = fixture_ciphertext();
+        let store = PersistentStore::open(&dir, FlushPolicy::Manual).unwrap();
+        // Find two users on different shards.
+        let (a, b) = {
+            let a = 1u64;
+            let sa = shard_index(a, MEMORY_SHARDS);
+            let b = (2..)
+                .find(|&b| shard_index(b, MEMORY_SHARDS) != sa)
+                .unwrap();
+            (a, b)
+        };
+        let gate_a = store.gate(shard_index(a, MEMORY_SHARDS));
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| store.upsert(record(&ct, b, 0)));
+            // The cross-shard upsert finishes while gate A is held.
+            let mut waited = 0;
+            while !handle.is_finished() && waited < 2000 {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                waited += 1;
+            }
+            assert!(
+                handle.is_finished(),
+                "upsert to shard {} blocked behind shard {}'s gate",
+                shard_index(b, MEMORY_SHARDS),
+                shard_index(a, MEMORY_SHARDS)
+            );
+            assert_eq!(handle.join().unwrap(), UpsertOutcome::Inserted);
+        });
+        drop(gate_a);
+        store.sync().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sync_surfaces_every_failed_lane() {
+        // Satellite-6 pin at the store level: deferred errors in two
+        // lanes surface as one aggregated error naming both shards —
+        // sync on a store with one broken lane must never report clean
+        // because another lane succeeded.
+        let dir = temp_dir("aggregate");
+        let store = PersistentStore::open(&dir, FlushPolicy::Manual).unwrap();
+        store.wal.defer_error(
+            2,
+            PersistError::io(
+                "fsync wal",
+                dir.join("shard.002/wal.000001"),
+                std::io::Error::other("disk gone"),
+            ),
+        );
+        store.wal.defer_error(
+            11,
+            PersistError::io(
+                "fsync wal",
+                dir.join("shard.011/wal.000001"),
+                std::io::Error::other("disk gone too"),
+            ),
+        );
+        match store.sync() {
+            Err(SlaError::Storage { detail }) => {
+                assert!(
+                    detail.contains("[shard 2]") && detail.contains("[shard 11]"),
+                    "both failed lanes must be reported: {detail}"
+                );
+            }
+            other => panic!("expected aggregated storage error, got {other:?}"),
+        }
+        // Slots drained; next sync is clean.
+        store.sync().unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

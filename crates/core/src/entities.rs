@@ -3,8 +3,8 @@
 use crate::convert::{codeword_to_pattern, index_to_attribute};
 use crate::error::{SlaError, SlaResult};
 use crate::store::{
-    ConcurrentSubscriptionStore, StoreBackend, StoreHandle, StoreStats, StoredSubscription,
-    UpsertOutcome,
+    ConcurrentSubscriptionStore, DurabilityLaneStats, StoreBackend, StoreHandle, StoreStats,
+    StoredSubscription, UpsertOutcome,
 };
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -211,6 +211,11 @@ pub struct ServiceStats {
     /// The epoch recovered from a durable directory at open (`None` on
     /// volatile backends and fresh directories).
     pub recovered_epoch: Option<u64>,
+    /// Per-lane durability stats (WAL generation and ops since the last
+    /// snapshot for every durability lane, in shard order). Empty on
+    /// volatile backends. Read from per-lane atomics — never a lane
+    /// lock — so the snapshot stays wait-free.
+    pub durability_lanes: Vec<DurabilityLaneStats>,
 }
 
 /// The Service Provider: stores encrypted updates, evaluates tokens, and
@@ -346,6 +351,7 @@ impl ServiceProvider {
         ServiceStats {
             store: self.stats(),
             recovered_epoch: self.recovered_epoch(),
+            durability_lanes: self.store.durability_lanes(),
         }
     }
 

@@ -216,13 +216,18 @@ impl From<EncodingError> for SlaError {
 
 impl From<PersistError> for SlaError {
     fn from(e: PersistError) -> Self {
-        match e {
-            PersistError::Io { .. } => SlaError::Storage {
+        // A lane aggregate maps by its worst content: any corrupt lane
+        // makes the whole error `Corrupt` (the directory needs operator
+        // attention), otherwise it is an environmental `Storage`
+        // failure. The Display form already names every failed lane.
+        if e.is_corrupt() {
+            SlaError::Corrupt {
                 detail: e.to_string(),
-            },
-            PersistError::Corrupt { .. } => SlaError::Corrupt {
+            }
+        } else {
+            SlaError::Storage {
                 detail: e.to_string(),
-            },
+            }
         }
     }
 }
@@ -344,6 +349,56 @@ mod tests {
         ));
         assert!(matches!(
             SlaError::from(PersistError::corrupt("/x/snapshot.bin", 9, "crc mismatch")),
+            SlaError::Corrupt { .. }
+        ));
+        // Lane aggregates map by their worst content: all-Io stays
+        // Storage, any corrupt lane escalates to Corrupt; either way the
+        // detail names every failed lane.
+        let all_io = PersistError::from_lanes(vec![
+            (
+                0,
+                PersistError::io(
+                    "fsync wal",
+                    "/x/shard.000/wal.000001",
+                    std::io::Error::other("a"),
+                ),
+            ),
+            (
+                3,
+                PersistError::io(
+                    "fsync wal",
+                    "/x/shard.003/wal.000002",
+                    std::io::Error::other("b"),
+                ),
+            ),
+        ])
+        .unwrap();
+        match SlaError::from(all_io) {
+            SlaError::Storage { detail } => {
+                assert!(
+                    detail.contains("[shard 0]") && detail.contains("[shard 3]"),
+                    "{detail}"
+                )
+            }
+            other => panic!("{other:?}"),
+        }
+        let one_corrupt = PersistError::from_lanes(vec![
+            (
+                1,
+                PersistError::io(
+                    "fsync wal",
+                    "/x/shard.001/wal.000001",
+                    std::io::Error::other("a"),
+                ),
+            ),
+            (
+                2,
+                PersistError::corrupt("/x/shard.002/snapshot.bin", 0, "page 3 checksum"),
+            ),
+        ])
+        .unwrap();
+        assert!(matches!(
+            SlaError::from(one_corrupt),
             SlaError::Corrupt { .. }
         ));
         // Transport errors keep their rendered detail so operators can

@@ -67,8 +67,8 @@ pub use durable::PersistentStore;
 pub use entities::{MobileUser, ServiceProvider, ServiceStats, Subscription, TrustedAuthority};
 pub use error::{SlaError, SlaResult, MAX_GROUP_BITS, MIN_GROUP_BITS};
 pub use store::{
-    ConcurrentShardedStore, ConcurrentSubscriptionStore, ShardedStore, StoreBackend, StoreStats,
-    StoredSubscription, SubscriptionStore, UpsertOutcome, VecStore,
+    ConcurrentShardedStore, ConcurrentSubscriptionStore, DurabilityLaneStats, ShardedStore,
+    StoreBackend, StoreStats, StoredSubscription, SubscriptionStore, UpsertOutcome, VecStore,
 };
 pub use system::{AlertOutcome, AlertSystem, SystemBuilder};
 

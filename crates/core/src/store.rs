@@ -88,14 +88,18 @@ pub enum StoreBackend {
     },
     /// The durable backend: an in-memory [`ConcurrentShardedStore`] (so
     /// matching speed is unchanged) layered over an `sla-persist`
-    /// write-ahead log + snapshot directory. Mutations append one WAL
-    /// frame; reopening the same directory recovers the full
-    /// subscription base (snapshot + WAL replay, torn final record
-    /// tolerated). Right for long-lived services that must survive
+    /// sharded log — one durability lane (WAL generations + paged
+    /// snapshot) per memory shard. Mutations append one WAL frame to
+    /// the owning lane under that shard's gate only; reopening the same
+    /// directory recovers every lane in parallel (snapshot + WAL
+    /// replay, torn final record tolerated per lane). A pre-sharding
+    /// directory (single root WAL + snapshot) is migrated in place on
+    /// first open. Right for long-lived services that must survive
     /// restarts without every user re-running Subscribe.
     Persistent {
-        /// Directory holding `snapshot.bin` and the `wal.*` files
-        /// (created if absent).
+        /// Directory holding `store.meta` and the `shard.NNN/` lane
+        /// directories (created, or migrated from the single-log
+        /// layout, if absent).
         dir: PathBuf,
         /// When WAL appends are fsync'd (per-op, group commit, or
         /// manual — see [`FlushPolicy`]).
@@ -182,6 +186,14 @@ impl StoreHandle {
         match self {
             StoreHandle::Exclusive(_) => Ok(()),
             StoreHandle::Concurrent(s) => s.sync(),
+        }
+    }
+
+    /// Per-lane durability stats (empty for volatile backends).
+    pub(crate) fn durability_lanes(&self) -> Vec<DurabilityLaneStats> {
+        match self {
+            StoreHandle::Exclusive(_) => Vec::new(),
+            StoreHandle::Concurrent(s) => s.durability_lanes(),
         }
     }
 }
@@ -346,10 +358,11 @@ impl ShardedStore {
 
 /// Deterministic shard of a user id: Fibonacci multiplicative hash —
 /// stable across runs and platforms, unlike `RandomState`. Shared by
-/// [`ShardedStore`] and [`ConcurrentShardedStore`] so record placement is
-/// bit-identical across the sharded backends (the cross-backend
-/// equivalence tests rely on this).
-fn shard_index(user_id: u64, n_shards: usize) -> usize {
+/// [`ShardedStore`], [`ConcurrentShardedStore`], and the persistent
+/// backend's durability-lane router so record placement is bit-identical
+/// across the sharded backends and their on-disk lanes (the
+/// cross-backend equivalence tests and lane recovery rely on this).
+pub(crate) fn shard_index(user_id: u64, n_shards: usize) -> usize {
     (user_id.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize % n_shards
 }
 
@@ -498,6 +511,25 @@ pub trait ConcurrentSubscriptionStore: fmt::Debug + Send + Sync {
     fn sync(&self) -> SlaResult<()> {
         Ok(())
     }
+
+    /// Per-lane durability stats (WAL generation and depth for every
+    /// durability lane), wait-free. Empty for volatile backends.
+    fn durability_lanes(&self) -> Vec<DurabilityLaneStats> {
+        Vec::new()
+    }
+}
+
+/// One durability lane's stats, as exposed through
+/// [`crate::ServiceStats`] and the stats RPC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurabilityLaneStats {
+    /// The lane's shard index (aligned with the memory shard map).
+    pub shard: usize,
+    /// The lane's current WAL generation (bumped on each compaction
+    /// rotation).
+    pub wal_generation: u64,
+    /// Ops appended to the lane since its last snapshot.
+    pub depth: usize,
 }
 
 /// One lock shard of [`ConcurrentShardedStore`]: the records plus the
@@ -560,6 +592,34 @@ impl ConcurrentShardedStore {
             .read()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
+
+    /// Evicts every record with `epoch < min_epoch` from **one** shard
+    /// (that shard's write lock only); returns how many were dropped.
+    /// The persistent backend sweeps shard-by-shard under its per-shard
+    /// gates, so a full-store eviction never holds more than one lane's
+    /// serialization at a time.
+    pub fn evict_shard_before(&self, shard: usize, min_epoch: u64) -> usize {
+        let mut guard = self.write_shard(shard);
+        let before = guard.items.len();
+        let LockShard { items, index } = &mut *guard;
+        items.retain(|r| {
+            let keep = r.epoch >= min_epoch;
+            if !keep {
+                index.remove(&r.user_id);
+            }
+            keep
+        });
+        let dropped = before - items.len();
+        if dropped > 0 {
+            // retain preserves order but shifts positions; re-index the
+            // survivors of this shard.
+            for (pos, r) in items.iter().enumerate() {
+                index.insert(r.user_id, pos);
+            }
+            self.len.fetch_sub(dropped, Ordering::Relaxed);
+        }
+        dropped
+    }
 }
 
 impl ConcurrentSubscriptionStore for ConcurrentShardedStore {
@@ -608,30 +668,9 @@ impl ConcurrentSubscriptionStore for ConcurrentShardedStore {
     }
 
     fn evict_before(&self, min_epoch: u64) -> usize {
-        let mut evicted = 0;
-        for shard in 0..self.shards.len() {
-            let mut guard = self.write_shard(shard);
-            let before = guard.items.len();
-            let LockShard { items, index } = &mut *guard;
-            items.retain(|r| {
-                let keep = r.epoch >= min_epoch;
-                if !keep {
-                    index.remove(&r.user_id);
-                }
-                keep
-            });
-            let dropped = before - items.len();
-            if dropped > 0 {
-                // retain preserves order but shifts positions; re-index
-                // the survivors of this shard.
-                for (pos, r) in items.iter().enumerate() {
-                    index.insert(r.user_id, pos);
-                }
-                self.len.fetch_sub(dropped, Ordering::Relaxed);
-                evicted += dropped;
-            }
-        }
-        evicted
+        (0..self.shards.len())
+            .map(|shard| self.evict_shard_before(shard, min_epoch))
+            .sum()
     }
 
     fn read_shard(&self, shard: usize, f: &mut dyn FnMut(&[StoredSubscription])) {

@@ -342,7 +342,8 @@ pub fn render_json(config: &ReplayConfig, report: &ReplayReport) -> String {
             "  \"server\": {{\"backend\": \"{}\", \"shards\": {}, \"subscriptions\": {}, ",
             "\"inserted\": {}, \"replaced\": {}, \"unsubscribed\": {}, \"evicted\": {}, ",
             "\"recovered_epoch\": {}, \"ops_subscribe\": {}, \"ops_unsubscribe\": {}, ",
-            "\"ops_alert\": {}, \"ops_stats\": {}, \"busy_rejections\": {}}}\n"
+            "\"ops_alert\": {}, \"ops_stats\": {}, \"busy_rejections\": {}, ",
+            "\"durability_lanes\": [{}]}}\n"
         ),
         s.backend,
         s.shards,
@@ -358,6 +359,14 @@ pub fn render_json(config: &ReplayConfig, report: &ReplayReport) -> String {
         s.ops_alert,
         s.ops_stats,
         s.busy_rejections,
+        s.lanes
+            .iter()
+            .map(|l| format!(
+                "{{\"wal_generation\": {}, \"depth\": {}}}",
+                l.wal_generation, l.depth
+            ))
+            .collect::<Vec<_>>()
+            .join(", "),
     ));
     out.push_str("}\n");
     out
@@ -366,6 +375,7 @@ pub fn render_json(config: &ReplayConfig, report: &ReplayReport) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sla_server::WireLaneStats;
 
     #[test]
     fn workload_generation_is_deterministic() {
@@ -419,6 +429,16 @@ mod tests {
                 ops_alert: 3,
                 ops_stats: 1,
                 busy_rejections: 3,
+                lanes: vec![
+                    WireLaneStats {
+                        wal_generation: 2,
+                        depth: 0,
+                    },
+                    WireLaneStats {
+                        wal_generation: 1,
+                        depth: 7,
+                    },
+                ],
             },
         };
         let json = render_json(&config, &report);
@@ -427,6 +447,7 @@ mod tests {
             "\"subscribe\": {\"count\": 2",
             "\"p999_ns\":",
             "\"recovered_epoch\": null",
+            "\"durability_lanes\": [{\"wal_generation\": 2, \"depth\": 0}, {\"wal_generation\": 1, \"depth\": 7}]",
             "\"mismatches\": 0",
             "unix:///tmp/x.sock",
         ] {

@@ -9,10 +9,13 @@ pub type PersistResult<T> = Result<T, PersistError>;
 
 /// Why a durable-store operation failed.
 ///
-/// Two families: `Io` wraps an operating-system failure (the store may be
-/// retried once the environment recovers), `Corrupt` means the on-disk
+/// Three families: `Io` wraps an operating-system failure (the store may
+/// be retried once the environment recovers), `Corrupt` means the on-disk
 /// bytes are not a valid artifact of this subsystem (the frame structure
-/// or a CRC check failed somewhere other than a tolerated torn tail).
+/// or a CRC check failed somewhere other than a tolerated torn tail), and
+/// `Lanes` aggregates failures from more than one durability lane of a
+/// sharded log — every failed lane is reported, so one healthy lane can
+/// never mask a broken one.
 #[derive(Debug)]
 pub enum PersistError {
     /// An I/O operation failed.
@@ -32,6 +35,13 @@ pub enum PersistError {
         offset: u64,
         /// What failed.
         detail: String,
+    },
+    /// Two or more durability lanes of a sharded log failed. Carries
+    /// every per-lane error (shard index paired with what went wrong in
+    /// that lane) — never just the first.
+    Lanes {
+        /// `(shard, error)` for every failed lane, in shard order.
+        errors: Vec<(usize, PersistError)>,
     },
 }
 
@@ -53,6 +63,28 @@ impl PersistError {
             detail: detail.into(),
         }
     }
+
+    /// Folds per-lane failures into one error: `None` when every lane
+    /// succeeded, the error itself for a single failed lane (its paths
+    /// already carry the shard directory), [`PersistError::Lanes`] when
+    /// two or more failed.
+    pub fn from_lanes(mut errors: Vec<(usize, PersistError)>) -> Option<Self> {
+        match errors.len() {
+            0 => None,
+            1 => Some(errors.remove(0).1),
+            _ => Some(PersistError::Lanes { errors }),
+        }
+    }
+
+    /// `true` if this error (or, for [`PersistError::Lanes`], any lane's
+    /// error) is a corruption rather than an environmental I/O failure.
+    pub fn is_corrupt(&self) -> bool {
+        match self {
+            PersistError::Io { .. } => false,
+            PersistError::Corrupt { .. } => true,
+            PersistError::Lanes { errors } => errors.iter().any(|(_, e)| e.is_corrupt()),
+        }
+    }
 }
 
 impl fmt::Display for PersistError {
@@ -70,6 +102,13 @@ impl fmt::Display for PersistError {
                 "corrupt frame in {} at offset {offset}: {detail}",
                 path.display()
             ),
+            PersistError::Lanes { errors } => {
+                write!(f, "{} durability lanes failed:", errors.len())?;
+                for (shard, e) in errors {
+                    write!(f, " [shard {shard}] {e};")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -79,6 +118,9 @@ impl std::error::Error for PersistError {
         match self {
             PersistError::Io { source, .. } => Some(source),
             PersistError::Corrupt { .. } => None,
+            // The per-lane errors are all in the Display form; expose the
+            // first as the causal chain.
+            PersistError::Lanes { errors } => errors.first().map(|(_, e)| e as _),
         }
     }
 }
@@ -100,5 +142,43 @@ mod tests {
         let c = PersistError::corrupt("/tmp/x/snapshot.bin", 42, "crc mismatch");
         let s = c.to_string();
         assert!(s.contains("offset 42") && s.contains("crc mismatch"), "{s}");
+    }
+
+    #[test]
+    fn lane_aggregation_reports_every_failed_lane() {
+        assert!(PersistError::from_lanes(Vec::new()).is_none());
+
+        let one = PersistError::from_lanes(vec![(
+            3,
+            PersistError::io(
+                "fsync wal",
+                "/x/shard.003/wal.000001",
+                io::Error::other("nope"),
+            ),
+        )])
+        .unwrap();
+        assert!(
+            matches!(one, PersistError::Io { .. }),
+            "single lane unwraps"
+        );
+
+        let many = PersistError::from_lanes(vec![
+            (
+                1,
+                PersistError::io(
+                    "fsync wal",
+                    "/x/shard.001/wal.000002",
+                    io::Error::other("a"),
+                ),
+            ),
+            (
+                5,
+                PersistError::corrupt("/x/shard.005/snapshot.bin", 7, "page crc"),
+            ),
+        ])
+        .unwrap();
+        let s = many.to_string();
+        assert!(s.contains("[shard 1]") && s.contains("[shard 5]"), "{s}");
+        assert!(many.is_corrupt(), "any corrupt lane marks the aggregate");
     }
 }

@@ -6,7 +6,7 @@
 //! The paper's system model assumes a **long-lived** SP holding every
 //! subscriber's HVE ciphertext; follow-up work (dynamic alert zones,
 //! tunable privacy) assumes the encrypted index survives across epochs.
-//! This crate makes that real with three layers:
+//! This crate makes that real with four layers:
 //!
 //! * [`codec`] — a canonical little-endian binary codec for stored
 //!   subscriptions and WAL operations, CRC-framed
@@ -17,16 +17,25 @@
 //! * [`wal`] — an append-only write-ahead log with group-commit fsync
 //!   batching ([`FlushPolicy`]); recovery tolerates a torn final record
 //!   by truncating to the last complete CRC-valid frame.
-//! * [`snapshot`] + [`log`] — background snapshot compaction: the live
-//!   record set is rewritten to `snapshot.tmp`, fsync'd, atomically
+//! * [`pages`] + [`log`] — per-lane background snapshot compaction: a
+//!   lane's live record set is rewritten as a **paged, per-page
+//!   checksummed** snapshot to `snapshot.tmp`, fsync'd, atomically
 //!   renamed over `snapshot.bin`, the directory fsync'd, and stale WAL
-//!   generations deleted; recovery replays snapshot + WAL suffix.
+//!   generations deleted; lane recovery replays snapshot + WAL suffix.
+//!   ([`snapshot`] keeps the pre-sharding monolithic format readable
+//!   for migration.)
+//! * [`sharded`] — the [`ShardedWal`] front: one independent durability
+//!   lane per store shard (`shard.NNN/` directories plus a `store.meta`
+//!   layout descriptor), parallel O(shards) recovery, per-lane deferred
+//!   errors aggregated so no lane's failure can be masked, and a
+//!   one-shot crash-safe migration of pre-sharding directories.
 //!
 //! The service-layer integration (`sla-core`'s
-//! `StoreBackend::Persistent`) layers [`DurableLog`] under its in-memory
-//! hash-sharded index: matching reads memory only, mutations append one
-//! WAL frame. This crate knows nothing about matching or the service
-//! API — it stores and recovers records.
+//! `StoreBackend::Persistent`) layers [`ShardedWal`] under its in-memory
+//! hash-sharded index, lane-aligned with the memory shards: matching
+//! reads memory only, mutations append one WAL frame to the owning
+//! lane. This crate knows nothing about matching or the service API —
+//! it stores and recovers records.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,10 +44,13 @@ pub mod codec;
 pub mod crc;
 mod error;
 pub mod log;
+pub mod pages;
+pub mod sharded;
 pub mod snapshot;
 pub mod wal;
 
 pub use codec::{Record, WalOp};
 pub use error::{PersistError, PersistResult};
-pub use log::{DurableLog, LogOptions, RecoveredState};
+pub use log::LogOptions;
+pub use sharded::{LaneStatus, ShardRouter, ShardedRecovery, ShardedWal};
 pub use wal::FlushPolicy;

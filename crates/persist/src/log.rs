@@ -1,19 +1,23 @@
-//! [`DurableLog`]: the full durable-storage subsystem — recovery,
-//! appending, and background snapshot compaction over one directory.
+//! `Lane`: one durability lane — recovery, appending, and background
+//! snapshot compaction over one lane directory — plus the legacy
+//! (pre-sharding) recovery path used for one-shot migration.
 //!
-//! ## Directory layout
+//! A lane is the single-log engine the sharded store runs one-per-shard
+//! (see [`crate::sharded`] for the layout and routing). Each lane owns
+//! its own directory:
 //!
 //! ```text
-//! <dir>/snapshot.bin   # promoted snapshot (atomic rename)
-//! <dir>/snapshot.tmp   # in-flight snapshot (stray = crashed; deleted)
-//! <dir>/wal.NNNNNN     # one WAL file per generation
+//! <lane dir>/snapshot.bin   # promoted paged snapshot (atomic rename)
+//! <lane dir>/snapshot.tmp   # in-flight snapshot (stray = crashed; deleted)
+//! <lane dir>/wal.NNNNNN     # one WAL file per lane generation
 //! ```
 //!
 //! ## Recovery
 //!
 //! 1. Delete a stray `snapshot.tmp` (a compaction that never promoted).
-//! 2. Load `snapshot.bin` → the base record set and its
-//!    `covered_generation` `G` (0 when no snapshot exists).
+//! 2. Load `snapshot.bin` → the lane's base record set and its
+//!    `covered_generation` `G` (0 when no snapshot exists); the paged
+//!    header pins the snapshot to this lane's shard identity.
 //! 3. Replay every `wal.g` with `g > G` in ascending generation order,
 //!    tolerating a torn tail in each (unsynced suffixes die with the
 //!    crash; everything replayed was a complete CRC-valid frame).
@@ -25,33 +29,35 @@
 //!
 //! ## Compaction
 //!
-//! [`DurableLog::append`] reports when the configured op budget since
-//! the last snapshot is exhausted; the owner then calls
-//! [`DurableLog::compact`] with its authoritative live record set. The
-//! WAL is rotated to a fresh generation immediately (under the caller's
-//! serialization), and the snapshot write + promotion + old-WAL deletion
-//! run on a **background thread** so mutations and matching continue
-//! unimpeded. A crash at any point leaves either the old snapshot plus
-//! all WALs, or the new snapshot plus the new WAL — both recover to the
-//! same state.
+//! `Lane::append` reports when the configured op budget since the
+//! last snapshot is exhausted; the owner then calls `Lane::compact`
+//! with the lane's authoritative live record set. The WAL is rotated to
+//! a fresh generation immediately (under the caller's per-lane
+//! serialization), and the snapshot write + promotion + old-WAL
+//! deletion run on a **background thread** so mutations and matching
+//! continue unimpeded. A crash at any point leaves either the old
+//! snapshot plus all WALs, or the new snapshot plus the new WAL — both
+//! recover to the same state.
 
 use crate::codec::{Record, WalOp};
 use crate::error::{PersistError, PersistResult};
+use crate::pages::{self, ShardSnapshot};
 use crate::snapshot::{self, Snapshot, SNAPSHOT_TMP};
 use crate::wal::{self, FlushPolicy, WalWriter};
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread::JoinHandle;
 
-/// Tuning knobs for [`DurableLog::open`].
+/// Tuning knobs for [`crate::ShardedWal::open`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LogOptions {
     /// When WAL appends reach stable storage.
     pub flush: FlushPolicy,
-    /// Ops appended since the last snapshot before
-    /// [`DurableLog::append`] requests compaction.
+    /// Ops appended to one lane since its last snapshot before
+    /// `Lane::append` requests compaction of that lane.
     pub compact_after_ops: usize,
 }
 
@@ -64,13 +70,14 @@ impl Default for LogOptions {
     }
 }
 
-/// What recovery reconstructed from the directory.
+/// What one lane's recovery reconstructed from its directory.
 #[derive(Debug)]
-pub struct RecoveredState {
-    /// The live records (snapshot base + WAL replay), one per user, in
-    /// ascending `user_id` order.
+pub(crate) struct LaneRecovered {
+    /// The lane's live records (snapshot base + WAL replay), one per
+    /// user, in ascending `user_id` order.
     pub records: Vec<Record>,
-    /// The service epoch (maximum `Epoch` op seen, or the snapshot's).
+    /// The lane's view of the service epoch (maximum `Epoch` op seen,
+    /// or the snapshot's).
     pub epoch: u64,
     /// WAL ops replayed on top of the snapshot.
     pub replayed_ops: usize,
@@ -80,19 +87,19 @@ pub struct RecoveredState {
 
 /// Replay state folded over snapshot records and WAL ops.
 #[derive(Debug, Default)]
-struct Fold {
-    by_user: BTreeMap<u64, Record>,
-    epoch: u64,
+pub(crate) struct Fold {
+    pub by_user: BTreeMap<u64, Record>,
+    pub epoch: u64,
 }
 
 impl Fold {
-    fn seed(&mut self, records: Vec<Record>) {
+    pub fn seed(&mut self, records: Vec<Record>) {
         for r in records {
             self.by_user.insert(r.user_id, r);
         }
     }
 
-    fn apply(&mut self, op: WalOp) {
+    pub fn apply(&mut self, op: WalOp) {
         match op {
             WalOp::Upsert(record) => {
                 self.by_user.insert(record.user_id, record);
@@ -110,6 +117,58 @@ impl Fold {
     }
 }
 
+/// Collects the WAL generations present in `dir`, ascending.
+fn wal_generations(dir: &Path) -> PersistResult<Vec<u64>> {
+    let mut generations: Vec<u64> = Vec::new();
+    let entries = fs::read_dir(dir).map_err(|e| PersistError::io("list dir", dir, e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| PersistError::io("list dir", dir, e))?;
+        if let Some(gen) = entry.file_name().to_str().and_then(wal::parse_wal_name) {
+            generations.push(gen);
+        }
+    }
+    generations.sort_unstable();
+    Ok(generations)
+}
+
+/// `true` if `dir` holds any artifact of the pre-sharding single-log
+/// layout (a root-level snapshot, in-flight snapshot, or WAL).
+pub(crate) fn has_legacy_layout(dir: &Path) -> PersistResult<bool> {
+    if dir.join(snapshot::SNAPSHOT_FILE).exists() || dir.join(SNAPSHOT_TMP).exists() {
+        return Ok(true);
+    }
+    Ok(!wal_generations(dir)?.is_empty())
+}
+
+/// Recovers the pre-sharding layout read-only: loads the root v1
+/// snapshot (if any) and replays every newer root WAL, without creating
+/// or truncating anything. The migration in [`crate::sharded`] routes
+/// the result into per-shard lanes; the legacy files themselves are
+/// deleted only after the sharded layout has committed.
+pub(crate) fn recover_legacy(dir: &Path) -> PersistResult<Fold> {
+    let mut fold = Fold::default();
+    let covered = match snapshot::load_snapshot(dir)? {
+        Some(Snapshot {
+            covered_generation,
+            epoch,
+            records,
+        }) => {
+            fold.epoch = epoch;
+            fold.seed(records);
+            covered_generation
+        }
+        None => 0,
+    };
+    for gen in wal_generations(dir)?.into_iter().filter(|&g| g > covered) {
+        let path = dir.join(wal::wal_file_name(gen));
+        let replay = wal::replay_wal(&path, gen)?;
+        for op in replay.ops {
+            fold.apply(op);
+        }
+    }
+    Ok(fold)
+}
+
 /// Serialized appender state.
 #[derive(Debug)]
 struct Inner {
@@ -117,58 +176,60 @@ struct Inner {
     ops_since_snapshot: usize,
 }
 
-/// The durable-log subsystem over one directory (see the module docs).
+/// One durability lane over one directory (see the module docs).
 ///
 /// Appends are internally locked but callers that require a strict
 /// correspondence between apply order and log order (the service layer's
-/// store does) must serialize externally — the log cannot know in which
-/// order two racing upserts hit the in-memory index.
+/// store does) must serialize externally per lane — the lane cannot know
+/// in which order two racing upserts hit the in-memory shard.
 #[derive(Debug)]
-pub struct DurableLog {
+pub(crate) struct Lane {
     dir: PathBuf,
+    shard: usize,
+    shard_count: usize,
     options: LogOptions,
     inner: Mutex<Inner>,
+    /// Wait-free mirrors of the appender state for stats: the current
+    /// WAL generation and the ops-since-snapshot depth. Updated under
+    /// the `inner` lock, read without it, so a stats RPC never blocks
+    /// on an in-flight fsync.
+    generation: AtomicU64,
+    depth: AtomicUsize,
     /// The in-flight background compaction, if any.
     compactor: Mutex<Option<JoinHandle<PersistResult<()>>>>,
-    /// First deferred I/O error (append is infallible at the call site;
-    /// the error surfaces on the next `sync`).
+    /// First deferred I/O error of this lane (append is infallible at
+    /// the call site; the error surfaces on the next `sync`). Lanes keep
+    /// one slot each — the sharded front aggregates across lanes, so a
+    /// failure in one lane can never mask another lane's.
     deferred: Mutex<Option<PersistError>>,
 }
 
-impl DurableLog {
-    /// Opens (creating if necessary) the log at `dir` and recovers its
-    /// state.
-    pub fn open(dir: &Path, options: LogOptions) -> PersistResult<(Self, RecoveredState)> {
-        fs::create_dir_all(dir).map_err(|e| PersistError::io("create dir", dir, e))?;
+impl Lane {
+    /// Opens (creating if necessary) the lane at `dir` — shard `shard`
+    /// of `shard_count` — and recovers its state.
+    pub fn open(
+        dir: &Path,
+        shard: usize,
+        shard_count: usize,
+        options: LogOptions,
+    ) -> PersistResult<(Self, LaneRecovered)> {
+        fs::create_dir_all(dir).map_err(|e| PersistError::io("create lane dir", dir, e))?;
         let tmp = dir.join(SNAPSHOT_TMP);
         if tmp.exists() {
             fs::remove_file(&tmp).map_err(|e| PersistError::io("remove snapshot.tmp", &tmp, e))?;
         }
 
         let mut fold = Fold::default();
-        let covered = match snapshot::load_snapshot(dir)? {
-            Some(Snapshot {
-                covered_generation,
-                epoch,
-                records,
-            }) => {
-                fold.epoch = epoch;
-                fold.seed(records);
-                covered_generation
+        let covered = match pages::load_shard_snapshot(dir, shard, shard_count)? {
+            Some(snap) => {
+                fold.epoch = snap.epoch;
+                fold.seed(snap.records);
+                snap.covered_generation
             }
             None => 0,
         };
 
-        // Collect wal generations present on disk.
-        let mut generations: Vec<u64> = Vec::new();
-        let entries = fs::read_dir(dir).map_err(|e| PersistError::io("list dir", dir, e))?;
-        for entry in entries {
-            let entry = entry.map_err(|e| PersistError::io("list dir", dir, e))?;
-            if let Some(gen) = entry.file_name().to_str().and_then(wal::parse_wal_name) {
-                generations.push(gen);
-            }
-        }
-        generations.sort_unstable();
+        let mut generations = wal_generations(dir)?;
 
         // Stale generations are already folded into the snapshot.
         for &gen in generations.iter().filter(|&&g| g <= covered) {
@@ -203,16 +264,20 @@ impl DurableLog {
             None => WalWriter::create(dir, covered + 1, options.flush)?,
         };
 
-        let state = RecoveredState {
+        let state = LaneRecovered {
             records: fold.by_user.into_values().collect(),
             epoch: fold.epoch,
             replayed_ops,
             torn_tail,
         };
         Ok((
-            DurableLog {
+            Lane {
                 dir: dir.to_path_buf(),
+                shard,
+                shard_count,
                 options,
+                generation: AtomicU64::new(wal.generation()),
+                depth: AtomicUsize::new(replayed_ops),
                 inner: Mutex::new(Inner {
                     wal,
                     ops_since_snapshot: replayed_ops,
@@ -224,9 +289,14 @@ impl DurableLog {
         ))
     }
 
-    /// The directory this log lives in.
-    pub fn dir(&self) -> &Path {
-        &self.dir
+    /// The lane's current WAL generation (wait-free).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// Ops appended since the lane's last snapshot (wait-free).
+    pub fn depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
     }
 
     fn lock_inner(&self) -> std::sync::MutexGuard<'_, Inner> {
@@ -235,10 +305,10 @@ impl DurableLog {
             .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
-    /// Stashes `err` to be surfaced by the next [`DurableLog::sync`]
-    /// (only the first deferred error is kept). Owners use this for
-    /// failures on paths they keep infallible, mirroring what `append`
-    /// does internally.
+    /// Stashes `err` to be surfaced by the next [`Lane::sync`] (only
+    /// the first deferred error of this lane is kept). Owners use this
+    /// for failures on paths they keep infallible, mirroring what
+    /// `append` does internally.
     pub fn defer_error(&self, err: PersistError) {
         let mut slot = self
             .deferred
@@ -248,21 +318,24 @@ impl DurableLog {
     }
 
     /// Appends one op. I/O failures are deferred (stashed and surfaced
-    /// by the next [`DurableLog::sync`]) so the hot mutation path stays
-    /// infallible. Returns `true` when the op budget since the last
-    /// snapshot is exhausted and the owner should call
-    /// [`DurableLog::compact`].
+    /// by the next [`Lane::sync`]) so the hot mutation path stays
+    /// infallible. Returns `true` when the lane's op budget since its
+    /// last snapshot is exhausted and the owner should call
+    /// [`Lane::compact`].
     pub fn append(&self, op: &WalOp) -> bool {
         let mut inner = self.lock_inner();
         if let Err(e) = inner.wal.append(op) {
             self.defer_error(e);
         }
         inner.ops_since_snapshot += 1;
+        self.depth
+            .store(inner.ops_since_snapshot, Ordering::Relaxed);
         inner.ops_since_snapshot >= self.options.compact_after_ops
     }
 
-    /// fsyncs outstanding appends and surfaces the first deferred error
-    /// (append failures, background-compaction failures).
+    /// fsyncs outstanding appends and surfaces the lane's first
+    /// deferred error (append failures, background-compaction
+    /// failures).
     pub fn sync(&self) -> PersistResult<()> {
         let sync_result = self.lock_inner().wal.sync();
         // Harvest a finished (not in-flight) compactor without blocking.
@@ -296,20 +369,21 @@ impl DurableLog {
         sync_result
     }
 
-    /// Rotates the WAL and snapshots `records` (the owner's
-    /// authoritative live set, which must reflect exactly the ops
-    /// appended so far — callers serialize mutations around this call)
-    /// on a background thread. Returns immediately after the rotation;
-    /// the heavy snapshot write + promotion + stale-WAL deletion happen
-    /// off-thread.
+    /// Rotates the lane's WAL and snapshots `records` (the owner's
+    /// authoritative live set **for this shard**, which must reflect
+    /// exactly the ops appended so far — callers serialize this lane's
+    /// mutations around this call) on a background thread. Returns
+    /// immediately after the rotation; the heavy snapshot write +
+    /// promotion + stale-WAL deletion happen off-thread.
     ///
-    /// If a previous compaction is **still running**, this call is a
-    /// no-op: callers typically hold their write serialization while
-    /// calling, and blocking here would stall every mutation for the
-    /// prior snapshot's full write time. The op budget is not reset on
-    /// the skip, so the next append re-requests compaction — it happens
-    /// as soon as the worker is free. A *finished* worker is harvested
-    /// (its error surfaced) before the new one starts.
+    /// If a previous compaction of this lane is **still running**, this
+    /// call is a no-op: callers typically hold their per-lane write
+    /// serialization while calling, and blocking here would stall the
+    /// lane's mutations for the prior snapshot's full write time. The
+    /// op budget is not reset on the skip, so the next append
+    /// re-requests compaction — it happens as soon as the worker is
+    /// free. A *finished* worker is harvested (its error surfaced)
+    /// before the new one starts.
     pub fn compact(&self, records: Vec<Record>, epoch: u64) -> PersistResult<()> {
         {
             let mut worker = self
@@ -343,14 +417,19 @@ impl DurableLog {
             let old = inner.wal.generation();
             inner.wal = WalWriter::create(&self.dir, old + 1, self.options.flush)?;
             inner.ops_since_snapshot = 0;
+            self.generation.store(old + 1, Ordering::Relaxed);
+            self.depth.store(0, Ordering::Relaxed);
             old
         };
 
         let dir = self.dir.clone();
+        let (shard, shard_count) = (self.shard, self.shard_count);
         let handle = std::thread::spawn(move || {
-            snapshot::write_snapshot(
+            pages::write_shard_snapshot(
                 &dir,
-                &Snapshot {
+                &ShardSnapshot {
+                    shard,
+                    shard_count,
                     covered_generation: old_generation,
                     epoch,
                     records,
@@ -370,15 +449,15 @@ impl DurableLog {
         Ok(())
     }
 
-    /// Ops appended since the last snapshot (diagnostics).
+    /// Ops appended since the lane's last snapshot (diagnostics).
     pub fn ops_since_snapshot(&self) -> usize {
         self.lock_inner().ops_since_snapshot
     }
 
-    /// `true` while a background compaction is running. Owners check
-    /// this before assembling the (potentially large) live record set
-    /// for [`DurableLog::compact`], which would be discarded by the
-    /// in-flight skip anyway.
+    /// `true` while a background compaction of this lane is running.
+    /// Owners check this before assembling the shard's live record set
+    /// for [`Lane::compact`], which would be discarded by the in-flight
+    /// skip anyway.
     pub fn compaction_in_flight(&self) -> bool {
         self.compactor
             .lock()
@@ -387,8 +466,8 @@ impl DurableLog {
             .is_some_and(|handle| !handle.is_finished())
     }
 
-    /// Blocks until any in-flight compaction finishes, surfacing its
-    /// result.
+    /// Blocks until any in-flight compaction of this lane finishes,
+    /// surfacing its result.
     pub fn join_compactor(&self) -> PersistResult<()> {
         let handle = self
             .compactor
@@ -407,7 +486,7 @@ impl DurableLog {
     }
 }
 
-impl Drop for DurableLog {
+impl Drop for Lane {
     fn drop(&mut self) {
         // Best-effort: flush the group-commit tail and let the
         // compactor finish so the directory is quiescent when we return.
@@ -418,17 +497,11 @@ impl Drop for DurableLog {
 
 /// The WAL paths of every generation `<= up_to` still present in `dir`.
 fn stale_wals(dir: &Path, up_to: u64) -> PersistResult<Vec<PathBuf>> {
-    let mut out = Vec::new();
-    let entries = fs::read_dir(dir).map_err(|e| PersistError::io("list dir", dir, e))?;
-    for entry in entries {
-        let entry = entry.map_err(|e| PersistError::io("list dir", dir, e))?;
-        if let Some(gen) = entry.file_name().to_str().and_then(wal::parse_wal_name) {
-            if gen <= up_to {
-                out.push(dir.join(wal::wal_file_name(gen)));
-            }
-        }
-    }
-    Ok(out)
+    Ok(wal_generations(dir)?
+        .into_iter()
+        .filter(|&g| g <= up_to)
+        .map(|g| dir.join(wal::wal_file_name(g)))
+        .collect())
 }
 
 #[cfg(test)]
@@ -466,24 +539,28 @@ mod tests {
         }
     }
 
-    fn ids(state: &RecoveredState) -> Vec<u64> {
+    fn ids(state: &LaneRecovered) -> Vec<u64> {
         state.records.iter().map(|r| r.user_id).collect()
+    }
+
+    fn open_lane(dir: &Path, options: LogOptions) -> (Lane, LaneRecovered) {
+        Lane::open(dir, 0, 1, options).unwrap()
     }
 
     #[test]
     fn open_append_reopen() {
         let dir = temp_dir("reopen");
         {
-            let (log, state) = DurableLog::open(&dir, LogOptions::default()).unwrap();
+            let (lane, state) = open_lane(&dir, LogOptions::default());
             assert!(state.records.is_empty());
             for id in 0..5 {
-                log.append(&WalOp::Upsert(record(id, 0)));
+                lane.append(&WalOp::Upsert(record(id, 0)));
             }
-            log.append(&WalOp::Remove { user_id: 3 });
-            log.append(&WalOp::Epoch { epoch: 2 });
-            log.sync().unwrap();
+            lane.append(&WalOp::Remove { user_id: 3 });
+            lane.append(&WalOp::Epoch { epoch: 2 });
+            lane.sync().unwrap();
         }
-        let (_log, state) = DurableLog::open(&dir, LogOptions::default()).unwrap();
+        let (_lane, state) = open_lane(&dir, LogOptions::default());
         assert_eq!(ids(&state), vec![0, 1, 2, 4]);
         assert_eq!(state.epoch, 2);
         assert_eq!(state.replayed_ops, 7);
@@ -494,28 +571,30 @@ mod tests {
     fn compaction_rotates_and_recovery_prefers_snapshot() {
         let dir = temp_dir("compact");
         {
-            let (log, _) = DurableLog::open(
+            let (lane, _) = open_lane(
                 &dir,
                 LogOptions {
                     compact_after_ops: 4,
                     ..LogOptions::default()
                 },
-            )
-            .unwrap();
+            );
+            assert_eq!((lane.generation(), lane.depth()), (1, 0));
             let mut live: BTreeMap<u64, Record> = BTreeMap::new();
             let mut due = false;
             for id in 0..6 {
                 let r = record(id, 1);
                 live.insert(id, r.clone());
-                due = log.append(&WalOp::Upsert(r));
+                due = lane.append(&WalOp::Upsert(r));
             }
             assert!(due, "op budget of 4 exhausted");
-            log.compact(live.values().cloned().collect(), 1).unwrap();
-            log.join_compactor().unwrap();
+            assert_eq!(lane.depth(), 6);
+            lane.compact(live.values().cloned().collect(), 1).unwrap();
+            lane.join_compactor().unwrap();
+            assert_eq!((lane.generation(), lane.depth()), (2, 0));
             // Post-compaction ops land in the new generation.
-            log.append(&WalOp::Upsert(record(100, 2)));
-            log.sync().unwrap();
-            assert_eq!(log.ops_since_snapshot(), 1);
+            lane.append(&WalOp::Upsert(record(100, 2)));
+            lane.sync().unwrap();
+            assert_eq!(lane.ops_since_snapshot(), 1);
         }
         assert!(dir.join(SNAPSHOT_FILE_NAME).exists());
         // Exactly one wal file (the rotated generation) remains.
@@ -529,13 +608,32 @@ mod tests {
             })
             .collect();
         assert_eq!(wals.len(), 1);
-        let (_log, state) = DurableLog::open(&dir, LogOptions::default()).unwrap();
+        let (_lane, state) = open_lane(&dir, LogOptions::default());
         assert_eq!(ids(&state), vec![0, 1, 2, 3, 4, 5, 100]);
         assert_eq!(state.replayed_ops, 1, "only the suffix replays");
         fs::remove_dir_all(&dir).unwrap();
     }
 
     const SNAPSHOT_FILE_NAME: &str = crate::snapshot::SNAPSHOT_FILE;
+
+    #[test]
+    fn lane_snapshot_carries_shard_identity() {
+        // A lane compacted as shard 2-of-4 must refuse to reopen as any
+        // other identity (the paged header pins it).
+        let dir = temp_dir("identity");
+        {
+            let (lane, _) = Lane::open(&dir, 2, 4, LogOptions::default()).unwrap();
+            lane.append(&WalOp::Upsert(record(1, 0)));
+            lane.compact(vec![record(1, 0)], 0).unwrap();
+            lane.join_compactor().unwrap();
+        }
+        assert!(Lane::open(&dir, 2, 4, LogOptions::default()).is_ok());
+        assert!(matches!(
+            Lane::open(&dir, 3, 4, LogOptions::default()),
+            Err(PersistError::Corrupt { .. })
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
 
     #[test]
     fn crash_between_rotation_and_promotion_recovers_everything() {
@@ -553,7 +651,7 @@ mod tests {
             w2.append(&WalOp::Remove { user_id: 1 }).unwrap();
             w2.append(&WalOp::Upsert(record(7, 1))).unwrap();
         }
-        let (_log, state) = DurableLog::open(&dir, LogOptions::default()).unwrap();
+        let (_lane, state) = open_lane(&dir, LogOptions::default());
         assert_eq!(ids(&state), vec![0, 2, 7]);
         fs::remove_dir_all(&dir).unwrap();
     }
@@ -562,14 +660,14 @@ mod tests {
     fn evict_before_replays() {
         let dir = temp_dir("evict");
         {
-            let (log, _) = DurableLog::open(&dir, LogOptions::default()).unwrap();
+            let (lane, _) = open_lane(&dir, LogOptions::default());
             for id in 0..4 {
-                log.append(&WalOp::Upsert(record(id, id)));
+                lane.append(&WalOp::Upsert(record(id, id)));
             }
-            log.append(&WalOp::EvictBefore { min_epoch: 2 });
-            log.sync().unwrap();
+            lane.append(&WalOp::EvictBefore { min_epoch: 2 });
+            lane.sync().unwrap();
         }
-        let (_log, state) = DurableLog::open(&dir, LogOptions::default()).unwrap();
+        let (_lane, state) = open_lane(&dir, LogOptions::default());
         assert_eq!(ids(&state), vec![2, 3]);
         fs::remove_dir_all(&dir).unwrap();
     }
@@ -578,9 +676,38 @@ mod tests {
     fn stray_snapshot_tmp_is_cleaned() {
         let dir = temp_dir("straytmp");
         fs::write(dir.join(SNAPSHOT_TMP), b"half a snapshot").unwrap();
-        let (_log, state) = DurableLog::open(&dir, LogOptions::default()).unwrap();
+        let (_lane, state) = open_lane(&dir, LogOptions::default());
         assert!(state.records.is_empty());
         assert!(!dir.join(SNAPSHOT_TMP).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn legacy_recovery_folds_snapshot_and_wals() {
+        let dir = temp_dir("legacy");
+        assert!(!has_legacy_layout(&dir).unwrap());
+        snapshot::write_snapshot(
+            &dir,
+            &Snapshot {
+                covered_generation: 1,
+                epoch: 3,
+                records: vec![record(1, 0), record(2, 0)],
+            },
+        )
+        .unwrap();
+        {
+            let mut w = WalWriter::create(&dir, 2, FlushPolicy::EveryOp).unwrap();
+            w.append(&WalOp::Remove { user_id: 1 }).unwrap();
+            w.append(&WalOp::Upsert(record(9, 4))).unwrap();
+            w.append(&WalOp::Epoch { epoch: 5 }).unwrap();
+        }
+        assert!(has_legacy_layout(&dir).unwrap());
+        let fold = recover_legacy(&dir).unwrap();
+        assert_eq!(fold.by_user.keys().copied().collect::<Vec<_>>(), vec![2, 9]);
+        assert_eq!(fold.epoch, 5);
+        // Read-only: the legacy files are untouched.
+        assert!(dir.join(SNAPSHOT_FILE_NAME).exists());
+        assert!(has_legacy_layout(&dir).unwrap());
         fs::remove_dir_all(&dir).unwrap();
     }
 }

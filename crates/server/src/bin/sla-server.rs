@@ -38,6 +38,9 @@ struct Opts {
     workers: usize,
     inflight: usize,
     seed: u64,
+    /// Permit TCP binds beyond loopback (the wire protocol carries no
+    /// authentication, so off-host exposure must be explicit).
+    allow_remote: bool,
 }
 
 enum Endpoint {
@@ -83,6 +86,8 @@ USAGE:
 OPTIONS:
     --socket <path>     Serve on a Unix-domain socket at <path>
     --tcp <addr>        Serve on TCP, e.g. 127.0.0.1:4240 (port 0 = kernel picks)
+    --allow-remote      Permit a non-loopback --tcp bind (the protocol is
+                        unauthenticated; refused by default)
     --store <backend>   concurrent (default) | persistent
     --dir <path>        Durable store directory (persistent only; default sla-server-store)
     --flush-ms <n>      WAL group-commit window in ms; 0 = fsync every op (default 2)
@@ -114,6 +119,7 @@ fn parse_opts(args: impl Iterator<Item = String>) -> Result<Option<Opts>, ArgErr
         workers: 8,
         inflight: 64,
         seed: 20_210_323,
+        allow_remote: false,
     };
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
@@ -137,6 +143,7 @@ fn parse_opts(args: impl Iterator<Item = String>) -> Result<Option<Opts>, ArgErr
             "--workers" => opts.workers = parse_number("--workers", args.next())?,
             "--inflight" => opts.inflight = parse_number("--inflight", args.next())?,
             "--seed" => opts.seed = parse_number("--seed", args.next())?,
+            "--allow-remote" => opts.allow_remote = true,
             other => return Err(ArgError::Unknown(other.to_string())),
         }
     }
@@ -146,6 +153,36 @@ fn parse_opts(args: impl Iterator<Item = String>) -> Result<Option<Opts>, ArgErr
         _ => return Err(ArgError::Endpoint),
     };
     Ok(Some(opts))
+}
+
+/// Refuse a TCP endpoint that is reachable from off-host unless the
+/// operator passed `--allow-remote`. The wire protocol carries no
+/// authentication, so exposing it beyond loopback must be a deliberate
+/// decision. Every address the endpoint resolves to must be loopback —
+/// a hostname with a mixed A-record set is refused, because the kernel
+/// may bind any of them.
+fn check_bind_scope(addr: &str, allow_remote: bool) -> Result<(), String> {
+    if allow_remote {
+        return Ok(());
+    }
+    use std::net::ToSocketAddrs;
+    let resolved: Vec<_> = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("--tcp {addr}: {e}"))?
+        .collect();
+    if resolved.is_empty() {
+        return Err(format!("--tcp {addr}: resolved to no addresses"));
+    }
+    for sock in resolved {
+        if !sock.ip().is_loopback() {
+            return Err(format!(
+                "--tcp {addr}: {} is not a loopback address; the wire protocol is \
+                 unauthenticated — pass --allow-remote to expose it beyond this host",
+                sock.ip()
+            ));
+        }
+    }
+    Ok(())
 }
 
 fn run(opts: Opts) -> Result<(), Box<dyn std::error::Error>> {
@@ -179,7 +216,10 @@ fn run(opts: Opts) -> Result<(), Box<dyn std::error::Error>> {
     };
     let server = match &opts.endpoint {
         Endpoint::Unix(path) => SlaServer::bind_unix(service, path, config)?,
-        Endpoint::Tcp(addr) => SlaServer::bind_tcp(service, addr, config)?,
+        Endpoint::Tcp(addr) => {
+            check_bind_scope(addr, opts.allow_remote)?;
+            SlaServer::bind_tcp(service, addr, config)?
+        }
     };
 
     // The readiness line clients and CI wait for (flushed immediately:
@@ -211,5 +251,56 @@ fn main() {
     if let Err(e) = run(opts) {
         eprintln!("sla-server: {e}");
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Option<Opts>, ArgError> {
+        parse_opts(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn loopback_binds_are_allowed_by_default() {
+        check_bind_scope("127.0.0.1:0", false).unwrap();
+        check_bind_scope("127.0.0.1:4240", false).unwrap();
+        check_bind_scope("[::1]:4240", false).unwrap();
+    }
+
+    #[test]
+    fn non_loopback_binds_are_refused_by_default() {
+        // The wildcard address exposes every interface; a documentation
+        // (TEST-NET-1) address stands in for a routable one. Neither
+        // needs DNS to resolve.
+        for addr in ["0.0.0.0:4240", "[::]:4240", "192.0.2.7:4240"] {
+            let err = check_bind_scope(addr, false).unwrap_err();
+            assert!(err.contains("--allow-remote"), "{addr}: {err}");
+            assert!(err.contains(addr.rsplit_once(':').unwrap().0.trim_matches(['[', ']'])));
+        }
+    }
+
+    #[test]
+    fn allow_remote_bypasses_the_guard() {
+        check_bind_scope("0.0.0.0:4240", true).unwrap();
+        check_bind_scope("192.0.2.7:4240", true).unwrap();
+    }
+
+    #[test]
+    fn allow_remote_flag_parses() {
+        let opts = parse(&["--tcp", "0.0.0.0:0", "--allow-remote"])
+            .unwrap()
+            .unwrap();
+        assert!(opts.allow_remote);
+        let opts = parse(&["--tcp", "127.0.0.1:0"]).unwrap().unwrap();
+        assert!(!opts.allow_remote);
+    }
+
+    #[test]
+    fn unresolvable_endpoints_are_refused() {
+        // Not a valid socket address and not resolvable: the guard
+        // surfaces the resolution error instead of binding blind.
+        assert!(check_bind_scope("definitely-not-a-real-host.invalid:1", false).is_err());
     }
 }

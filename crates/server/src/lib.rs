@@ -44,5 +44,5 @@ pub use service::AlertService;
 pub use wire::{
     decode_request, decode_response, encode_request, encode_response, read_frame,
     read_frame_abortable, write_frame, DecodeError, ErrorCode, FrameIn, Request, Response,
-    WireStats, MAX_FRAME_BYTES,
+    WireLaneStats, WireStats, MAX_FRAME_BYTES,
 };

@@ -283,6 +283,8 @@ mod tests {
                 assert_eq!(stats.ops_alert, 1);
                 assert_eq!(stats.busy_rejections, 1);
                 assert_eq!(stats.recovered_epoch, None);
+                // Volatile backends have no durability lanes to report.
+                assert!(stats.lanes.is_empty());
             }
             other => panic!("{other:?}"),
         }

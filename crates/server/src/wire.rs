@@ -160,6 +160,20 @@ pub struct WireStats {
     pub ops_stats: u64,
     /// Requests rejected with [`Response::Busy`].
     pub busy_rejections: u64,
+    /// Per-lane durability stats in shard order (lane index == shard
+    /// index). Empty on volatile backends.
+    pub lanes: Vec<WireLaneStats>,
+}
+
+/// One durability lane's wire stats (see
+/// `sla_core::DurabilityLaneStats`; the shard index is the position in
+/// [`WireStats::lanes`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireLaneStats {
+    /// The lane's current WAL generation.
+    pub wal_generation: u64,
+    /// Ops appended to the lane since its last snapshot.
+    pub depth: u64,
 }
 
 /// The wire error taxonomy — a stable numeric mirror of the
@@ -361,6 +375,11 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             put_u64(&mut out, stats.ops_alert);
             put_u64(&mut out, stats.ops_stats);
             put_u64(&mut out, stats.busy_rejections);
+            put_u32(&mut out, stats.lanes.len() as u32);
+            for lane in &stats.lanes {
+                put_u64(&mut out, lane.wal_generation);
+                put_u64(&mut out, lane.depth);
+            }
         }
         Response::ShuttingDown => out.push(RESP_SHUTTING_DOWN),
         Response::Busy { in_flight_limit } => {
@@ -460,6 +479,27 @@ impl<'a> Cursor<'a> {
             .map_err(|e| DecodeError(format!("invalid utf-8 in string: {e}")))
     }
 
+    /// A `u32`-counted list of per-lane stats pairs; like
+    /// [`Cursor::vec_u64`], the count is validated against the
+    /// remaining bytes before any allocation.
+    fn lanes(&mut self) -> Result<Vec<WireLaneStats>, DecodeError> {
+        let count = self.u32()? as usize;
+        if count * 16 > self.remaining() {
+            return Err(DecodeError(format!(
+                "lane list claims {count} lanes but only {} payload bytes remain",
+                self.remaining()
+            )));
+        }
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(WireLaneStats {
+                wal_generation: self.u64()?,
+                depth: self.u64()?,
+            });
+        }
+        Ok(out)
+    }
+
     fn opt_u64(&mut self) -> Result<Option<u64>, DecodeError> {
         match self.u8()? {
             0 => Ok(None),
@@ -540,6 +580,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, DecodeError> {
             ops_alert: cur.u64()?,
             ops_stats: cur.u64()?,
             busy_rejections: cur.u64()?,
+            lanes: cur.lanes()?,
         }),
         RESP_SHUTTING_DOWN => Response::ShuttingDown,
         RESP_BUSY => Response::Busy {
@@ -578,6 +619,14 @@ pub fn wire_stats(stats: &ServiceStats, ops: [u64; 4], busy_rejections: u64) -> 
         ops_alert: ops[2],
         ops_stats: ops[3],
         busy_rejections,
+        lanes: stats
+            .durability_lanes
+            .iter()
+            .map(|lane| WireLaneStats {
+                wal_generation: lane.wal_generation,
+                depth: lane.depth as u64,
+            })
+            .collect(),
     }
 }
 
@@ -765,6 +814,16 @@ mod tests {
                 ops_alert: 6,
                 ops_stats: 1,
                 busy_rejections: 9,
+                lanes: vec![
+                    WireLaneStats {
+                        wal_generation: 3,
+                        depth: 17,
+                    },
+                    WireLaneStats {
+                        wal_generation: 1,
+                        depth: 0,
+                    },
+                ],
             }),
             Response::ShuttingDown,
             Response::Busy {

@@ -11,7 +11,7 @@
 use proptest::prelude::*;
 use sla_server::{
     decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
-    ErrorCode, FrameIn, Request, Response, WireStats,
+    ErrorCode, FrameIn, Request, Response, WireLaneStats, WireStats,
 };
 
 /// Deterministic structure builder over a pool of raw words (the same
@@ -46,6 +46,16 @@ impl Pool<'_> {
         } else {
             Some(self.next())
         }
+    }
+
+    fn lanes(&mut self) -> Vec<WireLaneStats> {
+        let n = (self.next() % 5) as usize;
+        (0..n)
+            .map(|_| WireLaneStats {
+                wal_generation: self.next(),
+                depth: self.next(),
+            })
+            .collect()
     }
 }
 
@@ -96,6 +106,7 @@ fn response_from(raw: &[u64]) -> Response {
             ops_alert: p.next(),
             ops_stats: p.next(),
             busy_rejections: p.next(),
+            lanes: p.lanes(),
         }),
         4 => Response::ShuttingDown,
         5 => Response::Busy {

@@ -3,8 +3,10 @@
 //! serves **byte-identical quiescent match outcomes** (`notified` sets
 //! and `pairings_used`) to an in-memory backend given the same
 //! subscription history — including recovery from a torn final WAL
-//! record — plus cross-backend equivalence over random op sequences and
-//! the error/lifecycle surface of the persistent backend.
+//! record in one durability lane while every other lane recovers in
+//! full — plus migration of a pre-sharding (single WAL + monolithic
+//! snapshot) directory, cross-backend equivalence over random op
+//! sequences, and the error/lifecycle surface of the persistent backend.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -13,7 +15,8 @@ use secure_location_alerts::core::{
     AlertSystem, FlushPolicy, SlaError, StoreBackend, SystemBuilder, UpsertOutcome,
 };
 use secure_location_alerts::grid::{BoundingBox, Grid, ProbabilityMap};
-use std::path::PathBuf;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -30,6 +33,34 @@ fn temp_dir(tag: &str) -> PathBuf {
     ));
     std::fs::create_dir_all(&dir).unwrap();
     dir
+}
+
+/// Every lane WAL under `dir`'s `shard.NNN/` subdirectories, with its
+/// current length.
+fn lane_wal_files(dir: &Path) -> BTreeMap<PathBuf, u64> {
+    let mut out = BTreeMap::new();
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let lane = entry.unwrap().path();
+        let is_lane = lane
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.starts_with("shard."));
+        if !(is_lane && lane.is_dir()) {
+            continue;
+        }
+        for file in std::fs::read_dir(&lane).unwrap() {
+            let file = file.unwrap().path();
+            if file
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("wal."))
+            {
+                let len = std::fs::metadata(&file).unwrap().len();
+                out.insert(file, len);
+            }
+        }
+    }
+    out
 }
 
 /// Builds a system over `backend` from a fixed seed: same seed ⇒ same
@@ -109,6 +140,12 @@ fn restart_serves_identical_outcomes_to_in_memory_backend() {
         persistent.sync().unwrap();
     } // drop: flush the group-commit tail, quiesce the directory
 
+    // The quiesced directory is the sharded layout: a committed layout
+    // meta plus per-lane WALs — never a root-level log or snapshot.
+    assert!(dir.join("store.meta").exists(), "layout meta committed");
+    assert!(!dir.join("snapshot.bin").exists(), "no monolithic snapshot");
+    assert!(!lane_wal_files(&dir).is_empty(), "per-lane WALs exist");
+
     let (reopened, _) = build_system(StoreBackend::Persistent {
         dir: dir.clone(),
         flush: FlushPolicy::EveryOp,
@@ -131,11 +168,13 @@ fn restart_serves_identical_outcomes_to_in_memory_backend() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
-/// Torn final WAL record: chopping bytes off the last frame loses
-/// exactly the last subscription and nothing else — the re-opened store
-/// equals an in-memory reference that never saw that subscription.
+/// Torn final WAL record in **one durability lane**: chopping bytes off
+/// the last frame of the lane that logged the final subscription loses
+/// exactly that subscription and nothing else — every other lane
+/// recovers in full, and the re-opened store equals an in-memory
+/// reference that never saw the torn subscribe.
 #[test]
-fn torn_final_wal_record_recovers_state_at_last_complete_frame() {
+fn torn_final_wal_record_in_one_shard_recovers_state_at_last_complete_frame() {
     let dir = temp_dir("torn");
 
     // Reference: users 0..5 (the 6th subscribe never happened).
@@ -146,30 +185,35 @@ fn torn_final_wal_record_recovers_state_at_last_complete_frame() {
             .unwrap();
     }
 
+    let before;
     {
         let (mut persistent, mut rng) = build_system(StoreBackend::Persistent {
             dir: dir.clone(),
             flush: FlushPolicy::EveryOp,
         });
-        for user in 0..6u64 {
+        for user in 0..5u64 {
             persistent
                 .subscribe_cell(user, user as usize % N_CELLS, &mut rng)
                 .unwrap();
         }
+        persistent.sync().unwrap();
+        // Snapshot every lane's WAL length, then log one more subscribe:
+        // exactly one lane grows, and its tail frame is user 5's record.
+        before = lane_wal_files(&dir);
+        persistent.subscribe_cell(5, 5 % N_CELLS, &mut rng).unwrap();
     }
 
-    // Tear the final record: chop a few bytes off the single WAL file.
-    let wal_path = std::fs::read_dir(&dir)
-        .unwrap()
-        .map(|e| e.unwrap().path())
-        .find(|p| {
-            p.file_name()
-                .and_then(|n| n.to_str())
-                .is_some_and(|n| n.starts_with("wal."))
-        })
-        .expect("one wal file");
-    let bytes = std::fs::read(&wal_path).unwrap();
-    std::fs::write(&wal_path, &bytes[..bytes.len() - 3]).unwrap();
+    let grown: Vec<PathBuf> = lane_wal_files(&dir)
+        .into_iter()
+        .filter(|(path, len)| before.get(path).copied().unwrap_or(0) < *len)
+        .map(|(path, _)| path)
+        .collect();
+    assert_eq!(grown.len(), 1, "one lane logged the final subscribe");
+    let wal_path = &grown[0];
+
+    // Tear the final record: chop a few bytes off that lane's WAL.
+    let bytes = std::fs::read(wal_path).unwrap();
+    std::fs::write(wal_path, &bytes[..bytes.len() - 3]).unwrap();
 
     let (reopened, _) = build_system(StoreBackend::Persistent {
         dir: dir.clone(),
@@ -187,6 +231,128 @@ fn torn_final_wal_record_recovers_state_at_last_complete_frame() {
             "torn-recovery divergence on {cells:?}"
         );
     }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A record in the pre-sharding on-disk vocabulary (canonical discrete
+/// logs, so it round-trips the codec byte-exactly). Only `(user_id,
+/// epoch)` is observable through `subscription_epochs`; the ciphertext
+/// just has to be structurally valid.
+fn legacy_record(user_id: u64, epoch: u64) -> sla_persist::Record {
+    use secure_location_alerts::bigint::BigUint;
+    use secure_location_alerts::hve::Ciphertext;
+    use secure_location_alerts::pairing::{GElem, GtElem};
+    sla_persist::Record {
+        user_id,
+        epoch,
+        expected: GtElem::from_canonical_log(BigUint::from_u64(user_id + 1)),
+        ciphertext: Ciphertext::from_parts(
+            GtElem::from_canonical_log(BigUint::from_u64(user_id * 7 + 3)),
+            GElem::from_canonical_log(BigUint::from_u64(user_id + 11)),
+            vec![(
+                GElem::from_canonical_log(BigUint::from_u64(user_id ^ 0x2A)),
+                GElem::from_canonical_log(BigUint::from_u64(user_id + 42)),
+            )],
+        ),
+    }
+}
+
+/// Every file under `dir` (two levels deep — the layout has no more),
+/// with its bytes.
+fn dir_bytes(dir: &Path) -> BTreeMap<PathBuf, Vec<u8>> {
+    fn walk(dir: &Path, out: &mut BTreeMap<PathBuf, Vec<u8>>) {
+        for entry in std::fs::read_dir(dir).unwrap() {
+            let path = entry.unwrap().path();
+            if path.is_dir() {
+                walk(&path, out);
+            } else {
+                out.insert(path.clone(), std::fs::read(&path).unwrap());
+            }
+        }
+    }
+    let mut out = BTreeMap::new();
+    walk(dir, &mut out);
+    out
+}
+
+/// Migration: a directory in the pre-sharding format — a monolithic v1
+/// `snapshot.bin`, a stale covered WAL, and a live root-level WAL —
+/// opens into exactly the state its history describes, is rewritten as
+/// the sharded layout on that first open, and is byte-stable across
+/// subsequent reopens.
+#[test]
+fn pre_sharding_directory_migrates_to_lanes_on_first_open() {
+    use sla_persist::snapshot::{write_snapshot, Snapshot};
+    use sla_persist::wal::{wal_file_name, WalWriter};
+    use sla_persist::WalOp;
+
+    let dir = temp_dir("migration");
+
+    // Hand-write the PR-5 layout with the persist crate's own v1
+    // primitives: a snapshot covering generation 1 at epoch 1 with
+    // users {1, 4}, a stale generation-1 WAL whose contents the
+    // snapshot already covers (user 9 must NOT resurrect), and a live
+    // generation-2 WAL that re-subscribes user 4 and adds user 7 at
+    // epoch 2.
+    write_snapshot(
+        &dir,
+        &Snapshot {
+            covered_generation: 1,
+            epoch: 1,
+            records: vec![legacy_record(1, 1), legacy_record(4, 1)],
+        },
+    )
+    .unwrap();
+    let mut stale = WalWriter::create(&dir, 1, FlushPolicy::EveryOp).unwrap();
+    stale.append(&WalOp::Upsert(legacy_record(9, 0))).unwrap();
+    drop(stale);
+    let mut live = WalWriter::create(&dir, 2, FlushPolicy::EveryOp).unwrap();
+    live.append(&WalOp::Upsert(legacy_record(4, 2))).unwrap();
+    live.append(&WalOp::Upsert(legacy_record(7, 2))).unwrap();
+    live.append(&WalOp::Epoch { epoch: 2 }).unwrap();
+    drop(live);
+
+    // The in-memory reference that lived the same history.
+    let (mut memory, mut mem_rng) = build_system(StoreBackend::ConcurrentSharded { shards: 4 });
+    memory.advance_epoch();
+    memory.subscribe_cell(1, 1, &mut mem_rng).unwrap();
+    memory.advance_epoch();
+    memory.subscribe_cell(4, 4, &mut mem_rng).unwrap();
+    memory.subscribe_cell(7, 7, &mut mem_rng).unwrap();
+
+    {
+        let (migrated, _) = build_system(StoreBackend::Persistent {
+            dir: dir.clone(),
+            flush: FlushPolicy::EveryOp,
+        });
+        assert_eq!(migrated.subscription_epochs(), memory.subscription_epochs());
+        assert_eq!(migrated.epoch(), 2, "epoch recovered from the live WAL");
+    }
+
+    // The first open rewrote the directory as the sharded layout and
+    // deleted every legacy file.
+    assert!(dir.join("store.meta").exists(), "layout meta committed");
+    assert!(!dir.join("snapshot.bin").exists(), "v1 snapshot deleted");
+    assert!(!dir.join(wal_file_name(1)).exists(), "stale WAL deleted");
+    assert!(!dir.join(wal_file_name(2)).exists(), "live WAL deleted");
+    assert!(!lane_wal_files(&dir).is_empty(), "per-lane WALs exist");
+
+    // Reopening the migrated directory is a no-op: identical state,
+    // byte-identical files.
+    let after_migration = dir_bytes(&dir);
+    {
+        let (reopened, _) = build_system(StoreBackend::Persistent {
+            dir: dir.clone(),
+            flush: FlushPolicy::EveryOp,
+        });
+        assert_eq!(reopened.subscription_epochs(), memory.subscription_epochs());
+        assert_eq!(reopened.epoch(), 2);
+    }
+    assert_eq!(
+        dir_bytes(&dir),
+        after_migration,
+        "second open rewrote the migrated layout"
+    );
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
