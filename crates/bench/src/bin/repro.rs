@@ -7,11 +7,12 @@
 //! cargo run -p sla-bench --bin repro --release -- --smoke  # CI smoke test
 //! cargo run -p sla-bench --bin repro --release -- --smoke --store persistent
 //! cargo run -p sla-bench --bin repro --release -- --exp-batch --batch-width 1,4,8
+//! cargo run -p sla-bench --bin repro --release -- scenario --scenario moving,mixed
 //! ```
 //!
 //! Tables are printed to stdout and written as CSV under `results/`.
 
-use sla_bench::{fig07, fig08, fig09, fig10, fig11, fig12, fig13, fig14, primitives};
+use sla_bench::{fig07, fig08, fig09, fig10, fig11, fig12, fig13, fig14, primitives, scenarios};
 use sla_bench::{N_CIPHERTEXTS, SEED};
 use std::path::PathBuf;
 
@@ -27,6 +28,9 @@ struct Opts {
     /// Batch widths for the serial-vs-lockstep kernel rows of the
     /// `primitives` figure (`--batch-width`, comma-separated).
     batch_widths: Vec<usize>,
+    /// Scenario families for the `scenario` matrix target
+    /// (`--scenario`, comma-separated; defaults to all four).
+    scenario_kinds: Vec<sla_scenarios::ScenarioKind>,
 }
 
 /// Typed rejection of a malformed command line. The lockstep kernels
@@ -43,6 +47,10 @@ enum ArgError {
     Zero,
     /// A width that is not a power of two.
     NotPowerOfTwo(usize),
+    /// `--scenario` with no value.
+    MissingScenario,
+    /// A scenario name outside `{moving, burst, mixed, zipf}`.
+    UnknownScenario(String),
 }
 
 impl std::fmt::Display for ArgError {
@@ -65,6 +73,15 @@ impl std::fmt::Display for ArgError {
                 "--batch-width {w} is rejected: widths must be powers of two \
                  (the lockstep kernels group lanes 8/4/1)"
             ),
+            ArgError::MissingScenario => {
+                write!(f, "--scenario needs a name or comma-separated list")
+            }
+            ArgError::UnknownScenario(s) => {
+                write!(
+                    f,
+                    "--scenario entry '{s}' is rejected (expected moving, burst, mixed or zipf)"
+                )
+            }
         }
     }
 }
@@ -94,6 +111,29 @@ fn parse_batch_widths(spec: &str) -> Result<Vec<usize>, ArgError> {
     Ok(widths)
 }
 
+/// Parses a `--scenario` value (`"moving"` or `"moving,mixed"`) into
+/// validated scenario kinds — unknown names are a typed, exit-2 error
+/// like the `--batch-width` validation above.
+fn parse_scenarios(spec: &str) -> Result<Vec<sla_scenarios::ScenarioKind>, ArgError> {
+    let mut kinds = Vec::new();
+    for entry in spec.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let kind: sla_scenarios::ScenarioKind = entry
+            .parse()
+            .map_err(|_| ArgError::UnknownScenario(entry.to_string()))?;
+        if !kinds.contains(&kind) {
+            kinds.push(kind);
+        }
+    }
+    if kinds.is_empty() {
+        return Err(ArgError::MissingScenario);
+    }
+    Ok(kinds)
+}
+
 fn parse_args() -> Result<Opts, ArgError> {
     let mut figures = Vec::new();
     let mut zones = 50usize;
@@ -102,12 +142,17 @@ fn parse_args() -> Result<Opts, ArgError> {
     let mut smoke = false;
     let mut store = "sharded".to_string();
     let mut batch_widths = vec![1usize, 4, 8];
+    let mut scenario_kinds = sla_scenarios::ScenarioKind::ALL.to_vec();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--batch-width" => {
                 let spec = args.next().ok_or(ArgError::Missing)?;
                 batch_widths = parse_batch_widths(&spec)?;
+            }
+            "--scenario" => {
+                let spec = args.next().ok_or(ArgError::MissingScenario)?;
+                scenario_kinds = parse_scenarios(&spec)?;
             }
             "--quick" => zones = 10,
             "--parallel" => parallel = true,
@@ -140,6 +185,7 @@ fn parse_args() -> Result<Opts, ArgError> {
         smoke,
         store,
         batch_widths,
+        scenario_kinds,
     })
 }
 
@@ -188,6 +234,32 @@ fn print_exp_batch(rows: &[primitives::ExpBatchTimings]) {
             e.batch_ns / 1e3,
             e.speedup(),
             e.kernel,
+        );
+    }
+}
+
+fn print_scenarios(rows: &[scenarios::ScenarioRow]) {
+    for r in rows {
+        println!(
+            "scenario[{} {} {}]: {} alerts, tokens {}+{} (gen+reuse), cells +{}/-{}, \
+             {} pairings, notified {} ({} exact, {} spurious), \
+             tracked {:.1} ms vs full {:.1} ms ({:.2}x), mismatches {}",
+            r.scenario,
+            r.level,
+            r.store,
+            r.alerts,
+            r.tokens_generated,
+            r.tokens_reused,
+            r.cells_entered,
+            r.cells_exited,
+            r.pairings,
+            r.notified,
+            r.exact_notified,
+            r.spurious,
+            r.tracked_ns / 1e6,
+            r.full_ns / 1e6,
+            r.speedup(),
+            r.mismatches,
         );
     }
 }
@@ -313,6 +385,37 @@ fn run_smoke(out_dir: &std::path::Path, store: &str, batch_widths: &[usize]) {
         std::fs::remove_dir_all(&dir).expect("smoke: scratch cleanup");
         println!("smoke OK: persistent store survived a restart byte-identically");
     }
+
+    // One miniature moving-zone scenario row: the tracked (incremental
+    // token regeneration) path replayed against full regeneration and
+    // the plaintext oracle — any disagreement fails the smoke.
+    println!("# smoke: scenario matrix row (moving, L0, store = {store})");
+    // Four epochs is the smallest replay in which the storm track's
+    // minimized cover repeats a pattern, i.e. the cache demonstrably
+    // reuses a token (asserted below).
+    let config = sla_scenarios::ScenarioConfig {
+        users: 12,
+        epochs: 4,
+        seed: SEED,
+    };
+    let row = scenarios::run_uniform(
+        sla_scenarios::ScenarioKind::Moving,
+        sla_scenarios::GranularityLevel::EXACT,
+        store,
+        &config,
+    );
+    print_scenarios(std::slice::from_ref(&row));
+    assert_eq!(row.mismatches, 0, "smoke: tracked alert path diverged");
+    assert!(
+        row.tokens_reused > 0,
+        "smoke: delta regen never reused a token"
+    );
+    println!(
+        "smoke OK: scenario row reused {} of {} tokens across {} alerts",
+        row.tokens_reused,
+        row.tokens_generated + row.tokens_reused,
+        row.alerts
+    );
 }
 
 fn main() {
@@ -526,8 +629,34 @@ fn main() {
                     .map(|()| path);
                 report(write);
             }
+            "scenario" | "scenarios" => {
+                // The scenario matrix: scenario family x privacy level x
+                // store backend, tracked (incremental regen) vs full
+                // regeneration vs plaintext oracle. Mismatches fail the
+                // run loudly -- these rows are correctness fixtures as
+                // much as they are measurements.
+                let config = sla_scenarios::ScenarioConfig::default();
+                let levels = [
+                    sla_scenarios::GranularityLevel(0),
+                    sla_scenarios::GranularityLevel(2),
+                ];
+                let stores = ["sharded", "concurrent"];
+                let rows =
+                    scenarios::run_matrix(&opts.scenario_kinds, &levels, &stores, &config);
+                print_scenarios(&rows);
+                let mismatches: u64 = rows.iter().map(|r| r.mismatches).sum();
+                assert_eq!(
+                    mismatches, 0,
+                    "scenario matrix: tracked vs full vs oracle divergence"
+                );
+                let path = opts.out_dir.join("BENCH_scenarios.json");
+                let write = std::fs::create_dir_all(&opts.out_dir)
+                    .and_then(|()| std::fs::write(&path, scenarios::to_json(&config, &rows)))
+                    .map(|()| path);
+                report(write);
+            }
             other => eprintln!(
-                "unknown figure '{other}' (expected fig7..fig14, primitives, or exp-batch)"
+                "unknown figure '{other}' (expected fig7..fig14, primitives, exp-batch, or scenario)"
             ),
         }
         println!();
@@ -556,6 +685,30 @@ mod tests {
     fn batch_width_zero_is_a_typed_error() {
         assert_eq!(parse_batch_widths("0"), Err(ArgError::Zero));
         assert_eq!(parse_batch_widths("4,0,8"), Err(ArgError::Zero));
+    }
+
+    #[test]
+    fn scenarios_parse_and_dedupe() {
+        use sla_scenarios::ScenarioKind;
+        assert_eq!(parse_scenarios("moving"), Ok(vec![ScenarioKind::Moving]));
+        assert_eq!(
+            parse_scenarios("moving, mixed,moving"),
+            Ok(vec![ScenarioKind::Moving, ScenarioKind::Mixed])
+        );
+        assert_eq!(
+            parse_scenarios("burst,zipf"),
+            Ok(vec![ScenarioKind::Burst, ScenarioKind::Zipf])
+        );
+    }
+
+    #[test]
+    fn unknown_scenario_is_a_typed_error() {
+        assert_eq!(
+            parse_scenarios("tornado"),
+            Err(ArgError::UnknownScenario("tornado".into()))
+        );
+        assert_eq!(parse_scenarios(""), Err(ArgError::MissingScenario));
+        assert_eq!(parse_scenarios(" , "), Err(ArgError::MissingScenario));
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod fig13;
 pub mod fig14;
 pub mod histogram;
 pub mod primitives;
+pub mod scenarios;
 pub mod table;
 
 /// Number of stored ciphertexts the cost model charges each alert against

@@ -10,7 +10,8 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 use sla_encoding::CellCodebook;
 use sla_hve::{
-    Ciphertext, HveScheme, PreparedPublicKey, PreparedSecretKey, PublicKey, SecretKey, Token,
+    Ciphertext, HveScheme, PreparedPublicKey, PreparedSecretKey, PublicKey, RegenStats, SecretKey,
+    Token, TokenCache,
 };
 use sla_pairing::BilinearGroup;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -111,6 +112,36 @@ impl TrustedAuthority {
                 .map(|pattern| scheme.gen_token(sk, pattern, rng))
                 .collect()),
         }
+    }
+
+    /// Incremental variant of [`Self::issue_tokens`] for dynamic alert
+    /// zones: minimizes the zone to its pattern set, then serves it from
+    /// `cache` — only patterns that entered since the previous epoch are
+    /// freshly generated (batched through
+    /// [`HveScheme::gen_token_prepared_batch`] on a prepared key), and
+    /// patterns that exited are evicted. Tokens for unchanged patterns
+    /// are reused, which leaves notified sets and pairing counts
+    /// identical to a full regeneration (matching depends only on the
+    /// pattern, never on token randomness).
+    ///
+    /// `Err(SlaError::CellOutOfRange)` on alert cells outside the grid.
+    pub fn issue_tokens_cached<G: BilinearGroup, R: Rng>(
+        &self,
+        scheme: &HveScheme<'_, G>,
+        cache: &mut TokenCache,
+        alert_cells: &[usize],
+        rng: &mut R,
+    ) -> SlaResult<(Vec<Token>, RegenStats)> {
+        let patterns: Vec<_> = self
+            .codebook
+            .try_tokens_for(alert_cells)?
+            .iter()
+            .map(codeword_to_pattern)
+            .collect();
+        Ok(match &self.key {
+            TaKey::Prepared(psk) => scheme.regen_tokens_prepared(psk, cache, &patterns, rng),
+            TaKey::Plain(sk) => scheme.regen_tokens(sk, cache, &patterns, rng),
+        })
     }
 
     /// Analytic pairing cost of an alert against `n_ciphertexts`
@@ -216,6 +247,16 @@ pub struct ServiceStats {
     /// volatile backends. Read from per-lane atomics — never a lane
     /// lock — so the snapshot stays wait-free.
     pub durability_lanes: Vec<DurabilityLaneStats>,
+    /// Lifetime count of alert tokens freshly generated by the tracked
+    /// (incremental) alert path — cache misses; cache hits cost no group
+    /// operations and are not counted here.
+    pub tokens_regenerated: u64,
+    /// Lifetime count of cells that entered a tracked alert zone
+    /// relative to the previous epoch of the same tracker.
+    pub cells_entered: u64,
+    /// Lifetime count of cells that exited a tracked alert zone
+    /// relative to the previous epoch of the same tracker.
+    pub cells_exited: u64,
 }
 
 /// The Service Provider: stores encrypted updates, evaluates tokens, and
@@ -265,6 +306,9 @@ pub struct ServiceProvider {
     replaced: AtomicU64,
     unsubscribed: AtomicU64,
     evicted: AtomicU64,
+    tokens_regenerated: AtomicU64,
+    cells_entered: AtomicU64,
+    cells_exited: AtomicU64,
 }
 
 impl Default for ServiceProvider {
@@ -301,7 +345,20 @@ impl ServiceProvider {
             replaced: AtomicU64::new(0),
             unsubscribed: AtomicU64::new(0),
             evicted: AtomicU64::new(0),
+            tokens_regenerated: AtomicU64::new(0),
+            cells_entered: AtomicU64::new(0),
+            cells_exited: AtomicU64::new(0),
         })
+    }
+
+    /// Records one tracked-alert regeneration pass (atomics through
+    /// `&self`, like the churn counters): `generated` fresh tokens and
+    /// the zone's cell delta against the tracker's previous epoch.
+    pub(crate) fn note_regen(&self, generated: u64, entered: u64, exited: u64) {
+        self.tokens_regenerated
+            .fetch_add(generated, Ordering::Relaxed);
+        self.cells_entered.fetch_add(entered, Ordering::Relaxed);
+        self.cells_exited.fetch_add(exited, Ordering::Relaxed);
     }
 
     /// Number of stored ciphertexts (one per live user). Exact when
@@ -352,6 +409,9 @@ impl ServiceProvider {
             store: self.stats(),
             recovered_epoch: self.recovered_epoch(),
             durability_lanes: self.store.durability_lanes(),
+            tokens_regenerated: self.tokens_regenerated.load(Ordering::Relaxed),
+            cells_entered: self.cells_entered.load(Ordering::Relaxed),
+            cells_exited: self.cells_exited.load(Ordering::Relaxed),
         }
     }
 

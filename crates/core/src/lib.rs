@@ -61,6 +61,7 @@ mod error;
 pub mod metrics;
 mod store;
 mod system;
+mod tracker;
 
 pub use convert::{codeword_to_pattern, index_to_attribute};
 pub use durable::PersistentStore;
@@ -71,6 +72,7 @@ pub use store::{
     StoreBackend, StoreStats, StoredSubscription, SubscriptionStore, UpsertOutcome, VecStore,
 };
 pub use system::{AlertOutcome, AlertSystem, SystemBuilder};
+pub use tracker::{TokenRegenStats, TrackedAlertOutcome, ZoneTracker};
 
 // The flush policy is part of `StoreBackend::Persistent`'s surface.
 pub use sla_persist::FlushPolicy;

@@ -5,6 +5,7 @@ use crate::convert::index_to_attribute;
 use crate::entities::{MobileUser, ServiceProvider, Subscription, TrustedAuthority};
 use crate::error::{SlaError, SlaResult, MAX_GROUP_BITS, MIN_GROUP_BITS};
 use crate::store::{StoreBackend, StoreStats, UpsertOutcome};
+use crate::tracker::{TokenRegenStats, TrackedAlertOutcome, ZoneTracker};
 use rand::Rng;
 use sla_encoding::{CellCodebook, EncoderKind};
 use sla_grid::{Grid, Point, ProbabilityMap};
@@ -422,6 +423,22 @@ impl AlertSystem {
     ) -> SlaResult<AlertOutcome> {
         let scheme = self.scheme();
         let tokens = self.ta.issue_tokens(&scheme, alert_cells, rng)?;
+        self.outcome_from_tokens(&scheme, tokens, match_fn)
+    }
+
+    /// Second half of the alert pipeline, shared by the full-regeneration
+    /// and tracked (incremental) paths: analytic cost, counter bracketing
+    /// and outcome assembly over tokens already in hand.
+    fn outcome_from_tokens(
+        &self,
+        scheme: &HveScheme<'_, SimulatedGroup>,
+        tokens: Vec<sla_hve::Token>,
+        match_fn: impl FnOnce(
+            &ServiceProvider,
+            &HveScheme<'_, SimulatedGroup>,
+            &[sla_hve::Token],
+        ) -> SlaResult<Vec<u64>>,
+    ) -> SlaResult<AlertOutcome> {
         let non_star_bits: u64 = tokens.iter().map(|t| t.non_star_count() as u64).sum();
         // The analytic model `Σ_tokens (1 + 2·|J|) · n` evaluated on the
         // tokens already in hand, so the alert does not pay minimization
@@ -429,7 +446,7 @@ impl AlertSystem {
         let analytic = (tokens.len() as u64 + 2 * non_star_bits) * self.sp.n_subscriptions() as u64;
 
         let before = self.group.counters().snapshot();
-        let mut notified = match_fn(&self.sp, &scheme, &tokens)?;
+        let mut notified = match_fn(&self.sp, scheme, &tokens)?;
         let delta = self.group.counters().snapshot() - before;
         notified.sort_unstable();
 
@@ -490,6 +507,57 @@ impl AlertSystem {
             sp.process_alert_batch(scheme, tokens, chunk)
         })
     }
+
+    /// Incremental variant of [`Self::issue_alert`] for **dynamic alert
+    /// zones**: the TA serves the zone's minimized pattern set from the
+    /// tracker's token cache, freshly generating only the patterns that
+    /// entered since the tracker's previous epoch (one
+    /// `gen_token_prepared_batch` call) and evicting the ones that
+    /// exited.
+    ///
+    /// The returned [`TrackedAlertOutcome::alert`] is **equal** to what
+    /// [`Self::issue_alert`] over the same cells and store contents
+    /// produces — same notified set, token count, `pairings_used` and
+    /// analytic cost — because matching depends only on token *patterns*,
+    /// never on token randomness; the `scenarios` proptest suite pins
+    /// this across random trajectories and every store backend. What the
+    /// incremental path saves is GenToken work, reported in
+    /// [`TrackedAlertOutcome::regen`] and accumulated into
+    /// [`crate::ServiceStats`] (`tokens_regenerated`, `cells_entered`,
+    /// `cells_exited`) through the SP's atomics.
+    ///
+    /// Keep one [`ZoneTracker`] per live zone and pass it back every
+    /// epoch; a fresh tracker makes the first call a full regeneration.
+    ///
+    /// `Err(SlaError::CellOutOfRange)` on alert cells outside the grid
+    /// (the tracker is left unchanged on error).
+    pub fn issue_alert_tracked<R: Rng>(
+        &self,
+        tracker: &mut ZoneTracker,
+        alert_cells: &[usize],
+        rng: &mut R,
+    ) -> SlaResult<TrackedAlertOutcome> {
+        let scheme = self.scheme();
+        let (tokens, regen) =
+            self.ta
+                .issue_tokens_cached(&scheme, tracker.cache_mut(), alert_cells, rng)?;
+        let (cells_entered, cells_exited) = tracker.note_cells(alert_cells);
+        self.sp
+            .note_regen(regen.generated as u64, cells_entered, cells_exited);
+        let alert = self.outcome_from_tokens(&scheme, tokens, |sp, scheme, tokens| {
+            sp.match_alert_exhaustive(scheme, tokens)
+        })?;
+        Ok(TrackedAlertOutcome {
+            alert,
+            regen: TokenRegenStats {
+                tokens_generated: regen.generated as u64,
+                tokens_reused: regen.reused as u64,
+                tokens_evicted: regen.evicted as u64,
+                cells_entered,
+                cells_exited,
+            },
+        })
+    }
 }
 
 #[cfg(test)]
@@ -534,6 +602,59 @@ mod tests {
                 "{encoder:?}: live counter must equal analytic model"
             );
         }
+    }
+
+    #[test]
+    fn tracked_alert_equals_full_and_feeds_stats() {
+        // Two identically-seeded systems: one alerts through a tracker,
+        // the other regenerates fully; every epoch's outcome must agree.
+        let (mut sys_delta, mut rng_d) = small_system(EncoderKind::Huffman);
+        let (mut sys_full, mut rng_f) = small_system(EncoderKind::Huffman);
+        for cell in 0..6 {
+            sys_delta
+                .subscribe_cell(100 + cell as u64, cell, &mut rng_d)
+                .unwrap();
+            sys_full
+                .subscribe_cell(100 + cell as u64, cell, &mut rng_f)
+                .unwrap();
+        }
+        let mut tracker = ZoneTracker::new();
+        let epochs: [&[usize]; 4] = [&[0, 1], &[1, 2], &[2], &[2, 3, 4]];
+        for cells in epochs {
+            let tracked = sys_delta
+                .issue_alert_tracked(&mut tracker, cells, &mut rng_d)
+                .unwrap();
+            let full = sys_full.issue_alert(cells, &mut rng_f).unwrap();
+            assert_eq!(tracked.alert, full, "cells {cells:?}");
+            assert_eq!(
+                tracked.regen.tokens_generated + tracked.regen.tokens_reused,
+                tracked.alert.tokens_issued as u64
+            );
+        }
+        let stats = sys_delta.service_stats();
+        assert!(stats.tokens_regenerated > 0);
+        // Epoch deltas: {0,1}→+2, →{1,2} +1, →{2} +0, →{2,3,4} +2 = 5 in;
+        // 1+1+0 = 2 out.
+        assert_eq!(stats.cells_entered, 5);
+        assert_eq!(stats.cells_exited, 2);
+        // The untracked system never touched the regen path.
+        assert_eq!(sys_full.service_stats().tokens_regenerated, 0);
+    }
+
+    #[test]
+    fn tracked_alert_out_of_range_leaves_tracker_unchanged() {
+        let (system, mut rng) = small_system(EncoderKind::Huffman);
+        let mut tracker = ZoneTracker::new();
+        system
+            .issue_alert_tracked(&mut tracker, &[0, 1], &mut rng)
+            .unwrap();
+        let cached = tracker.cached_tokens();
+        assert!(matches!(
+            system.issue_alert_tracked(&mut tracker, &[99], &mut rng),
+            Err(SlaError::CellOutOfRange { .. })
+        ));
+        assert_eq!(tracker.cached_tokens(), cached);
+        assert_eq!(tracker.prev_cells(), &[0, 1]);
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! [`ZoneTracker`]: per-zone state for incremental token regeneration
+//! across epochs of a dynamic alert zone.
+//!
+//! A moving or resizing zone re-issues its tokens every epoch. Most of
+//! the minimized pattern set survives a small cell delta, so the tracked
+//! alert path ([`crate::AlertSystem::issue_alert_tracked`]) keeps one
+//! tracker per live zone: a pattern-keyed [`TokenCache`] plus the
+//! previous epoch's cell set, from which it derives the entered/exited
+//! cell counts reported through [`crate::ServiceStats`].
+
+use sla_hve::TokenCache;
+
+use crate::system::AlertOutcome;
+
+/// Per-zone regeneration state: the token cache and the previous epoch's
+/// (sorted, deduplicated) cell set. One tracker follows one zone; using
+/// the same tracker for unrelated zones is safe but defeats reuse.
+#[derive(Debug, Default)]
+pub struct ZoneTracker {
+    cache: TokenCache,
+    prev_cells: Vec<usize>,
+}
+
+/// Regeneration counters for one tracked alert epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TokenRegenStats {
+    /// Tokens freshly generated this epoch (pattern-cache misses).
+    pub tokens_generated: u64,
+    /// Tokens served from the cache without group operations.
+    pub tokens_reused: u64,
+    /// Cached tokens evicted because their pattern left the zone's cover.
+    pub tokens_evicted: u64,
+    /// Cells present this epoch but not the previous one.
+    pub cells_entered: u64,
+    /// Cells present the previous epoch but not this one.
+    pub cells_exited: u64,
+}
+
+/// Outcome of one tracked alert epoch: the ordinary [`AlertOutcome`]
+/// (identical to a full regeneration's in notified set, token count and
+/// pairing cost) plus the epoch's regeneration counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrackedAlertOutcome {
+    /// The alert outcome — equal to [`crate::AlertSystem::issue_alert`]
+    /// over the same cells and store contents.
+    pub alert: AlertOutcome,
+    /// What the incremental path saved (and spent) this epoch.
+    pub regen: TokenRegenStats,
+}
+
+impl ZoneTracker {
+    /// A fresh tracker: the first tracked alert regenerates everything.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached tokens (the previous epoch's pattern count).
+    pub fn cached_tokens(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The previous epoch's cell set (sorted, deduplicated).
+    pub fn prev_cells(&self) -> &[usize] {
+        &self.prev_cells
+    }
+
+    pub(crate) fn cache_mut(&mut self) -> &mut TokenCache {
+        &mut self.cache
+    }
+
+    /// Records this epoch's cell set and returns `(entered, exited)`
+    /// counts against the previous one.
+    pub(crate) fn note_cells(&mut self, cells: &[usize]) -> (u64, u64) {
+        let mut now: Vec<usize> = cells.to_vec();
+        now.sort_unstable();
+        now.dedup();
+        let entered = now
+            .iter()
+            .filter(|c| self.prev_cells.binary_search(c).is_err())
+            .count() as u64;
+        let exited = self
+            .prev_cells
+            .iter()
+            .filter(|c| now.binary_search(c).is_err())
+            .count() as u64;
+        self.prev_cells = now;
+        (entered, exited)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_delta_counts() {
+        let mut t = ZoneTracker::new();
+        assert_eq!(t.note_cells(&[3, 1, 2, 2]), (3, 0));
+        assert_eq!(t.prev_cells(), &[1, 2, 3]);
+        assert_eq!(t.note_cells(&[2, 3, 4]), (1, 1));
+        assert_eq!(t.note_cells(&[]), (0, 3));
+        assert_eq!(t.note_cells(&[7]), (1, 0));
+    }
+}

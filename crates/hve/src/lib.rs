@@ -52,11 +52,13 @@
 mod error;
 mod keys;
 mod prepared;
+mod regen;
 mod scheme;
 mod vector;
 
 pub use error::HveError;
 pub use keys::{Ciphertext, PublicKey, SecretKey, Token};
 pub use prepared::{PreparedPublicKey, PreparedSecretKey};
+pub use regen::{RegenStats, TokenCache};
 pub use scheme::{HveScheme, MESSAGE_DOMAIN_BITS};
 pub use vector::{AttributeVector, ParseVectorError, SearchPattern};

@@ -5,6 +5,7 @@
 //! sla-loadgen --socket /tmp/sla.sock --threads 4 --users 200 --epochs 6
 //! sla-loadgen --tcp 127.0.0.1:4240 --shutdown
 //! sla-loadgen --socket /tmp/sla.sock --smoke     # small run; implies --shutdown
+//! sla-loadgen --tcp 127.0.0.1:4240 --scenario moving   # storm-track replay
 //! ```
 //!
 //! Exit codes: `0` clean (all alert notified-sets matched ground
@@ -12,6 +13,7 @@
 //! malformed command line.
 
 use sla_loadgen::{render_json, replay, Endpoint, ReplayConfig};
+use sla_scenarios::ScenarioKind;
 use std::path::PathBuf;
 
 struct Opts {
@@ -57,6 +59,7 @@ OPTIONS:
     --users <n>       Initial population (default 200)
     --epochs <n>      Churn epochs after the initial wave (default 6)
     --seed <n>        Workload seed (default 20210323)
+    --scenario <kind> Replay a scenario workload: moving, burst, mixed, zipf
     --out <path>      Report path (default results/BENCH_service.json)
     --shutdown        Send a shutdown RPC when done
     --smoke           Small CI run: 24 users, 2 epochs, 2 threads; implies --shutdown
@@ -77,6 +80,7 @@ fn parse_opts(args: impl Iterator<Item = String>) -> Result<Option<Opts>, ArgErr
     let mut users = None;
     let mut epochs = None;
     let mut seed = 20_210_323u64;
+    let mut scenario = None;
     let mut out = PathBuf::from("results/BENCH_service.json");
     let mut shutdown = false;
     let mut smoke = false;
@@ -90,6 +94,13 @@ fn parse_opts(args: impl Iterator<Item = String>) -> Result<Option<Opts>, ArgErr
             "--users" => users = Some(parse_number("--users", args.next())?),
             "--epochs" => epochs = Some(parse_number("--epochs", args.next())?),
             "--seed" => seed = parse_number("--seed", args.next())?,
+            "--scenario" => {
+                let v = args.next().ok_or(ArgError::MissingValue("--scenario"))?;
+                scenario = Some(
+                    v.parse::<ScenarioKind>()
+                        .map_err(|_| ArgError::Invalid("--scenario", v))?,
+                );
+            }
             "--out" => out = PathBuf::from(args.next().ok_or(ArgError::MissingValue("--out"))?),
             "--shutdown" => shutdown = true,
             "--smoke" => smoke = true,
@@ -111,6 +122,7 @@ fn parse_opts(args: impl Iterator<Item = String>) -> Result<Option<Opts>, ArgErr
             users: users.unwrap_or(d_users),
             epochs: epochs.unwrap_or(d_epochs),
             seed,
+            scenario,
             send_shutdown: shutdown || smoke,
         },
         out,

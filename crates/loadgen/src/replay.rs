@@ -24,6 +24,7 @@ use sla_bench::histogram::LatencyHistogram;
 use sla_core::{SlaError, SlaResult};
 use sla_datasets::workload::{ChurnConfig, ChurnEvent, ChurnWorkload};
 use sla_grid::{Grid, ProbabilityMap, ZoneSampler};
+use sla_scenarios::{ScenarioConfig, ScenarioKind, ScenarioWorkload};
 use sla_server::{Request, Response, WireStats};
 use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
@@ -41,6 +42,12 @@ pub struct ReplayConfig {
     pub epochs: usize,
     /// Workload generator seed.
     pub seed: u64,
+    /// Replay a named scenario (`moving`, `burst`, `mixed`, `zipf`)
+    /// instead of the default static-zone churn workload. Mixed
+    /// granularity is replayed at exact (L0) cells — the wire protocol
+    /// carries plain cell indices, so coarsening is a client-side
+    /// concern exercised by the in-process scenario matrix.
+    pub scenario: Option<ScenarioKind>,
     /// Send a `shutdown` RPC once the replay finishes.
     pub send_shutdown: bool,
 }
@@ -144,6 +151,18 @@ fn event_request(event: &ChurnEvent) -> Request {
 /// Generates the churn workload this replay drives (deterministic in
 /// the config).
 pub fn generate_workload(config: &ReplayConfig) -> ChurnWorkload {
+    if let Some(kind) = config.scenario {
+        // The scenario engine's workloads are churn workloads too, so
+        // the whole replay/verification pipeline below runs unchanged —
+        // including the per-epoch ground-truth check, which for a moving
+        // zone verifies the server across the zone's cell deltas.
+        let scenario_cfg = ScenarioConfig {
+            users: config.users,
+            epochs: config.epochs,
+            seed: config.seed,
+        };
+        return ScenarioWorkload::generate(kind, &scenario_cfg).churn;
+    }
     let grid = Grid::chicago_downtown_32();
     let probs = ProbabilityMap::uniform(grid.n_cells());
     let sampler = ZoneSampler::new(grid, &probs);
@@ -310,8 +329,15 @@ pub fn render_json(config: &ReplayConfig, report: &ReplayReport) -> String {
     out.push_str("{\n");
     out.push_str("  \"schema\": \"sla-service-bench/v1\",\n");
     out.push_str(&format!(
-        "  \"workload\": {{\"endpoint\": \"{}\", \"threads\": {}, \"users\": {}, \"epochs\": {}, \"seed\": {}}},\n",
-        config.endpoint, config.threads, config.users, config.epochs, config.seed
+        "  \"workload\": {{\"endpoint\": \"{}\", \"threads\": {}, \"users\": {}, \"epochs\": {}, \"seed\": {}, \"scenario\": {}}},\n",
+        config.endpoint,
+        config.threads,
+        config.users,
+        config.epochs,
+        config.seed,
+        config
+            .scenario
+            .map_or("null".to_string(), |k| format!("\"{k}\"")),
     ));
     out.push_str(&format!(
         "  \"elapsed_s\": {:.6},\n  \"total_ops\": {},\n  \"throughput_ops_per_s\": {:.1},\n",
@@ -343,6 +369,7 @@ pub fn render_json(config: &ReplayConfig, report: &ReplayReport) -> String {
             "\"inserted\": {}, \"replaced\": {}, \"unsubscribed\": {}, \"evicted\": {}, ",
             "\"recovered_epoch\": {}, \"ops_subscribe\": {}, \"ops_unsubscribe\": {}, ",
             "\"ops_alert\": {}, \"ops_stats\": {}, \"busy_rejections\": {}, ",
+            "\"tokens_regenerated\": {}, \"cells_entered\": {}, \"cells_exited\": {}, ",
             "\"durability_lanes\": [{}]}}\n"
         ),
         s.backend,
@@ -359,6 +386,9 @@ pub fn render_json(config: &ReplayConfig, report: &ReplayReport) -> String {
         s.ops_alert,
         s.ops_stats,
         s.busy_rejections,
+        s.tokens_regenerated,
+        s.cells_entered,
+        s.cells_exited,
         s.lanes
             .iter()
             .map(|l| format!(
@@ -385,6 +415,7 @@ mod tests {
             users: 24,
             epochs: 2,
             seed: 7,
+            scenario: None,
             send_shutdown: false,
         };
         let a = generate_workload(&config);
@@ -395,6 +426,36 @@ mod tests {
     }
 
     #[test]
+    fn scenario_workload_is_deterministic_and_moves_the_zone() {
+        let config = ReplayConfig {
+            endpoint: Endpoint::Tcp("127.0.0.1:0".into()),
+            threads: 2,
+            users: 24,
+            epochs: 3,
+            seed: 7,
+            scenario: Some(ScenarioKind::Moving),
+            send_shutdown: false,
+        };
+        let a = generate_workload(&config);
+        let b = generate_workload(&config);
+        assert_eq!(a, b);
+        assert_eq!(a.epochs.len(), 1 + config.epochs);
+        // The storm track drifts, so consecutive epochs alert over
+        // different cell sets — the property the wire replay exists to
+        // exercise end-to-end.
+        assert!(a
+            .epochs
+            .windows(2)
+            .any(|w| w[0].alert_cells != w[1].alert_cells));
+        // And the scenario differs from the static-zone default.
+        let static_config = ReplayConfig {
+            scenario: None,
+            ..config
+        };
+        assert_ne!(a, generate_workload(&static_config));
+    }
+
+    #[test]
     fn json_report_has_the_v1_shape() {
         let config = ReplayConfig {
             endpoint: Endpoint::Unix("/tmp/x.sock".into()),
@@ -402,6 +463,7 @@ mod tests {
             users: 24,
             epochs: 2,
             seed: 7,
+            scenario: None,
             send_shutdown: true,
         };
         let mut ops = OpHistograms::default();
@@ -429,6 +491,9 @@ mod tests {
                 ops_alert: 3,
                 ops_stats: 1,
                 busy_rejections: 3,
+                tokens_regenerated: 0,
+                cells_entered: 0,
+                cells_exited: 0,
                 lanes: vec![
                     WireLaneStats {
                         wal_generation: 2,

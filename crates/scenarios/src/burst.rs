@@ -1,0 +1,84 @@
+//! Contact-tracing bursts: long quiet stretches of near-point zones
+//! punctuated by sudden many-cell activations (an exposure event being
+//! traced across a neighborhood at once).
+
+use rand::Rng;
+use sla_grid::{AlertZone, ZoneSampler};
+
+/// The burst cadence: every `burst_every`-th epoch (1-based) activates a
+/// wide zone of `burst_radius_m`; all other epochs stay at
+/// `quiet_radius_m` (typically a single cell).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstPattern {
+    /// Radius of the quiet epochs' zones, in meters.
+    pub quiet_radius_m: f64,
+    /// Radius of a burst epoch's zone, in meters.
+    pub burst_radius_m: f64,
+    /// Burst period: epoch `e` (0-based) bursts iff
+    /// `(e + 1) % burst_every == 0`. Must be non-zero.
+    pub burst_every: usize,
+}
+
+impl BurstPattern {
+    /// Whether 0-based epoch `e` is a burst epoch.
+    ///
+    /// # Panics
+    /// Panics if `burst_every` is zero.
+    pub fn is_burst(&self, epoch: usize) -> bool {
+        (epoch + 1).is_multiple_of(self.burst_every)
+    }
+
+    /// The zone radius for 0-based epoch `e`.
+    pub fn radius_at(&self, epoch: usize) -> f64 {
+        if self.is_burst(epoch) {
+            self.burst_radius_m
+        } else {
+            self.quiet_radius_m
+        }
+    }
+
+    /// Samples one zone per epoch from the sampler's popularity surface
+    /// at this pattern's cadence. Deterministic for a seeded `rng`.
+    pub fn zones<R: Rng>(
+        &self,
+        sampler: &ZoneSampler,
+        epochs: usize,
+        rng: &mut R,
+    ) -> Vec<AlertZone> {
+        (0..epochs)
+            .map(|e| sampler.sample_zone(self.radius_at(e), rng))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sla_grid::{Grid, ProbabilityMap};
+
+    #[test]
+    fn bursts_are_much_wider_than_quiet_epochs() {
+        let grid = Grid::chicago_downtown_32();
+        let (_, cell_w) = grid.cell_size_m();
+        let probs = ProbabilityMap::uniform(grid.n_cells());
+        let sampler = ZoneSampler::new(grid, &probs);
+        let pattern = BurstPattern {
+            quiet_radius_m: 0.4 * cell_w,
+            burst_radius_m: 6.0 * cell_w,
+            burst_every: 3,
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let zones = pattern.zones(&sampler, 6, &mut rng);
+        assert_eq!(zones.len(), 6);
+        assert!(pattern.is_burst(2) && pattern.is_burst(5));
+        let quiet_max = [0, 1, 3, 4].iter().map(|&e| zones[e].len()).max().unwrap();
+        assert!(
+            zones[2].len() > 4 * quiet_max.max(1),
+            "burst epoch must activate many more cells ({} vs quiet max {})",
+            zones[2].len(),
+            quiet_max
+        );
+    }
+}

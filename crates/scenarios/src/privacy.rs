@@ -1,0 +1,104 @@
+//! Graded-granularity privacy levels (arXiv 2004.09005): level `k`
+//! coarsens every cell to its `2^k × 2^k` block, trading pairing cost
+//! and notification precision for location privacy.
+
+use sla_grid::{CellId, Grid};
+
+/// A privacy/granularity level: `0` is exact cells, level `k` snaps a
+/// cell to the representative (top-left member) of its `2^k × 2^k` block.
+///
+/// A user subscribed at level `k` reveals only which block they are in;
+/// the cost is **spurious notifications** — the user is alerted whenever
+/// their block intersects the zone, even if their exact cell does not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct GranularityLevel(pub u8);
+
+impl GranularityLevel {
+    /// Exact-cell granularity (no coarsening).
+    pub const EXACT: GranularityLevel = GranularityLevel(0);
+
+    /// Side length of this level's blocks, in cells (`2^k`).
+    pub fn block_span(self) -> usize {
+        1usize << self.0
+    }
+
+    /// The block representative of `cell`: the top-left cell of its
+    /// `2^k × 2^k` block. Level 0 is the identity.
+    ///
+    /// # Panics
+    /// Panics if `cell` is outside the grid.
+    pub fn snap_cell(self, grid: &Grid, cell: usize) -> usize {
+        let (row, col) = grid.row_col(CellId(cell));
+        let span = self.block_span();
+        (row - row % span) * grid.cols() + (col - col % span)
+    }
+
+    /// Snaps a cell set to its block representatives: sorted,
+    /// deduplicated. A zone snapped this way is the coarsened zone the
+    /// TA issues tokens for at this level — usually fewer cells, hence
+    /// cheaper tokens, but covering a superset of the exact area.
+    pub fn snap_cells(self, grid: &Grid, cells: &[usize]) -> Vec<usize> {
+        let mut out: Vec<usize> = cells.iter().map(|&c| self.snap_cell(grid, c)).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+impl std::fmt::Display for GranularityLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sla_grid::BoundingBox;
+
+    fn grid4() -> Grid {
+        Grid::new(BoundingBox::new(0.0, 0.0, 0.1, 0.1), 4, 4)
+    }
+
+    #[test]
+    fn level_zero_is_identity() {
+        let grid = grid4();
+        for cell in 0..16 {
+            assert_eq!(GranularityLevel::EXACT.snap_cell(&grid, cell), cell);
+        }
+    }
+
+    #[test]
+    fn level_one_blocks() {
+        let grid = grid4();
+        let l1 = GranularityLevel(1);
+        // 4×4 grid, 2×2 blocks: reps are cells 0, 2, 8, 10.
+        assert_eq!(l1.snap_cell(&grid, 0), 0);
+        assert_eq!(l1.snap_cell(&grid, 5), 0);
+        assert_eq!(l1.snap_cell(&grid, 6), 2);
+        assert_eq!(l1.snap_cell(&grid, 15), 10);
+        assert_eq!(l1.snap_cells(&grid, &[0, 1, 4, 5, 6]), vec![0, 2]);
+    }
+
+    #[test]
+    fn level_two_collapses_grid4_to_one_block() {
+        let grid = grid4();
+        let l2 = GranularityLevel(2);
+        let all: Vec<usize> = (0..16).collect();
+        assert_eq!(l2.snap_cells(&grid, &all), vec![0]);
+    }
+
+    #[test]
+    fn spans_not_dividing_the_grid_still_partition() {
+        // 5×5 grid at level 1: ragged right/bottom blocks snap to their
+        // own top-left representative inside the grid.
+        let grid = Grid::new(BoundingBox::new(0.0, 0.0, 0.1, 0.1), 5, 5);
+        let l1 = GranularityLevel(1);
+        assert_eq!(l1.snap_cell(&grid, 24), 24); // (4,4) → (4,4)
+        assert_eq!(l1.snap_cell(&grid, 14), 14); // (2,4) → (2,4)
+        for cell in 0..25 {
+            let rep = l1.snap_cell(&grid, cell);
+            assert_eq!(l1.snap_cell(&grid, rep), rep, "rep is a fixed point");
+        }
+    }
+}

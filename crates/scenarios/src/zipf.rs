@@ -1,0 +1,70 @@
+//! Zipf-skewed city density: a rank-skewed popularity surface for
+//! subscriber placement, the regime where the paper's Huffman cell codes
+//! pay off (popular cells get short codewords).
+
+use rand::Rng;
+use sla_grid::ProbabilityMap;
+
+/// A Zipf popularity surface over `n_cells`: cell popularity follows
+/// `p(rank) ∝ 1 / rank^exponent` with the rank-to-cell assignment drawn
+/// from `rng` (a seeded shuffle), so the "city center" lands somewhere
+/// different per seed but the skew profile is exact.
+///
+/// # Panics
+/// Panics if `n_cells` is zero or `exponent` is not finite.
+pub fn zipf_probabilities<R: Rng>(n_cells: usize, exponent: f64, rng: &mut R) -> ProbabilityMap {
+    assert!(n_cells > 0, "need at least one cell");
+    assert!(exponent.is_finite(), "exponent must be finite");
+    // Fisher–Yates over the cell order: position i holds the cell of
+    // popularity rank i.
+    let mut order: Vec<usize> = (0..n_cells).collect();
+    for i in (1..n_cells).rev() {
+        let j = rng.gen_range(0, i as u64 + 1) as usize;
+        order.swap(i, j);
+    }
+    let mut probs = vec![0.0f64; n_cells];
+    let total: f64 = (1..=n_cells)
+        .map(|rank| (rank as f64).powf(-exponent))
+        .sum();
+    for (rank, &cell) in order.iter().enumerate() {
+        probs[cell] = ((rank + 1) as f64).powf(-exponent) / total;
+    }
+    ProbabilityMap::try_new(probs).expect("zipf weights are positive and finite")
+}
+
+/// The probability mass held by the most popular `top` cells — a skew
+/// diagnostic for result tables (≈ `top/n` under a uniform surface, far
+/// larger under Zipf).
+pub fn top_share(probs: &ProbabilityMap, top: usize) -> f64 {
+    let mut weights: Vec<f64> = (0..probs.len()).map(|c| probs.get(c)).collect();
+    weights.sort_by(|a, b| b.partial_cmp(a).expect("finite weights"));
+    weights.iter().take(top).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_is_normalized_and_skewed() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let probs = zipf_probabilities(1024, 1.1, &mut rng);
+        let total: f64 = (0..1024).map(|c| probs.get(c)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "normalized, got {total}");
+        // Top 1% of cells should hold far more than 1% of the mass.
+        let share = top_share(&probs, 10);
+        assert!(share > 0.2, "zipf(1.1) top-10/1024 share was {share}");
+    }
+
+    #[test]
+    fn shuffle_is_seed_deterministic() {
+        let a = zipf_probabilities(64, 1.0, &mut StdRng::seed_from_u64(3));
+        let b = zipf_probabilities(64, 1.0, &mut StdRng::seed_from_u64(3));
+        let c = zipf_probabilities(64, 1.0, &mut StdRng::seed_from_u64(4));
+        let as_vec = |p: &ProbabilityMap| (0..64).map(|i| p.get(i)).collect::<Vec<_>>();
+        assert_eq!(as_vec(&a), as_vec(&b));
+        assert_ne!(as_vec(&a), as_vec(&c), "different seeds, different city");
+    }
+}

@@ -69,3 +69,4 @@ pub use sla_encoding as encoding;
 pub use sla_grid as grid;
 pub use sla_hve as hve;
 pub use sla_pairing as pairing;
+pub use sla_scenarios as scenarios;
